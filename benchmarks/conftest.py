@@ -1,0 +1,21 @@
+"""Shared fixtures for the benchmark harness."""
+
+import pytest
+
+from repro import analyze
+from repro.bench.suite import BENCHMARKS
+
+
+@pytest.fixture(scope="session")
+def analyzed_fast():
+    """All eight benchmark programs, analyzed once (fast parameters)."""
+    return {name: analyze(bench.source(fast=True)).require_well_typed()
+            for name, bench in BENCHMARKS.items()}
+
+
+@pytest.fixture(scope="session")
+def analyzed_full():
+    """All eight benchmark programs, analyzed once (paper-calibrated
+    parameters)."""
+    return {name: analyze(bench.source()).require_well_typed()
+            for name, bench in BENCHMARKS.items()}

@@ -1,0 +1,108 @@
+"""Ablation — sensitivity of Figure 12 to the cost-model calibration.
+
+DESIGN.md calls out the check-cost constants as the one free parameter of
+the substitution "authors' testbed → cycle-accurate simulator".  This
+bench sweeps ``check_assign_base`` and verifies that
+
+* the micro-benchmark overhead responds monotonically (it is genuinely
+  check-bound), while
+* the server overhead barely moves (it is genuinely I/O-bound),
+
+i.e. the *shape* of Figure 12 is a property of the programs, not of the
+calibration point.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro import CostModel, RunOptions, analyze, run_source
+from repro.bench.suite import BENCHMARKS
+
+SWEEP = [7, 14, 28, 56]
+
+
+def overhead_with_base(analyzed, base: int) -> float:
+    model = dataclasses.replace(CostModel(), check_assign_base=base)
+    dyn = run_source(analyzed, RunOptions(checks_enabled=True,
+                                          validate=False,
+                                          cost_model=model))
+    sta = run_source(analyzed, RunOptions(checks_enabled=False,
+                                          validate=False,
+                                          cost_model=model))
+    assert dyn.output == sta.output
+    return dyn.cycles / sta.cycles
+
+
+@pytest.fixture(scope="module")
+def sweep_results(request):
+    out = {}
+    for name in ("Array", "http"):
+        analyzed = analyze(
+            BENCHMARKS[name].source(fast=True)).require_well_typed()
+        out[name] = [overhead_with_base(analyzed, base) for base in SWEEP]
+    return out
+
+
+def test_ablation_micro_is_check_bound(sweep_results, benchmark):
+    ratios = sweep_results["Array"]
+    benchmark(lambda: ratios)
+    print("\nArray overhead vs check_assign_base "
+          f"{SWEEP}: {[round(r, 2) for r in ratios]}")
+    # strictly increasing in the check cost
+    assert all(a < b for a, b in zip(ratios, ratios[1:]))
+    # halving/doubling the calibration point keeps the micro ≫ 1 story
+    assert ratios[0] > 1.8
+    assert ratios[-1] > ratios[0] * 1.5
+
+
+def test_ablation_server_is_io_bound(sweep_results, benchmark):
+    ratios = sweep_results["http"]
+    benchmark(lambda: ratios)
+    print("\nhttp overhead vs check_assign_base "
+          f"{SWEEP}: {[round(r, 2) for r in ratios]}")
+    # the server's ratio barely responds to the calibration
+    assert max(ratios) - min(ratios) < 0.05
+    assert all(r < 1.1 for r in ratios)
+
+
+def test_ablation_shape_stable_across_sweep(sweep_results, benchmark):
+    benchmark(lambda: None)
+    for micro, server in zip(sweep_results["Array"],
+                             sweep_results["http"]):
+        assert micro > server, "micro ≫ server at every calibration"
+
+
+def test_check_distance_term(benchmark):
+    """The per-ancestry-level term: storing across more region levels
+    costs more cycles per check."""
+    shallow_src = """
+class Cell<Owner o> { Cell<o> f; }
+(RHandle<r> h) {
+    Cell<r> a = new Cell<r>; Cell<r> b = new Cell<r>;
+    int i = 0;
+    while (i < 200) { a.f = b; i = i + 1; }
+}
+"""
+    deep_src = """
+class Cell<Owner o> { int pad; }
+class Slot<Owner a, Owner b> { Cell<b> f; }
+(RHandle<r1> h1) { (RHandle<r2> h2) { (RHandle<r3> h3) {
+    Cell<r1> far = new Cell<r1>;
+    Slot<r3, r1> slot = new Slot<r3, r1>;
+    int i = 0;
+    while (i < 200) { slot.f = far; i = i + 1; }
+} } }
+"""
+
+    def check_cycles(src):
+        result = run_source(analyze(src).require_well_typed(),
+                            RunOptions(checks_enabled=True,
+                                       validate=False))
+        return result.stats.check_cycles, result.stats.assignment_checks
+
+    shallow, n1 = check_cycles(shallow_src)
+    deep, n2 = check_cycles(deep_src)
+    benchmark(lambda: None)
+    assert n1 == n2 == 200
+    assert deep > shallow, "ancestry walks must cost more when deeper"

@@ -1,0 +1,155 @@
+"""Ablation — the Section 2.2 motivation for subregions.
+
+"However, programs in a system with only shared regions (e.g., [33])
+will have memory leaks if two long-lived threads communicate by creating
+objects in a shared region.  This is because the objects will not be
+deleted until both threads exit the shared region."
+
+Two variants of the producer/consumer pipeline:
+
+* **with subregions** (the paper's design): frames go through an LT
+  subregion flushed after every handoff → peak memory is one frame;
+* **shared-region only** (the [33] baseline the paper improves on):
+  frames are allocated directly in the shared region → memory grows
+  linearly with the number of frames.
+"""
+
+import pytest
+
+from repro import RunOptions, analyze
+from repro.interp.machine import Machine
+
+FRAMES = 12
+
+WITH_SUBREGIONS = f"""
+regionKind Buf extends SharedRegion {{
+    Sub : LT(4096) NoRT s;
+}}
+regionKind Sub extends SharedRegion {{
+    Frame<this> f;
+}}
+class Frame {{ int data; int pad1; int pad2; }}
+class Producer<Buf r> {{
+    void run(RHandle<r> h, int n) accesses r, heap {{
+        int i = 0;
+        while (i < n) {{
+            boolean placed = false;
+            while (!placed) {{
+                (RHandle<Sub r2> h2 = h.s) {{
+                    if (h2.f == null) {{
+                        Frame frame = new Frame;
+                        frame.data = i;
+                        h2.f = frame;
+                        placed = true;
+                    }}
+                }}
+                yieldnow();
+            }}
+            i = i + 1;
+        }}
+    }}
+}}
+class Consumer<Buf r> {{
+    void run(RHandle<r> h, int n) accesses r, heap {{
+        int got = 0;
+        while (got < n) {{
+            (RHandle<Sub r2> h2 = h.s) {{
+                Frame frame = h2.f;
+                if (frame != null) {{
+                    h2.f = null;
+                    got = got + 1;
+                }}
+            }}
+            yieldnow();
+        }}
+        print(got);
+    }}
+}}
+(RHandle<Buf r> h) {{
+    fork (new Producer<r>).run(h, {FRAMES});
+    fork (new Consumer<r>).run(h, {FRAMES});
+}}
+"""
+
+SHARED_ONLY = f"""
+regionKind Buf extends SharedRegion {{
+    Frame<this> f;
+}}
+class Frame {{ int data; int pad1; int pad2; }}
+class Producer<Buf r> {{
+    void run(RHandle<r> h, int n) accesses r {{
+        int i = 0;
+        while (i < n) {{
+            boolean placed = false;
+            while (!placed) {{
+                if (h.f == null) {{
+                    Frame<r> frame = new Frame<r>;   // into the shared
+                    frame.data = i;                  // region itself:
+                    h.f = frame;                     // never reclaimed
+                    placed = true;
+                }}
+                yieldnow();
+            }}
+            i = i + 1;
+        }}
+    }}
+}}
+class Consumer<Buf r> {{
+    void run(RHandle<r> h, int n) accesses r {{
+        int got = 0;
+        while (got < n) {{
+            Frame frame = h.f;
+            if (frame != null) {{
+                h.f = null;
+                got = got + 1;
+            }}
+            yieldnow();
+        }}
+        print(got);
+    }}
+}}
+(RHandle<Buf r> h) {{
+    fork (new Producer<r>).run(h, {FRAMES});
+    fork (new Consumer<r>).run(h, {FRAMES});
+}}
+"""
+
+FRAME_BYTES = 16 + 3 * 8
+
+
+def peak_buffer_bytes(source: str, kind_names) -> int:
+    machine = Machine(analyze(source).require_well_typed(),
+                      RunOptions(quantum=400))
+    result = machine.run()
+    assert result.output == [str(FRAMES)]
+    return max(a.peak_bytes for a in machine.regions.areas
+               if a.kind_name in kind_names)
+
+
+@pytest.fixture(scope="module")
+def peaks():
+    return {
+        "subregions": peak_buffer_bytes(WITH_SUBREGIONS, {"Sub"}),
+        "shared_only": peak_buffer_bytes(SHARED_ONLY, {"Buf"}),
+    }
+
+
+def test_subregions_hold_one_frame(peaks, benchmark):
+    benchmark(lambda: peaks)
+    assert peaks["subregions"] == FRAME_BYTES, \
+        "the subregion is flushed after every handoff"
+
+
+def test_shared_only_leaks_every_frame(peaks, benchmark):
+    # every frame stays in the shared region until both threads exit;
+    # the Producer/Consumer objects themselves (2 x 16 bytes) also live
+    # there, hence >=
+    benchmark(lambda: peaks)
+    assert peaks["shared_only"] >= FRAMES * FRAME_BYTES, \
+        "without subregions every frame stays until both threads exit"
+    assert peaks["shared_only"] <= FRAMES * FRAME_BYTES + 64
+
+
+def test_leak_ratio_scales_with_frames(peaks, benchmark):
+    benchmark(lambda: peaks)
+    assert peaks["shared_only"] / peaks["subregions"] >= FRAMES

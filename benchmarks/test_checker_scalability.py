@@ -1,0 +1,97 @@
+"""The introduction's tooling claim: "its typechecking is fast and
+scalable".
+
+Generates programs of growing size (classes with fields, methods, and
+region-using bodies) and benchmarks the full pipeline
+(parse → defaults/inference → typecheck), asserting roughly linear
+scaling: 8x the program must not cost more than ~24x the time.
+"""
+
+import time
+
+import pytest
+
+from repro import analyze
+
+
+def synth_program(n_classes: int, methods_per_class: int = 3) -> str:
+    """A well-typed program with ``n_classes`` linked classes."""
+    parts = ["class Cell<Owner o> { int v; Cell<o> next; }"]
+    for i in range(n_classes):
+        methods = []
+        for j in range(methods_per_class):
+            methods.append(f"""
+    int work{j}(int x) accesses o, heap {{
+        Cell<o> local = new Cell<o>;
+        local.v = x * {j + 1};
+        held = local;
+        (RHandle<r{j}> h{j}) {{
+            Cell<r{j}> scratch = new Cell<r{j}>;
+            scratch.v = local.v + {i};
+            Cell inferredLocal = scratch;
+            inferredLocal.next = scratch;
+        }}
+        return local.v;
+    }}""")
+        parts.append(f"""
+class Worker{i}<Owner o> {{
+    Cell<o> held;
+    {''.join(methods)}
+}}""")
+    body = "\n".join(
+        f"    Worker{i}<r> w{i} = new Worker{i}<r>;"
+        f" int v{i} = w{i}.work0({i});"
+        for i in range(min(n_classes, 20)))
+    parts.append(f"(RHandle<r> h) {{\n{body}\n}}")
+    return "\n".join(parts)
+
+
+SIZES = [5, 20, 40]
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_typechecking_speed(benchmark, size):
+    source = synth_program(size)
+    result = benchmark(analyze, source)
+    assert result.well_typed, [str(e) for e in result.errors][:3]
+
+
+def test_scaling_is_roughly_linear(benchmark):
+    def measure(size: int) -> float:
+        source = synth_program(size)
+        best = float("inf")
+        for _ in range(3):
+            start = time.perf_counter()
+            analyzed = analyze(source)
+            best = min(best, time.perf_counter() - start)
+            assert analyzed.well_typed
+        return best
+
+    small = measure(5)
+    large = measure(40)
+    benchmark(lambda: None)
+    print(f"\ntypecheck 5 classes: {small * 1000:.1f} ms, "
+          f"40 classes: {large * 1000:.1f} ms "
+          f"(x{large / small:.1f} for x8 size)")
+    assert large / small < 24, \
+        "typechecking must scale roughly linearly in program size"
+
+
+def test_separate_compilation_scaling(benchmark):
+    """Adding an unrelated class must not slow down checking the rest by
+    more than its own cost (no global analysis)."""
+    base = synth_program(10)
+    extended = base + "\nclass Unrelated<Owner o> { int x; }"
+
+    def best_of(source):
+        best = float("inf")
+        for _ in range(3):
+            start = time.perf_counter()
+            analyze(source)
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    t_base = best_of(base)
+    t_ext = best_of(extended)
+    benchmark(lambda: None)
+    assert t_ext < t_base * 1.6

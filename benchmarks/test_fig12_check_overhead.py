@@ -1,0 +1,108 @@
+"""Figure 12 — dynamic checking overhead.
+
+Regenerates the paper's table: for every benchmark (and every ImageRec
+pipeline stage) the execution cost with the RTSJ dynamic checks vs with
+static checks only, next to the paper's measured overheads.  Asserts that
+the *shape* holds: who wins, by roughly what factor, and the ordering
+micro ≫ scientific > servers.
+
+Each row is also wall-clock-benchmarked (pytest-benchmark) in both modes
+on the fast parameters.
+"""
+
+import pytest
+
+from repro import RunOptions, run_source
+from repro.bench.suite import BENCHMARKS, IMAGEREC_STAGES
+from repro.bench.timing import figure12, format_figure12
+
+ALL = sorted(BENCHMARKS)
+
+#: acceptance bands around the paper's overheads (ratio must land inside)
+PAPER_BANDS = {
+    "Array": (5.5, 9.0),       # paper: 7.23
+    "Tree": (3.8, 6.0),        # paper: 4.83
+    "Water": (1.10, 1.40),     # paper: 1.24
+    "Barnes": (1.05, 1.25),    # paper: 1.13
+    "ImageRec": (1.10, 1.35),  # paper: 1.21
+    "http": (1.0, 1.08),       # paper: ~1.0
+    "game": (1.0, 1.08),       # paper: ~1.0
+    "phone": (1.0, 1.08),      # paper: ~1.0
+}
+
+STAGE_BANDS = {
+    "load": (1.10, 1.40),        # paper: 1.25
+    "cross": (1.0, 1.03),        # paper: 1.0
+    "threshold": (1.0, 1.03),    # paper: 1.0
+    "hysteresis": (1.08, 1.30),  # paper: 1.2
+    "thinning": (1.03, 1.20),    # paper: 1.1
+    "save": (1.08, 1.30),        # paper: 1.18
+}
+
+
+@pytest.fixture(scope="module")
+def fig12_rows():
+    return figure12(fast=False)
+
+
+def _row(rows, name):
+    for row in rows:
+        if row.name.strip() == name:
+            return row
+    raise KeyError(name)
+
+
+def test_fig12_table(fig12_rows, benchmark):
+    """Print the regenerated Figure 12 (run with -s to see it)."""
+    table = benchmark(format_figure12, fig12_rows)
+    print("\n=== Figure 12 — dynamic checking overhead ===")
+    print(table)
+    assert len(fig12_rows) == len(ALL) + len(IMAGEREC_STAGES)
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_fig12_overhead_band(fig12_rows, name, benchmark):
+    row = _row(fig12_rows, name)
+    lo, hi = PAPER_BANDS[name]
+    benchmark(lambda: row.overhead)
+    assert lo <= row.overhead <= hi, (
+        f"{name}: measured {row.overhead:.2f}, paper "
+        f"{row.paper_overhead}, accepted band [{lo}, {hi}]")
+
+
+@pytest.mark.parametrize("stage", IMAGEREC_STAGES)
+def test_fig12_stage_band(fig12_rows, stage, benchmark):
+    row = _row(fig12_rows, stage)
+    lo, hi = STAGE_BANDS[stage]
+    benchmark(lambda: row.overhead)
+    assert lo <= row.overhead <= hi, (
+        f"{stage}: measured {row.overhead:.2f}, band [{lo}, {hi}]")
+
+
+def test_fig12_ordering(fig12_rows, benchmark):
+    """The qualitative shape: micro ≫ scientific > servers ≈ 1."""
+    rows = {name: _row(fig12_rows, name) for name in ALL}
+    benchmark(lambda: None)
+    assert rows["Array"].overhead > rows["Tree"].overhead
+    assert rows["Tree"].overhead > rows["Water"].overhead
+    assert rows["Water"].overhead > rows["Barnes"].overhead > 1.0
+    for server in ("http", "game", "phone"):
+        assert rows[server].overhead < rows["Barnes"].overhead
+
+
+# ---------------------------------------------------------------------------
+# wall-clock benchmarks per program and mode (fast parameters)
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("name", ALL)
+def test_wallclock_dynamic_checks(benchmark, analyzed_fast, name):
+    analyzed = analyzed_fast[name]
+    options = RunOptions(checks_enabled=True, validate=False)
+    benchmark(run_source, analyzed, options)
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_wallclock_static_checks(benchmark, analyzed_fast, name):
+    analyzed = analyzed_fast[name]
+    options = RunOptions(checks_enabled=False, validate=False)
+    benchmark(run_source, analyzed, options)

@@ -1,0 +1,61 @@
+"""Companion to Figure 11: how much work the Section 2.5 inference does.
+
+"We use a combination of type inference and well-chosen defaults to
+significantly reduce the number of annotations needed in practice."
+
+For every benchmark we count owner atoms written by the programmer vs
+owner atoms present after the completion pass; the difference is what
+defaults+inference supplied.  Asserted: across the suite, the machinery
+supplies the large majority of the ownership structure.
+"""
+
+import pytest
+
+from repro.bench.overhead import inference_stats
+from repro.bench.suite import BENCHMARKS
+
+ALL = sorted(BENCHMARKS)
+
+
+@pytest.fixture(scope="module")
+def stats():
+    return {name: inference_stats(BENCHMARKS[name].source(), name)
+            for name in ALL}
+
+
+def test_inference_table(stats, benchmark):
+    benchmark(lambda: stats)
+    print("\n=== owner atoms: written vs supplied by inference ===")
+    header = (f"{'Program':<10} {'written':>8} {'total':>7} "
+              f"{'supplied':>9} {'fraction':>9}")
+    print(header)
+    print("-" * len(header))
+    for name in ALL:
+        row = stats[name]
+        print(f"{name:<10} {row['written_owner_atoms']:>8} "
+              f"{row['total_owner_atoms']:>7} "
+              f"{row['supplied_by_inference']:>9} "
+              f"{row['supplied_fraction']:>9.2f}")
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_inference_supplies_most_owners(stats, name, benchmark):
+    row = stats[name]
+    benchmark(lambda: row)
+    assert row["supplied_by_inference"] > 0
+    # the communication-heavy servers legitimately write more (region
+    # kinds, portals, handles are not inferable); everything else is
+    # mostly inferred
+    floor = 0.25 if BENCHMARKS[name].kind == "server" else 0.5
+    assert row["supplied_fraction"] >= floor, (
+        f"{name}: inference supplied only "
+        f"{row['supplied_fraction']:.0%} of the owner atoms")
+
+
+def test_suite_wide_reduction(stats, benchmark):
+    benchmark(lambda: None)
+    written = sum(r["written_owner_atoms"] for r in stats.values())
+    total = sum(r["total_owner_atoms"] for r in stats.values())
+    # "significantly reduce the number of annotations": across the whole
+    # suite at least 70% of the ownership structure is supplied
+    assert (total - written) / total >= 0.7

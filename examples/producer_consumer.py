@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""The paper's producer/consumer example (Figure 8): two long-lived
+threads share frames through a *subregion* with a typed *portal field*.
+
+The point of Section 2.2: with only top-level shared regions the frames
+would accumulate until both threads die (a leak); with a subregion, the
+region is flushed after every handoff.  This script runs the program and
+prints the flush count and the peak memory of the buffer subregion to
+demonstrate exactly that.
+"""
+
+from repro import RunOptions, analyze
+from repro.interp.machine import Machine
+
+PROGRAM = """
+regionKind BufferRegion extends SharedRegion {
+    BufferSubRegion : LT(4096) NoRT b;
+}
+regionKind BufferSubRegion extends SharedRegion {
+    Frame<this> f;
+}
+
+class Frame { int data; }
+
+class Producer<BufferRegion r> {
+    void run(RHandle<r> h, int frames) accesses r, heap {
+        int i = 0;
+        while (i < frames) {
+            boolean placed = false;
+            while (!placed) {
+                (RHandle<BufferSubRegion r2> h2 = h.b) {
+                    if (h2.f == null) {
+                        Frame frame = new Frame;   // owner inferred: r2
+                        frame.data = i * 10;
+                        h2.f = frame;              // typed portal write
+                        placed = true;
+                    }
+                }
+                yieldnow();
+            }
+            i = i + 1;
+        }
+    }
+}
+
+class Consumer<BufferRegion r> {
+    void run(RHandle<r> h, int frames) accesses r, heap {
+        int got = 0;
+        while (got < frames) {
+            (RHandle<BufferSubRegion r2> h2 = h.b) {
+                Frame frame = h2.f;                // typed portal read —
+                if (frame != null) {               // no downcast needed
+                    h2.f = null;
+                    print(frame.data);
+                    got = got + 1;
+                }
+            }
+            yieldnow();
+        }
+    }
+}
+
+(RHandle<BufferRegion r> h) {
+    fork (new Producer<r>).run(h, 8);
+    fork (new Consumer<r>).run(h, 8);
+}
+"""
+
+
+def main() -> None:
+    analyzed = analyze(PROGRAM).require_well_typed()
+    machine = Machine(analyzed, RunOptions(quantum=400))
+    result = machine.run()
+
+    print(f"frames received by consumer: {result.output}")
+    print(f"subregion flushes          : {result.stats.region_flushes}")
+
+    buffer_areas = [a for a in machine.regions.areas
+                    if a.kind_name == "BufferSubRegion"]
+    assert len(buffer_areas) == 1, "one LT subregion, reused throughout"
+    sub = buffer_areas[0]
+    print(f"buffer subregion peak bytes: {sub.peak_bytes} "
+          f"(one frame at a time — no leak across {len(result.output)} "
+          "handoffs)")
+    print(f"buffer subregion is flushed: {sub.is_flushed}")
+    assert result.stats.region_flushes >= 8
+    assert sub.peak_bytes <= 64, "frames do not accumulate"
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""``python -m repro.bench`` — regenerate Figures 11 and 12 on stdout."""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+from .overhead import figure11, format_figure11
+from .timing import figure12, figure12_dict, format_figure12
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's evaluation tables.")
+    parser.add_argument("--fast", action="store_true",
+                        help="use the reduced problem sizes")
+    parser.add_argument("--only", choices=["fig11", "fig12"],
+                        help="print just one table")
+    parser.add_argument("--json", action="store_true",
+                        help="emit machine-readable JSON instead of text")
+    args = parser.parse_args(argv)
+
+    if args.json:
+        payload = {}
+        if args.only in (None, "fig12"):
+            payload["figure12"] = figure12_dict(figure12(fast=args.fast))
+        if args.only in (None, "fig11"):
+            payload["figure11"] = figure11(fast=args.fast)
+        print(json.dumps(payload, indent=2))
+        return 0
+
+    if args.only in (None, "fig12"):
+        print("Figure 12 — dynamic checking overhead "
+              "(simulated cycles)")
+        print(format_figure12(figure12(fast=args.fast)))
+        print()
+    if args.only in (None, "fig11"):
+        print("Figure 11 — programming overhead")
+        print(format_figure11(figure11(fast=args.fast)))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

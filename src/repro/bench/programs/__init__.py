@@ -1,0 +1,2 @@
+"""The eight benchmark programs of Section 3, written in the core
+language."""

@@ -1,0 +1,61 @@
+"""``Array`` — micro-benchmark maximizing assignment checks.
+
+The paper: "Our micro benchmarks (Array and Tree) were written
+specifically to maximize the checking overhead — our development goal was
+to maximize the ratio of assignments to other computation."
+
+The inner loop is an unrolled burst of reference stores into a bank of
+slot objects; with dynamic checks on, every store runs the RTSJ
+assignment check (scope comparison on the write-barrier path), with
+checks compiled out the loop is pure pointer stores.
+"""
+
+NAME = "Array"
+
+DEFAULT_PARAMS = {"n": 600}
+FAST_PARAMS = {"n": 40}
+
+_TEMPLATE = """
+class Item {{ int pad; }}
+class Slot {{
+    Item ref;
+}}
+class ArrayBench {{
+    int run(int n) accesses heap {{
+        int survived = 0;
+        (RHandle<r> h) {{
+            Item<r> a = new Item;
+            Item b = new Item;
+            Slot s1 = new Slot;
+            Slot s2 = new Slot;
+            Slot s3 = new Slot;
+            Slot s4 = new Slot;
+            int i = 0;
+            while (i < n) {{
+                s1.ref = a; s2.ref = b; s3.ref = a; s4.ref = b;
+                s1.ref = b; s2.ref = a; s3.ref = b; s4.ref = a;
+                s1.ref = a; s2.ref = b; s3.ref = a; s4.ref = b;
+                s1.ref = b; s2.ref = a; s3.ref = b; s4.ref = a;
+                i = i + 1;
+            }}
+            if (s1.ref != null) {{ survived = 1; }}
+            check(s1.ref == b);
+            check(s4.ref == a);
+        }}
+        return survived;
+    }}
+}}
+{{
+    ArrayBench bench = new ArrayBench;
+    print(bench.run({n}));
+}}
+"""
+
+
+def source(**params) -> str:
+    merged = dict(DEFAULT_PARAMS)
+    merged.update(params)
+    return _TEMPLATE.format(**merged)
+
+
+EXPECTED_OUTPUT = ["1"]

@@ -1,0 +1,215 @@
+"""``Barnes`` — Barnes-Hut N-body (reduced scale).
+
+Bodies live in a long-lived region.  Every step a fresh quadtree is built
+in a *scratch region* that is deleted at the end of the step (the paper's
+region discipline for phase-local data).  Leaves store references to the
+bodies they contain — legal precisely because the bodies' region outlives
+the scratch region (rule R3), and each such store is a checked assignment
+under the RTSJ.  The force pass is a math-heavy traversal with an
+opening-angle test; a Morton-style reordering relinks the body list after
+each step.  Check density is lower than Water's (the paper measures 1.13x
+vs 1.24x).
+"""
+
+NAME = "Barnes"
+
+DEFAULT_PARAMS = {"bodies": 20, "steps": 4, "relinks": 8}
+FAST_PARAMS = {"bodies": 10, "steps": 2, "relinks": 2}
+
+_TEMPLATE = """
+class Body {{
+    float x;
+    float y;
+    float vx;
+    float vy;
+    float fx;
+    float fy;
+    float mass;
+    Body next;
+}}
+class QNode<Owner o, Owner bo> {{
+    float cx;
+    float cy;
+    float half;
+    float mass;
+    float mx;
+    float my;
+    boolean leaf;
+    Body<bo> occupant;
+    QNode<o, bo> q0;
+    QNode<o, bo> q1;
+    QNode<o, bo> q2;
+    QNode<o, bo> q3;
+
+    void init(float centerX, float centerY, float halfSize) {{
+        cx = centerX;
+        cy = centerY;
+        half = halfSize;
+        leaf = true;
+    }}
+
+    void insert(Body<bo> b) {{
+        mass = mass + b.mass;
+        mx = mx + b.x * b.mass;
+        my = my + b.y * b.mass;
+        if (leaf) {{
+            if (occupant == null) {{
+                occupant = b;
+                return;
+            }}
+            if (half < 0.001) {{
+                return;
+            }}
+            leaf = false;
+            Body<bo> old = occupant;
+            occupant = null;
+            this.insertChild(old);
+            this.insertChild(b);
+            return;
+        }}
+        this.insertChild(b);
+    }}
+
+    void insertChild(Body<bo> b) {{
+        float q = half / 2.0;
+        if (b.x < cx) {{
+            if (b.y < cy) {{
+                if (q0 == null) {{
+                    QNode child = new QNode;
+                    child.init(cx - q, cy - q, q);
+                    q0 = child;
+                }}
+                q0.insert(b);
+            }} else {{
+                if (q1 == null) {{
+                    QNode child = new QNode;
+                    child.init(cx - q, cy + q, q);
+                    q1 = child;
+                }}
+                q1.insert(b);
+            }}
+        }} else {{
+            if (b.y < cy) {{
+                if (q2 == null) {{
+                    QNode child = new QNode;
+                    child.init(cx + q, cy - q, q);
+                    q2 = child;
+                }}
+                q2.insert(b);
+            }} else {{
+                if (q3 == null) {{
+                    QNode child = new QNode;
+                    child.init(cx + q, cy + q, q);
+                    q3 = child;
+                }}
+                q3.insert(b);
+            }}
+        }}
+    }}
+
+    void force(Body<bo> b) {{
+        if (mass == 0.0) {{ return; }}
+        float comx = mx / mass;
+        float comy = my / mass;
+        float dx = comx - b.x;
+        float dy = comy - b.y;
+        float r2 = dx * dx + dy * dy + 0.025;
+        float dist = sqrt(r2);
+        if (leaf || half / dist < 0.5) {{
+            float mag = mass / (r2 * dist);
+            b.fx = b.fx + mag * dx;
+            b.fy = b.fy + mag * dy;
+            return;
+        }}
+        if (q0 != null) {{ q0.force(b); }}
+        if (q1 != null) {{ q1.force(b); }}
+        if (q2 != null) {{ q2.force(b); }}
+        if (q3 != null) {{ q3.force(b); }}
+    }}
+}}
+class Barnes {{
+    int simulate(int n, int steps, int relinks) accesses heap {{
+        int checksum = 0;
+        (RHandle<bodiesRegion> hb) {{
+            Body<bodiesRegion> head = null;
+            int i = 0;
+            while (i < n) {{
+                Body b = new Body;
+                b.x = itof(i * 7 % 23) - 11.0;
+                b.y = itof(i * 13 % 19) - 9.0;
+                b.mass = 1.0 + itof(i % 3);
+                b.next = head;
+                head = b;
+                i = i + 1;
+            }}
+            int s = 0;
+            while (s < steps) {{
+                // phase-local quadtree in a scratch region, deleted at
+                // the end of every step — no GC, no leak.  Leaves point
+                // back at the bodies (legal: bodiesRegion outlives
+                // treeRegion), so every leaf store is a checked
+                // assignment.
+                (RHandle<treeRegion> ht) {{
+                    QNode<treeRegion, bodiesRegion> root = new QNode;
+                    root.init(0.0, 0.0, 16.0);
+                    Body w = head;
+                    while (w != null) {{
+                        root.insert(w);
+                        w = w.next;
+                    }}
+                    Body b = head;
+                    while (b != null) {{
+                        b.fx = 0.0;
+                        b.fy = 0.0;
+                        root.force(b);
+                        b.vx = b.vx + 0.005 * b.fx;
+                        b.vy = b.vy + 0.005 * b.fy;
+                        b.x = b.x + b.vx;
+                        b.y = b.y + b.vy;
+                        b = b.next;
+                    }}
+                }}
+                // Morton-style reordering so the next build has good
+                // locality (the full code reorders bodies every step)
+                int pass = 0;
+                while (pass < relinks) {{
+                    Body prev = null;
+                    Body cur = head;
+                    while (cur != null) {{
+                        Body nxt = cur.next;
+                        cur.next = prev;
+                        prev = cur;
+                        cur = nxt;
+                    }}
+                    head = prev;
+                    pass = pass + 1;
+                }}
+                s = s + 1;
+            }}
+            float energy = 0.0;
+            Body walk = head;
+            while (walk != null) {{
+                energy = energy + walk.mass
+                         * (walk.vx * walk.vx + walk.vy * walk.vy);
+                walk = walk.next;
+            }}
+            check(energy >= 0.0);
+            checksum = ftoi(energy * 100000.0);
+        }}
+        return checksum;
+    }}
+}}
+{{
+    Barnes barnes = new Barnes;
+    print(barnes.simulate({bodies}, {steps}, {relinks}));
+}}
+"""
+
+
+def source(**params) -> str:
+    merged = dict(DEFAULT_PARAMS)
+    merged.update(params)
+    return _TEMPLATE.format(**merged)
+
+
+EXPECTED_OUTPUT = None

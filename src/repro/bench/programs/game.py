@@ -1,0 +1,110 @@
+"""``game`` — a small game server (97 LoC in the paper, the smallest
+server).
+
+A single simulation loop: receive player inputs (simulated network I/O),
+integrate player positions (scalar math on objects in the world region),
+spawn per-tick projectiles in a scratch region that dies with the tick,
+then broadcast the new state (more simulated I/O).  Network I/O dominates;
+check removal has virtually no effect.
+"""
+
+NAME = "game"
+
+DEFAULT_PARAMS = {"players": 4, "ticks": 8, "netcost": 3000}
+FAST_PARAMS = {"players": 3, "ticks": 3, "netcost": 3000}
+
+_TEMPLATE = """
+class Player {{
+    int x;
+    int y;
+    int dx;
+    int dy;
+    int score;
+    Player next;
+}}
+class Projectile {{
+    int x;
+    int y;
+    Projectile next;
+}}
+class GameServer {{
+    int run(int players, int ticks, int netcost) accesses heap {{
+        int finalScore = 0;
+        (RHandle<world> hw) {{
+            Player<world> roster = null;
+            int i = 0;
+            while (i < players) {{
+                Player p = new Player;
+                p.x = i * 10;
+                p.y = 100 - i * 10;
+                p.dx = 1 + i % 3;
+                p.dy = 2 - i % 2;
+                p.next = roster;
+                roster = p;
+                i = i + 1;
+            }}
+            int t = 0;
+            while (t < ticks) {{
+                int inputs = io(netcost);
+                Player p = roster;
+                while (p != null) {{
+                    p.x = p.x + p.dx;
+                    p.y = p.y + p.dy;
+                    if (p.x > 100) {{ p.dx = -p.dx; }}
+                    if (p.y > 100) {{ p.dy = -p.dy; }}
+                    p = p.next;
+                }}
+                // per-tick projectiles live exactly one tick
+                (RHandle<shots> hs) {{
+                    Projectile<shots> fired = null;
+                    Player shooter = roster;
+                    while (shooter != null) {{
+                        if ((shooter.x + t) % 3 == 0) {{
+                            Projectile shot = new Projectile;
+                            shot.x = shooter.x;
+                            shot.y = shooter.y;
+                            shot.next = fired;
+                            fired = shot;
+                            shooter.score = shooter.score + 1;
+                        }}
+                        shooter = shooter.next;
+                    }}
+                    // resolve hits against every player
+                    Projectile s = fired;
+                    while (s != null) {{
+                        Player victim = roster;
+                        while (victim != null) {{
+                            if (victim.x == s.x && victim.y == s.y) {{
+                                victim.score = victim.score - 1;
+                            }}
+                            victim = victim.next;
+                        }}
+                        s = s.next;
+                    }}
+                }}
+                io(netcost);
+                t = t + 1;
+            }}
+            Player w = roster;
+            while (w != null) {{
+                finalScore = finalScore + w.score;
+                w = w.next;
+            }}
+        }}
+        return finalScore;
+    }}
+}}
+{{
+    GameServer server = new GameServer;
+    print(server.run({players}, {ticks}, {netcost}));
+}}
+"""
+
+
+def source(**params) -> str:
+    merged = dict(DEFAULT_PARAMS)
+    merged.update(params)
+    return _TEMPLATE.format(**merged)
+
+
+EXPECTED_OUTPUT = None

@@ -1,0 +1,120 @@
+"""``http`` — a small HTTP-style server.
+
+A server thread and a client thread communicate through a connection
+subregion with typed request/response portal fields (the Figure 8 pattern
+with a reply channel).  Every request: the client "sends" bytes
+(simulated I/O), the server parses, "reads the file" (more simulated
+I/O), builds a typed response in the subregion, and the client consumes
+it — after which the subregion flushes, so a long-lived connection never
+leaks.
+
+The paper: "For the servers, the running time is dominated by the network
+processing overhead and check removal has virtually no effect."
+"""
+
+NAME = "http"
+
+DEFAULT_PARAMS = {"requests": 10, "netcost": 2500, "filecost": 1500}
+FAST_PARAMS = {"requests": 4, "netcost": 2500, "filecost": 1500}
+
+_TEMPLATE = """
+regionKind ConnRegion extends SharedRegion {{
+    ReqSubRegion : LT(8192) NoRT conn;
+}}
+regionKind ReqSubRegion extends SharedRegion {{
+    Request<this> req;
+    Response<this> resp;
+}}
+class Request {{
+    int method;
+    int path;
+    int seq;
+}}
+class Response {{
+    int status;
+    int length;
+    int seq;
+}}
+class HttpClient<ConnRegion r> {{
+    void run(RHandle<r> h, int n, int netcost) accesses r, heap {{
+        int i = 0;
+        int okCount = 0;
+        while (i < n) {{
+            io(netcost);
+            boolean placed = false;
+            while (!placed) {{
+                (RHandle<ReqSubRegion r2> h2 = h.conn) {{
+                    if (h2.req == null && h2.resp == null) {{
+                        Request<r2> request = new Request;
+                        request.method = 1;
+                        request.path = (i * 37) % 11;
+                        request.seq = i;
+                        h2.req = request;
+                        placed = true;
+                    }}
+                }}
+                yieldnow();
+            }}
+            boolean answered = false;
+            while (!answered) {{
+                (RHandle<ReqSubRegion r2> h2 = h.conn) {{
+                    Response response = h2.resp;
+                    if (response != null) {{
+                        check(response.seq == i);
+                        if (response.status == 200) {{
+                            okCount = okCount + 1;
+                        }}
+                        h2.resp = null;
+                        answered = true;
+                    }}
+                }}
+                yieldnow();
+            }}
+            i = i + 1;
+        }}
+        print(okCount);
+    }}
+}}
+class HttpServer<ConnRegion r> {{
+    void run(RHandle<r> h, int n, int filecost) accesses r, heap {{
+        int served = 0;
+        while (served < n) {{
+            (RHandle<ReqSubRegion r2> h2 = h.conn) {{
+                Request request = h2.req;
+                if (request != null) {{
+                    io(filecost);
+                    Response<r2> response = new Response;
+                    response.seq = request.seq;
+                    if (request.path % 7 == 3) {{
+                        response.status = 404;
+                        response.length = 0;
+                    }} else {{
+                        response.status = 200;
+                        response.length = 512 + request.path * 64;
+                    }}
+                    h2.req = null;
+                    h2.resp = response;
+                    served = served + 1;
+                }}
+            }}
+            yieldnow();
+        }}
+        // only the client prints: thread interleaving may differ between
+        // checked/unchecked runs, and output must be mode-independent
+        check(served == n);
+    }}
+}}
+(RHandle<ConnRegion r> h) {{
+    fork (new HttpServer<r>).run(h, {requests}, {filecost});
+    fork (new HttpClient<r>).run(h, {requests}, {netcost});
+}}
+"""
+
+
+def source(**params) -> str:
+    merged = dict(DEFAULT_PARAMS)
+    merged.update(params)
+    return _TEMPLATE.format(**merged)
+
+
+EXPECTED_OUTPUT = None

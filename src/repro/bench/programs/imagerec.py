@@ -1,0 +1,312 @@
+"""``ImageRec`` — the image-recognition pipeline (Section 3).
+
+The paper reports six components: **load**, **cross** (cross-correlation),
+**threshold**, **hysteresis**, **thinning**, and **save**, each measured
+separately (Figure 12), plus the whole pipeline as one row.
+
+The image lives in a region as a ``FloatArray`` (scalar pixel accesses —
+no RTSJ checks, exactly like Java primitive arrays).  The components that
+show overhead in the paper are the ones that build linked metadata
+structures: ``load``/``save`` maintain per-row record lists, and
+``hysteresis``/``thinning`` push edge/skeleton points onto work lists —
+every link is a checked reference store.  The pure-array passes
+(``cross``, ``threshold``) show a ratio of exactly 1.0.
+
+``source(stage=...)`` emits a standalone program for one component (with
+scalar-only synthetic setup) or the full pipeline (``stage="all"``).
+"""
+
+NAME = "ImageRec"
+
+DEFAULT_PARAMS = {"width": 6, "height": 14, "iocost": 20, "stage": "all"}
+FAST_PARAMS = {"width": 6, "height": 8, "iocost": 20, "stage": "all"}
+
+_CLASSES = """
+class RowRec {{
+    int y;
+    float sum;
+    RowRec next;
+    RowRec prev;
+}}
+class PointRec {{
+    int x;
+    int y;
+    PointRec next;
+    PointRec link;
+}}
+class ImageRec {{
+    int width;
+    int height;
+    FloatArray img;
+    FloatArray tmp;
+    RowRec rows;
+    PointRec edges;
+    PointRec skeleton;
+    RowRec records;
+
+    void init(int w, int h) {{
+        width = w;
+        height = h;
+        img = new FloatArray(w * h);
+        tmp = new FloatArray(w * h);
+    }}
+
+    // synthetic input (scalar only; used when a stage is benchmarked in
+    // isolation so setup adds no checked stores)
+    void fill() {{
+        int y = 0;
+        while (y < height) {{
+            int x = 0;
+            while (x < width) {{
+                img.set(y * width + x,
+                        itof((x * 7 + y * 13) % 32) / 31.0);
+                x = x + 1;
+            }}
+            y = y + 1;
+        }}
+    }}
+
+    // load: read rows from the (simulated) input device, decode pixels,
+    // and keep a doubly-linked list of per-row records
+    void load(int iocost) {{
+        int y = 0;
+        while (y < height) {{
+            int data = io(iocost);
+            int x = 0;
+            float sum = 0.0;
+            while (x < width) {{
+                float v = itof((x * 31 + y * 17 + data) % 64) / 63.0;
+                img.set(y * width + x, v);
+                sum = sum + v;
+                x = x + 1;
+            }}
+            RowRec rec = new RowRec;
+            rec.y = y;
+            rec.sum = sum;
+            rec.next = rows;
+            if (rows != null) {{
+                rows.prev = rec;
+            }}
+            rows = rec;
+            // per-row histogram record, linked both ways
+            RowRec hist = new RowRec;
+            hist.y = y;
+            hist.sum = sum / itof(width);
+            hist.next = rec;
+            hist.prev = rec;
+            rec.prev = hist;
+            y = y + 1;
+        }}
+    }}
+
+    // cross-correlation with a 3x3 kernel: pure array math, no checks
+    void cross() {{
+        int y = 1;
+        while (y < height - 1) {{
+            int x = 1;
+            while (x < width - 1) {{
+                int idx = y * width + x;
+                float acc = 4.0 * img.get(idx)
+                    - img.get(idx - 1) - img.get(idx + 1)
+                    - img.get(idx - width) - img.get(idx + width)
+                    + 0.5 * img.get(idx - width - 1)
+                    + 0.5 * img.get(idx - width + 1)
+                    + 0.5 * img.get(idx + width - 1)
+                    + 0.5 * img.get(idx + width + 1);
+                tmp.set(idx, acc);
+                x = x + 1;
+            }}
+            y = y + 1;
+        }}
+        int i = 0;
+        while (i < width * height) {{
+            img.set(i, tmp.get(i));
+            i = i + 1;
+        }}
+    }}
+
+    // threshold: clamp against a fixed level, pure array math
+    void threshold() {{
+        int i = 0;
+        while (i < width * height) {{
+            if (img.get(i) < 0.35) {{
+                img.set(i, 0.0);
+            }}
+            i = i + 1;
+        }}
+    }}
+
+    // hysteresis: pixels above the strong level seed edge traces; every
+    // strong pixel is pushed on a linked work list (checked stores)
+    void hysteresis() {{
+        int y = 0;
+        while (y < height) {{
+            int x = 0;
+            while (x < width) {{
+                float v = img.get(y * width + x);
+                if (v > 0.7) {{
+                    PointRec p = new PointRec;
+                    p.x = x;
+                    p.y = y;
+                    p.next = edges;
+                    p.link = edges;
+                    edges = p;
+                }} else {{
+                    if (v < 0.3) {{
+                        img.set(y * width + x, 0.0);
+                    }}
+                }}
+                x = x + 1;
+            }}
+            y = y + 1;
+        }}
+        // promote weak neighbours of traced edges
+        PointRec walk = edges;
+        while (walk != null) {{
+            int idx = walk.y * width + walk.x;
+            if (walk.x + 1 < width) {{
+                if (img.get(idx + 1) > 0.0) {{
+                    img.set(idx + 1, 1.0);
+                }}
+            }}
+            if (walk.y + 1 < height) {{
+                if (img.get(idx + width) > 0.0) {{
+                    img.set(idx + width, 1.0);
+                }}
+            }}
+            walk = walk.next;
+        }}
+    }}
+
+    // thinning: erode pixels whose 4-neighbourhood is fully set; surviving
+    // ridge endpoints go on the skeleton list (checked stores)
+    void thinning() {{
+        int y = 1;
+        while (y < height - 1) {{
+            int x = 1;
+            while (x < width - 1) {{
+                int idx = y * width + x;
+                if (img.get(idx) > 0.5) {{
+                    int neighbours = 0;
+                    if (img.get(idx - 1) > 0.5) {{
+                        neighbours = neighbours + 1;
+                    }}
+                    if (img.get(idx + 1) > 0.5) {{
+                        neighbours = neighbours + 1;
+                    }}
+                    if (img.get(idx - width) > 0.5) {{
+                        neighbours = neighbours + 1;
+                    }}
+                    if (img.get(idx + width) > 0.5) {{
+                        neighbours = neighbours + 1;
+                    }}
+                    if (neighbours == 4) {{
+                        img.set(idx, 0.0);
+                    }}
+                    if (neighbours == 1) {{
+                        PointRec p = new PointRec;
+                        p.x = x;
+                        p.y = y;
+                        p.next = skeleton;
+                        p.link = skeleton;
+                        skeleton = p;
+                    }}
+                }}
+                x = x + 1;
+            }}
+            y = y + 1;
+        }}
+    }}
+
+    // save: run-length summarize each row into a record list, then write
+    // it to the (simulated) output device
+    void save(int iocost) {{
+        int y = 0;
+        while (y < height) {{
+            int runs = 0;
+            boolean inRun = false;
+            int x = 0;
+            float sum = 0.0;
+            while (x < width) {{
+                float v = img.get(y * width + x);
+                sum = sum + v;
+                if (v > 0.0) {{
+                    if (!inRun) {{
+                        runs = runs + 1;
+                        inRun = true;
+                    }}
+                }} else {{
+                    inRun = false;
+                }}
+                x = x + 1;
+            }}
+            RowRec rec = new RowRec;
+            rec.y = runs;
+            rec.sum = sum;
+            rec.next = records;
+            if (records != null) {{
+                records.prev = rec;
+            }}
+            records = rec;
+            // directory entry for the saved row
+            RowRec dir = new RowRec;
+            dir.y = y;
+            dir.sum = itof(runs);
+            dir.next = rec;
+            dir.prev = rec;
+            rec.prev = dir;
+            io(iocost);
+            y = y + 1;
+        }}
+    }}
+
+    int checksum() {{
+        float total = 0.0;
+        int i = 0;
+        while (i < width * height) {{
+            total = total + img.get(i);
+            i = i + 1;
+        }}
+        return ftoi(total * 1000.0);
+    }}
+}}
+"""
+
+_STAGE_BODY = {
+    "all": "rec.load({iocost}); rec.cross(); rec.threshold(); "
+           "rec.hysteresis(); rec.thinning(); rec.save({iocost});",
+    "load": "rec.load({iocost});",
+    "cross": "rec.fill(); rec.cross();",
+    "threshold": "rec.fill(); rec.threshold();",
+    "hysteresis": "rec.fill(); rec.hysteresis();",
+    "thinning": "rec.fill(); rec.thinning();",
+    "save": "rec.fill(); rec.save({iocost});",
+}
+
+_MAIN = """
+{{
+    (RHandle<r> h) {{
+        ImageRec<r> rec = new ImageRec;
+        rec.init({width}, {height});
+        {body}
+        print(rec.checksum());
+    }}
+}}
+"""
+
+
+def source(**params) -> str:
+    merged = dict(DEFAULT_PARAMS)
+    merged.update(params)
+    stage = merged.pop("stage")
+    body = _STAGE_BODY[stage].format(**merged)
+    return (_CLASSES + _MAIN).format(body=body, **merged)
+
+
+def stage_expected_output(stage: str):
+    """Outputs are deterministic but stage-dependent; the harness asserts
+    mode-equality, which is the property that matters."""
+    return None
+
+
+EXPECTED_OUTPUT = None

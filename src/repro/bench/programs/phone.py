@@ -1,0 +1,134 @@
+"""``phone`` — a database-backed information server (the paper's
+"database-backed information server").
+
+At startup the directory database — a binary search tree of records — is
+built in *immortal memory* (it lives for the whole program, the canonical
+use of immortal).  The query loop then: receives a request (simulated
+network I/O), looks the name up in the tree (reads only), materializes a
+response in a per-request scratch region, and replies (more I/O).
+Network I/O dominates; check removal has virtually no effect.
+"""
+
+NAME = "phone"
+
+DEFAULT_PARAMS = {"records": 24, "queries": 8, "netcost": 3000}
+FAST_PARAMS = {"records": 10, "queries": 3, "netcost": 3000}
+
+_TEMPLATE = """
+class Record {{
+    int name;
+    int number;
+    int extension;
+    Record left;
+    Record right;
+}}
+class Directory<Owner o> {{
+    Record<o> root;
+
+    void add(Record<o> rec) {{
+        if (root == null) {{
+            root = rec;
+            return;
+        }}
+        Record cur = root;
+        boolean placed = false;
+        while (!placed) {{
+            if (rec.name < cur.name) {{
+                if (cur.left == null) {{
+                    cur.left = rec;
+                    placed = true;
+                }} else {{
+                    cur = cur.left;
+                }}
+            }} else {{
+                if (cur.right == null) {{
+                    cur.right = rec;
+                    placed = true;
+                }} else {{
+                    cur = cur.right;
+                }}
+            }}
+        }}
+    }}
+
+    Record<o> lookup(int name) {{
+        Record cur = root;
+        while (cur != null) {{
+            if (name == cur.name) {{
+                return cur;
+            }}
+            if (name < cur.name) {{
+                cur = cur.left;
+            }} else {{
+                cur = cur.right;
+            }}
+        }}
+        return null;
+    }}
+}}
+class Reply {{
+    int number;
+    int found;
+}}
+class PhoneServer {{
+    Directory<immortal> dir;
+
+    void buildDatabase(int n) accesses immortal {{
+        dir = new Directory;
+        int i = 0;
+        int seed = 4242;
+        while (i < n) {{
+            seed = (seed * 1103515245 + 12345) % 2147483647;
+            if (seed < 0) {{ seed = -seed; }}
+            Record rec = new Record;
+            rec.name = seed % 1000;
+            rec.number = 5550000 + i;
+            rec.extension = i % 100;
+            dir.add(rec);
+            i = i + 1;
+        }}
+    }}
+
+    int serve(int queries, int netcost) accesses immortal, heap {{
+        int answered = 0;
+        int q = 0;
+        int seed = 4242;
+        while (q < queries) {{
+            int request = io(netcost);
+            seed = (seed * 1103515245 + 12345) % 2147483647;
+            if (seed < 0) {{ seed = -seed; }}
+            int name = seed % 1000;
+            // per-request scratch region for the reply
+            (RHandle<scratch> hs) {{
+                Reply<scratch> reply = new Reply;
+                Record rec = dir.lookup(name);
+                if (rec != null) {{
+                    reply.number = rec.number;
+                    reply.found = 1;
+                }} else {{
+                    reply.number = 0;
+                    reply.found = 0;
+                }}
+                io(netcost);
+                answered = answered + reply.found;
+            }}
+            q = q + 1;
+        }}
+        return answered;
+    }}
+}}
+{{
+    PhoneServer server = new PhoneServer;
+    server.buildDatabase({records});
+    print(server.serve({queries}, {netcost}));
+}}
+"""
+
+
+def source(**params) -> str:
+    merged = dict(DEFAULT_PARAMS)
+    merged.update(params)
+    return _TEMPLATE.format(**merged)
+
+
+EXPECTED_OUTPUT = None

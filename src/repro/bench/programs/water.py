@@ -1,0 +1,158 @@
+"""``Water`` — scientific computation (reduced-scale SPLASH-style water
+simulation).
+
+N molecules live in a region as a linked list.  Every timestep:
+
+1. molecules are re-binned into two spatial cell lists hanging off a
+   ``Grid`` object (two checked reference stores per molecule — this is
+   the per-step check load the paper's 1.24x comes from);
+2. an O(n²) pairwise force computation over the list (pure float math:
+   distances, ``sqrt``, Lennard-Jones-style terms — no checks);
+3. leapfrog integration per molecule (float math, no checks).
+
+A kinetic-energy checksum guards correctness across modes.
+"""
+
+NAME = "Water"
+
+DEFAULT_PARAMS = {"molecules": 6, "steps": 8}
+FAST_PARAMS = {"molecules": 5, "steps": 2}
+
+_TEMPLATE = """
+class Molecule {{
+    float x;
+    float y;
+    float vx;
+    float vy;
+    float fx;
+    float fy;
+    Molecule next;
+    Molecule cellNext;
+    Molecule collNext;
+}}
+class Grid {{
+    Molecule evenCell;
+    Molecule oddCell;
+    Molecule fastColl;
+    Molecule slowColl;
+}}
+class Water {{
+    int simulate(int n, int steps) accesses heap {{
+        int checksum = 0;
+        (RHandle<r> h) {{
+            Molecule<r> head = null;
+            Grid grid = new Grid;
+            int i = 0;
+            while (i < n) {{
+                Molecule m = new Molecule;
+                m.x = itof(i) * 1.3;
+                m.y = itof(i * i % 17) * 0.7;
+                m.vx = 0.01 * itof(i % 5);
+                m.vy = 0.0 - 0.01 * itof(i % 3);
+                m.next = head;
+                head = m;
+                i = i + 1;
+            }}
+            int s = 0;
+            while (s < steps) {{
+                // (1) spatial re-binning: the checked stores
+                grid.evenCell = null;
+                grid.oddCell = null;
+                Molecule binWalk = head;
+                while (binWalk != null) {{
+                    int bucket = ftoi(binWalk.x) % 2;
+                    if (bucket == 0) {{
+                        binWalk.cellNext = grid.evenCell;
+                        grid.evenCell = binWalk;
+                    }} else {{
+                        binWalk.cellNext = grid.oddCell;
+                        grid.oddCell = binWalk;
+                    }}
+                    binWalk = binWalk.next;
+                }}
+                // collision candidate lists by speed (more checked
+                // stores, as in the full code's neighbour lists)
+                grid.fastColl = null;
+                grid.slowColl = null;
+                Molecule collWalk = head;
+                while (collWalk != null) {{
+                    float speed2 = collWalk.vx * collWalk.vx
+                                   + collWalk.vy * collWalk.vy;
+                    if (speed2 > 0.0004) {{
+                        collWalk.collNext = grid.fastColl;
+                        grid.fastColl = collWalk;
+                    }} else {{
+                        collWalk.collNext = grid.slowColl;
+                        grid.slowColl = collWalk;
+                    }}
+                    collWalk = collWalk.next;
+                }}
+                // (2) O(n^2) pairwise forces: pure float math
+                Molecule mi = head;
+                while (mi != null) {{
+                    mi.fx = 0.0;
+                    mi.fy = 0.0;
+                    mi = mi.next;
+                }}
+                mi = head;
+                while (mi != null) {{
+                    Molecule mj = mi.next;
+                    while (mj != null) {{
+                        float dx = mi.x - mj.x;
+                        float dy = mi.y - mj.y;
+                        float r2 = dx * dx + dy * dy + 0.05;
+                        float dist = sqrt(r2);
+                        float inv2 = 1.0 / r2;
+                        float inv6 = inv2 * inv2 * inv2;
+                        float mag = 24.0 * inv6 * (2.0 * inv6 - 1.0)
+                                    / dist;
+                        float fx = mag * dx;
+                        float fy = mag * dy;
+                        mi.fx = mi.fx + fx;
+                        mi.fy = mi.fy + fy;
+                        mj.fx = mj.fx - fx;
+                        mj.fy = mj.fy - fy;
+                        mj = mj.next;
+                    }}
+                    mi = mi.next;
+                }}
+                // (3) leapfrog integration
+                Molecule mk = head;
+                while (mk != null) {{
+                    mk.vx = mk.vx + 0.001 * mk.fx;
+                    mk.vy = mk.vy + 0.001 * mk.fy;
+                    mk.x = mk.x + mk.vx;
+                    mk.y = mk.y + mk.vy;
+                    mk = mk.next;
+                }}
+                s = s + 1;
+            }}
+            // kinetic-energy checksum
+            float energy = 0.0;
+            Molecule walk = head;
+            while (walk != null) {{
+                energy = energy + walk.vx * walk.vx
+                         + walk.vy * walk.vy;
+                walk = walk.next;
+            }}
+            check(energy >= 0.0);
+            checksum = ftoi(energy * 100000.0);
+        }}
+        return checksum;
+    }}
+}}
+{{
+    Water water = new Water;
+    print(water.simulate({molecules}, {steps}));
+}}
+"""
+
+
+def source(**params) -> str:
+    merged = dict(DEFAULT_PARAMS)
+    merged.update(params)
+    return _TEMPLATE.format(**merged)
+
+
+#: deterministic, asserted identical across modes by the harness
+EXPECTED_OUTPUT = None

@@ -1,0 +1,66 @@
+"""Registry of the benchmark programs (Figure 11 / Figure 12 rows)."""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """One benchmark program: name, module path, and the paper's
+    reference numbers for Figures 11 and 12."""
+
+    name: str
+    module: str
+    #: Figure 11 — paper's lines of code / lines changed
+    paper_loc: Optional[int]
+    paper_lines_changed: Optional[int]
+    #: Figure 12 — paper's dynamic/static execution-time ratio
+    paper_overhead: Optional[float]
+    kind: str  # 'micro' | 'scientific' | 'pipeline' | 'server'
+
+    def load(self):
+        return importlib.import_module(self.module)
+
+    def source(self, fast: bool = False, **params) -> str:
+        mod = self.load()
+        merged = dict(mod.FAST_PARAMS if fast else mod.DEFAULT_PARAMS)
+        merged.update(params)
+        return mod.source(**merged)
+
+    def expected_output(self) -> Optional[List[str]]:
+        return getattr(self.load(), "EXPECTED_OUTPUT", None)
+
+
+_P = "repro.bench.programs"
+
+BENCHMARKS: Dict[str, Benchmark] = {b.name: b for b in [
+    Benchmark("Array", f"{_P}.array_bench", 56, 4, 7.23, "micro"),
+    Benchmark("Tree", f"{_P}.tree_bench", 83, 8, 4.83, "micro"),
+    Benchmark("Water", f"{_P}.water", 1850, 31, 1.24, "scientific"),
+    Benchmark("Barnes", f"{_P}.barnes", 1850, 16, 1.13, "scientific"),
+    Benchmark("ImageRec", f"{_P}.imagerec", 567, 8, 1.21, "pipeline"),
+    Benchmark("http", f"{_P}.http_server", 603, 20, 1.0, "server"),
+    Benchmark("game", f"{_P}.game", 97, 10, 1.0, "server"),
+    Benchmark("phone", f"{_P}.phone", 244, 24, 1.0, "server"),
+]}
+
+#: the ImageRec pipeline stages reported as separate Figure 12 rows
+IMAGEREC_STAGES = ["load", "cross", "threshold", "hysteresis", "thinning",
+                   "save"]
+
+#: paper's per-stage overheads (Figure 12)
+PAPER_STAGE_OVERHEAD = {
+    "load": 1.25, "cross": 1.0, "threshold": 1.0, "hysteresis": 1.2,
+    "thinning": 1.1, "save": 1.18,
+}
+
+
+def get_benchmark(name: str) -> Benchmark:
+    try:
+        return BENCHMARKS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark '{name}'; known: {sorted(BENCHMARKS)}")

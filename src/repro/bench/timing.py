@@ -1,0 +1,125 @@
+"""Figure 12 — dynamic checking overhead.
+
+Runs each benchmark twice on the simulated platform: once with the RTSJ
+dynamic checks performed and charged ("Dynamic Checks"), once with them
+compiled out ("Static Checks"), and reports the cycle counts and their
+ratio next to the paper's measured overheads.  Output determinism is
+asserted: both runs must print exactly the same thing.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..core.api import analyze
+from ..interp.machine import RunOptions, run_source
+
+
+@dataclass
+class CheckOverheadRow:
+    name: str
+    static_cycles: int
+    dynamic_cycles: int
+    assignment_checks: int
+    read_checks: int
+    paper_overhead: Optional[float]
+    static_wall: float
+    dynamic_wall: float
+
+    @property
+    def overhead(self) -> float:
+        return (self.dynamic_cycles / self.static_cycles
+                if self.static_cycles else float("nan"))
+
+
+def measure_check_overhead(source: str, name: str = "?",
+                           paper_overhead: Optional[float] = None,
+                           expected_output: Optional[List[str]] = None,
+                           **option_overrides) -> CheckOverheadRow:
+    """Run ``source`` in both modes and return the Figure 12 row."""
+    analyzed = analyze(source)
+    if analyzed.errors:
+        raise analyzed.errors[0]
+
+    def run(enabled: bool):
+        opts = RunOptions(checks_enabled=enabled, validate=False,
+                          **option_overrides)
+        start = time.perf_counter()
+        result = run_source(analyzed, opts)
+        return result, time.perf_counter() - start
+
+    dynamic, dyn_wall = run(True)
+    static, sta_wall = run(False)
+    if dynamic.output != static.output:
+        raise AssertionError(
+            f"{name}: nondeterministic output between modes: "
+            f"{dynamic.output!r} vs {static.output!r}")
+    if expected_output is not None and static.output != expected_output:
+        raise AssertionError(
+            f"{name}: wrong output {static.output!r}, expected "
+            f"{expected_output!r}")
+    return CheckOverheadRow(
+        name=name,
+        static_cycles=static.cycles,
+        dynamic_cycles=dynamic.cycles,
+        assignment_checks=dynamic.stats.assignment_checks,
+        read_checks=dynamic.stats.read_checks,
+        paper_overhead=paper_overhead,
+        static_wall=sta_wall,
+        dynamic_wall=dyn_wall,
+    )
+
+
+def figure12(fast: bool = True,
+             programs: Optional[List[str]] = None) -> List[CheckOverheadRow]:
+    """Regenerate Figure 12: every benchmark plus the six ImageRec
+    pipeline stages."""
+    from .suite import (BENCHMARKS, IMAGEREC_STAGES, PAPER_STAGE_OVERHEAD)
+    rows: List[CheckOverheadRow] = []
+    selected = programs or list(BENCHMARKS)
+    for name in selected:
+        bench = BENCHMARKS[name]
+        rows.append(measure_check_overhead(
+            bench.source(fast=fast), bench.name,
+            paper_overhead=bench.paper_overhead,
+            expected_output=bench.expected_output()))
+        if name == "ImageRec":
+            mod = bench.load()
+            for stage in IMAGEREC_STAGES:
+                rows.append(measure_check_overhead(
+                    bench.source(fast=fast, stage=stage),
+                    f"  {stage}",
+                    paper_overhead=PAPER_STAGE_OVERHEAD.get(stage),
+                    expected_output=mod.stage_expected_output(stage)))
+    return rows
+
+
+def format_figure12(rows: List[CheckOverheadRow]) -> str:
+    header = (f"{'Program':<12} {'Static':>12} {'Dynamic':>12} "
+              f"{'Overhead':>9} {'Paper':>6}   {'#assign':>8} "
+              f"{'#read':>7}")
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        paper = (f"{row.paper_overhead:.2f}"
+                 if row.paper_overhead is not None else "-")
+        lines.append(
+            f"{row.name:<12} {row.static_cycles:>12} "
+            f"{row.dynamic_cycles:>12} {row.overhead:>9.2f} "
+            f"{paper:>6}   {row.assignment_checks:>8} "
+            f"{row.read_checks:>7}")
+    return "\n".join(lines)
+
+
+def figure12_dict(rows: List[CheckOverheadRow]) -> List[Dict]:
+    return [
+        {
+            "program": row.name.strip(),
+            "static_cycles": row.static_cycles,
+            "dynamic_cycles": row.dynamic_cycles,
+            "overhead": round(row.overhead, 3),
+            "paper_overhead": row.paper_overhead,
+        }
+        for row in rows
+    ]

@@ -1,0 +1,231 @@
+"""Command-line front end: ``python -m repro <command> <file>``.
+
+Commands
+--------
+
+``check``      typecheck a core-language program and report diagnostics
+``run``        typecheck and execute on the simulated RTSJ platform
+``translate``  emit the Section 2.6 pseudo-RTSJ-Java erasure
+``infer``      print the program after Section 2.5 defaults + inference
+``graph``      run and emit the Figure 6 ownership graph as Graphviz dot
+
+Exit status is 0 on success, 1 on type errors, 2 on runtime failures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core.api import analyze
+from .errors import ReproError
+from .interp.machine import Machine, RunOptions
+from .interp.translate import translate as run_translate
+from .lang import pretty_program
+
+
+def _read(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def _analyze_or_report(source: str, path: str):
+    analyzed = analyze(source, filename=path)
+    for err in analyzed.errors:
+        print(f"error: {err}", file=sys.stderr)
+    return analyzed
+
+
+def cmd_check(args) -> int:
+    analyzed = _analyze_or_report(_read(args.file), args.file)
+    if analyzed.errors:
+        print(f"{len(analyzed.errors)} error(s)", file=sys.stderr)
+        return 1
+    classes = len(analyzed.program.classes)
+    kinds = len(analyzed.program.region_kinds)
+    print(f"{args.file}: well-typed "
+          f"({classes} classes, {kinds} region kinds)")
+    return 0
+
+
+def cmd_run(args) -> int:
+    analyzed = _analyze_or_report(_read(args.file), args.file)
+    if analyzed.errors:
+        return 1
+    options = RunOptions(checks_enabled=args.dynamic_checks,
+                         validate=not args.no_validate)
+    machine = Machine(analyzed, options)
+    try:
+        result = machine.run()
+    except ReproError as err:
+        print(f"runtime error: {err}", file=sys.stderr)
+        return 2
+    for line in result.output:
+        print(line)
+    if args.stats:
+        mode = "dynamic" if args.dynamic_checks else "static"
+        print(f"--- {mode}-checks run: {result.cycles} cycles, "
+              f"{result.stats.assignment_checks} assignment checks, "
+              f"{result.stats.gc_runs} GCs, "
+              f"{result.stats.regions_created} regions",
+              file=sys.stderr)
+    return 0
+
+
+def cmd_translate(args) -> int:
+    analyzed = _analyze_or_report(_read(args.file), args.file)
+    if analyzed.errors:
+        return 1
+    translation = run_translate(analyzed)
+    print(translation.java)
+    if args.strategies:
+        print("// allocation strategies:", file=sys.stderr)
+        for site in translation.sites:
+            handle = f" via {site.handle}" if site.handle else ""
+            print(f"//   line {site.line}: new {site.class_name} -> "
+                  f"{site.strategy.name}{handle}", file=sys.stderr)
+    return 0
+
+
+def cmd_infer(args) -> int:
+    analyzed = _analyze_or_report(_read(args.file), args.file)
+    print(pretty_program(analyzed.program), end="")
+    return 1 if analyzed.errors else 0
+
+
+def cmd_compile(args) -> int:
+    from .interp.compile_py import CompileError, compile_to_python
+    analyzed = _analyze_or_report(_read(args.file), args.file)
+    if analyzed.errors:
+        return 1
+    try:
+        compiled = compile_to_python(analyzed, checks=args.dynamic_checks)
+    except CompileError as err:
+        print(f"compile error: {err}", file=sys.stderr)
+        return 2
+    if args.execute:
+        for line in compiled.run():
+            print(line)
+    else:
+        print(compiled.source, end="")
+    return 0
+
+
+def cmd_lint(args) -> int:
+    from .tools import format_report, lint_effects
+    analyzed = _analyze_or_report(_read(args.file), args.file)
+    if analyzed.errors:
+        return 1
+    reports = lint_effects(analyzed)
+    print(format_report(reports, only_redundant=not args.all))
+    return 0
+
+
+def cmd_advise(args) -> int:
+    from .tools import advise
+    analyzed = _analyze_or_report(_read(args.file), args.file)
+    if analyzed.errors:
+        return 1
+    try:
+        report = advise(analyzed)
+    except ReproError as err:
+        print(f"runtime error: {err}", file=sys.stderr)
+        return 2
+    print(report.format())
+    return 0
+
+
+def cmd_graph(args) -> int:
+    analyzed = _analyze_or_report(_read(args.file), args.file)
+    if analyzed.errors:
+        return 1
+    machine = Machine(analyzed, RunOptions())
+    try:
+        machine.run()
+    except ReproError as err:
+        print(f"runtime error: {err}", file=sys.stderr)
+        return 2
+    print(machine.ownership_graph(include_dead=args.include_dead).to_dot())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=__doc__.splitlines()[0])
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_check = sub.add_parser("check", help="typecheck a program")
+    p_check.add_argument("file")
+    p_check.set_defaults(func=cmd_check)
+
+    p_run = sub.add_parser("run", help="typecheck and execute")
+    p_run.add_argument("file")
+    p_run.add_argument("--dynamic-checks", action="store_true",
+                       help="perform + charge the RTSJ dynamic checks")
+    p_run.add_argument("--no-validate", action="store_true",
+                       help="skip free check validation")
+    p_run.add_argument("--stats", action="store_true",
+                       help="print cycle/check statistics to stderr")
+    p_run.set_defaults(func=cmd_run)
+
+    p_tr = sub.add_parser("translate",
+                          help="emit the pseudo-RTSJ-Java erasure")
+    p_tr.add_argument("file")
+    p_tr.add_argument("--strategies", action="store_true",
+                      help="also list per-new-site handle strategies")
+    p_tr.set_defaults(func=cmd_translate)
+
+    p_inf = sub.add_parser("infer",
+                           help="print the program after inference")
+    p_inf.add_argument("file")
+    p_inf.set_defaults(func=cmd_infer)
+
+    p_comp = sub.add_parser(
+        "compile", help="compile to erased Python (Section 2.6)")
+    p_comp.add_argument("file")
+    p_comp.add_argument("--dynamic-checks", action="store_true",
+                        help="emit the RTSJ build with store checks")
+    p_comp.add_argument("--execute", action="store_true",
+                        help="run the compiled program instead of "
+                             "printing it")
+    p_comp.set_defaults(func=cmd_compile)
+
+    p_lint = sub.add_parser(
+        "lint", help="find redundant `accesses` effects")
+    p_lint.add_argument("file")
+    p_lint.add_argument("--all", action="store_true",
+                        help="show every method, not just redundant ones")
+    p_lint.set_defaults(func=cmd_lint)
+
+    p_adv = sub.add_parser(
+        "advise", help="profile a run and suggest LT region budgets")
+    p_adv.add_argument("file")
+    p_adv.set_defaults(func=cmd_advise)
+
+    p_graph = sub.add_parser("graph",
+                             help="emit the ownership graph (dot)")
+    p_graph.add_argument("file")
+    p_graph.add_argument("--include-dead", action="store_true")
+    p_graph.set_defaults(func=cmd_graph)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # downstream pager/head closed the pipe; not an error
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,35 @@
+"""The paper's primary contribution: the ownership/region type system.
+
+Layout:
+
+* :mod:`~repro.core.owners` — semantic owner terms (formals, regions,
+  ``this``, ``heap``, ``immortal``, ``initialRegion``, the ``RT`` effect).
+* :mod:`~repro.core.kinds` — the owner-kind lattice of Figure 4 with the
+  ``:LT`` refinement and user-defined shared region kinds.
+* :mod:`~repro.core.types` — semantic types and substitution.
+* :mod:`~repro.core.program` — class / region-kind tables with inheritance
+  and member lookup ([DECLARED/INHERITED CLASS MEMBER], region members).
+* :mod:`~repro.core.env` — the typing environment ``E`` with the ownership
+  (``≻o``) and outlives (``≽``) relations, handle availability
+  ([AV HANDLE]...) and region-kind inference ([RKIND ...]).
+* :mod:`~repro.core.wellformed` — WFClasses, WFRegionKinds, MembersOnce,
+  InheritanceOK, OverridesOK (Figure 15).
+* :mod:`~repro.core.checker` — the typing judgments of Appendix B.
+* :mod:`~repro.core.inference` — Section 2.5 intra-procedural inference
+  and defaults.
+* :mod:`~repro.core.relations` — extraction of the ownership / outlives
+  graphs of Figure 6.
+* :mod:`~repro.core.api` — one-call front door (`analyze`).
+"""
+
+from .api import AnalyzedProgram, analyze, typecheck_source
+from .checker import Checker
+from .inference import apply_defaults_and_infer
+
+__all__ = [
+    "AnalyzedProgram",
+    "analyze",
+    "typecheck_source",
+    "Checker",
+    "apply_defaults_and_infer",
+]

@@ -1,0 +1,82 @@
+"""Front door for the static half of the system.
+
+Typical use::
+
+    from repro.core import analyze
+
+    analyzed = analyze(source_text)       # parse → defaults/infer → check
+    analyzed.require_well_typed()         # raises on the first type error
+
+``analyze`` returns an :class:`AnalyzedProgram` carrying the (annotated)
+AST, the semantic tables, and the list of ownership type errors; the
+interpreter in :mod:`repro.interp` consumes it directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Union
+
+from ..errors import OwnershipTypeError
+from ..lang import ast, parse_program
+from .checker import Checker
+from .inference import DefaultPolicy, apply_defaults_and_infer
+from .program import ProgramInfo, build_program_info
+
+
+@dataclass
+class AnalyzedProgram:
+    """A parsed, default-completed, inferred, and typechecked program."""
+
+    program: ast.Program
+    info: ProgramInfo
+    errors: List[OwnershipTypeError]
+
+    @property
+    def well_typed(self) -> bool:
+        return not self.errors
+
+    def require_well_typed(self) -> "AnalyzedProgram":
+        if self.errors:
+            raise self.errors[0]
+        return self
+
+    def error_rules(self) -> List[str]:
+        """The judgment names of all failures (for auditing tests)."""
+        return [e.rule or "?" for e in self.errors]
+
+
+def analyze(source: Union[str, ast.Program],
+            filename: str = "<input>",
+            infer: bool = True,
+            defaults: Optional[DefaultPolicy] = None) -> AnalyzedProgram:
+    """Parse (if needed), apply Section 2.5 defaults/inference, and
+    typecheck.  Never raises for *type* errors — inspect ``.errors`` or
+    call :meth:`AnalyzedProgram.require_well_typed`; lex/parse errors do
+    raise."""
+    if isinstance(source, str):
+        program = parse_program(source, filename)
+    else:
+        program = source
+    try:
+        if infer:
+            if defaults is not None:
+                program = apply_defaults_and_infer(program, defaults)
+            else:
+                program = apply_defaults_and_infer(program)
+        info = build_program_info(program)
+    except OwnershipTypeError as err:
+        # structural errors surfaced while building the tables (e.g.
+        # redefining a built-in class) are reported like any other
+        from .program import ProgramInfo
+        from ..core.kinds import KindTable
+        empty = ProgramInfo({}, {}, program, KindTable())
+        return AnalyzedProgram(program, empty, [err])
+    errors = Checker(info).check()
+    return AnalyzedProgram(program, info, errors)
+
+
+def typecheck_source(source: str,
+                     filename: str = "<input>") -> List[OwnershipTypeError]:
+    """Convenience: the type errors of ``source`` (empty = well-typed)."""
+    return analyze(source, filename).errors

@@ -1,0 +1,299 @@
+"""The typing environment ``E`` and its derived judgments.
+
+``E ::= ∅ | E, t v | E, k o | E, o2 ≻o o1 | E, o2 ≽ o1`` — variables with
+types, owners with kinds, ownership edges, and outlives edges.  On top of
+the stored facts the environment implements the paper's derived judgments:
+
+* ``E ⊢ o1 ≽ o2``      — outlives: reflexivity, transitivity, ≻o ⇒ ≽,
+  heap/immortal outlive everything ([≽heap/immortal]), and the fact that
+  the first owner from the type of ``this`` owns ``this``.
+* ``E ⊢ o1 ≽o o2``     — ownership (reflexive-transitive).
+* ``E ⊢ av RH(o)``     — region-handle availability ([AV HANDLE],
+  [AV THIS], [AV TRANS1], [AV TRANS2]): handles propagate along ownership
+  chains in both directions because an object lives in its owner's region.
+* ``E ⊢ RKind(o) = k`` — the kind of the region ``o`` denotes or is
+  allocated in ([RKIND THIS], [RKIND FN1], [RKIND FN2]).
+* ``E ⊢ X ≽ X'``       — effects subsumption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from ..errors import OwnershipTypeError
+from .kinds import (K_GC_REGION, K_IMMORTAL, K_OBJ_OWNER, K_REGION, Kind,
+                    OBJ_OWNER, OWNER)
+from .owners import (HEAP, IMMORTAL, INITIAL_REGION, Owner, RT_EFFECT, THIS)
+from .program import Constraint, ProgramInfo
+from .types import ClassType, Type
+
+#: Permitted effects: a set of owners, or ``None`` for the unrestricted
+#: ``world`` effect used when checking the program's initial expression
+#: ([PROG]: ``P; E; world; heap ⊢ e : t``).
+Effects = Optional[FrozenSet[Owner]]
+
+
+@dataclass(frozen=True)
+class Env:
+    """Immutable typing environment; extension returns a new Env."""
+
+    program: ProgramInfo
+    vars: Dict[str, Type] = field(default_factory=dict)
+    owner_kinds: Dict[str, Kind] = field(default_factory=dict)
+    this_type: Optional[ClassType] = None
+    handles: FrozenSet[str] = frozenset()
+    owns_edges: FrozenSet[Tuple[Owner, Owner]] = frozenset()
+    outlives_edges: FrozenSet[Tuple[Owner, Owner]] = frozenset()
+
+    # ------------------------------------------------------------------
+    # construction / extension
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def initial(program: ProgramInfo) -> "Env":
+        """The root environment of [PROG]: ``GCRegion heap,
+        SharedRegion:LT immortal`` with both handles available."""
+        return Env(program, handles=frozenset({"heap", "immortal"}))
+
+    def with_var(self, name: str, vtype: Type) -> "Env":
+        new_vars = dict(self.vars)
+        new_vars[name] = vtype
+        return replace(self, vars=new_vars)
+
+    def with_owner(self, name: str, kind: Kind) -> "Env":
+        """[ENV OWNER]; rejects shadowing so owner atoms stay unambiguous."""
+        if name in self.owner_kinds or name in ("heap", "immortal",
+                                                "initialRegion", "this",
+                                                "RT"):
+            raise OwnershipTypeError(
+                f"owner '{name}' shadows an owner already in scope")
+        new_kinds = dict(self.owner_kinds)
+        new_kinds[name] = kind
+        return replace(self, owner_kinds=new_kinds)
+
+    def with_handle(self, owner: Owner) -> "Env":
+        return replace(self, handles=self.handles | {owner.name})
+
+    def with_this(self, this_type: ClassType) -> "Env":
+        """Bind ``this``; records that the first owner owns ``this`` and
+        that every owner of the type outlives the first ([TYPE C]
+        invariant)."""
+        env = replace(self, this_type=this_type)
+        env = env.with_owns(this_type.owner, THIS)
+        for extra in this_type.owners[1:]:
+            env = env.with_outlives(extra, this_type.owner)
+        return env
+
+    def with_owns(self, owner: Owner, owned: Owner) -> "Env":
+        return replace(self, owns_edges=self.owns_edges | {(owner, owned)})
+
+    def with_outlives(self, longer: Owner, shorter: Owner) -> "Env":
+        return replace(self,
+                       outlives_edges=self.outlives_edges
+                       | {(longer, shorter)})
+
+    def with_constraint(self, constraint: Constraint) -> "Env":
+        if constraint.relation == "owns":
+            return self.with_owns(constraint.left, constraint.right)
+        return self.with_outlives(constraint.left, constraint.right)
+
+    def with_constraints(self, constraints: Iterable[Constraint]) -> "Env":
+        env = self
+        for c in constraints:
+            env = env.with_constraint(c)
+        return env
+
+    # ------------------------------------------------------------------
+    # owner kinds
+    # ------------------------------------------------------------------
+
+    def kind_of(self, owner: Owner) -> Kind:
+        """``E ⊢k o : k`` ([OWNER THIS], [OWNER FORMAL], specials)."""
+        if owner == HEAP:
+            return K_GC_REGION
+        if owner == IMMORTAL:
+            return K_IMMORTAL
+        if owner == INITIAL_REGION:
+            return K_REGION
+        if owner == THIS:
+            if self.this_type is None:
+                raise OwnershipTypeError("'this' used outside a class")
+            return K_OBJ_OWNER
+        if owner == RT_EFFECT:
+            raise OwnershipTypeError(
+                "'RT' is an effect marker, not an owner")
+        kind = self.owner_kinds.get(owner.name)
+        if kind is None:
+            raise OwnershipTypeError(f"owner '{owner}' is not in scope")
+        return kind
+
+    def knows_owner(self, owner: Owner) -> bool:
+        if owner in (HEAP, IMMORTAL, INITIAL_REGION):
+            return True
+        if owner == THIS:
+            return self.this_type is not None
+        return owner.name in self.owner_kinds
+
+    def is_region_owner(self, owner: Owner) -> bool:
+        """Does ``owner`` denote a region (its kind is ≤ Region)?"""
+        try:
+            kind = self.kind_of(owner)
+        except OwnershipTypeError:
+            return False
+        return self.program.kind_table.is_subkind(kind, K_REGION)
+
+    def is_object_owner(self, owner: Owner) -> bool:
+        """Does ``owner`` certainly denote an object?  ``this`` does;
+        formals of kind ObjOwner do.  A formal of kind plain ``Owner``
+        *may* denote either, so this returns False for it."""
+        if owner == THIS:
+            return True
+        try:
+            kind = self.kind_of(owner)
+        except OwnershipTypeError:
+            return False
+        return kind.name == OBJ_OWNER
+
+    def regions_in_scope(self) -> List[Owner]:
+        """``Regions(E)`` — every owner in scope whose kind is a region
+        kind, plus the special regions."""
+        out = [HEAP, IMMORTAL, INITIAL_REGION]
+        for name, kind in self.owner_kinds.items():
+            if self.program.kind_table.is_subkind(kind, K_REGION):
+                out.append(Owner(name))
+        return out
+
+    # ------------------------------------------------------------------
+    # the outlives and ownership relations
+    # ------------------------------------------------------------------
+
+    def owns(self, owner: Owner, owned: Owner) -> bool:
+        """``E ⊢ owner ≽o owned`` — reflexive transitive closure of the
+        ownership edges."""
+        if owner == owned:
+            return True
+        seen: Set[Owner] = {owner}
+        frontier = [owner]
+        while frontier:
+            current = frontier.pop()
+            for a, b in self.owns_edges:
+                if a == current and b not in seen:
+                    if b == owned:
+                        return True
+                    seen.add(b)
+                    frontier.append(b)
+        return False
+
+    def outlives(self, longer: Owner, shorter: Owner) -> bool:
+        """``E ⊢ longer ≽ shorter``."""
+        if longer == shorter:
+            return True
+        if longer in (HEAP, IMMORTAL):
+            return True
+        seen: Set[Owner] = {longer}
+        frontier = [longer]
+        while frontier:
+            current = frontier.pop()
+            for a, b in self.outlives_edges | self.owns_edges:
+                if a == current and b not in seen:
+                    if b == shorter:
+                        return True
+                    seen.add(b)
+                    frontier.append(b)
+        return False
+
+    def entails(self, constraint: Constraint) -> bool:
+        if constraint.relation == "owns":
+            return self.owns(constraint.left, constraint.right)
+        return self.outlives(constraint.left, constraint.right)
+
+    # ------------------------------------------------------------------
+    # handle availability:  E ⊢ av RH(o)
+    # ------------------------------------------------------------------
+
+    def av_rh(self, owner: Owner) -> bool:
+        """Is the handle of the region ``owner`` stands for (or is
+        allocated in) available?  Availability propagates in *both*
+        directions along ownership edges ([AV TRANS1], [AV TRANS2])
+        because an object is allocated in the same region as its owner.
+        """
+        base: Set[Owner] = {HEAP, IMMORTAL}
+        base.update(Owner(h) for h in self.handles)
+        # [AV HANDLE]: any in-scope variable of type RHandle(r) makes r's
+        # handle available (region-statement handles and method handle
+        # parameters alike)
+        from .types import HandleType
+        for vtype in self.vars.values():
+            if isinstance(vtype, HandleType):
+                base.add(vtype.region)
+        if self.this_type is not None:
+            base.add(THIS)  # [AV THIS] — the runtime can always find the
+            #                 region of the current receiver
+        if owner in base:
+            return True
+        seen: Set[Owner] = {owner}
+        frontier = [owner]
+        while frontier:
+            current = frontier.pop()
+            for a, b in self.owns_edges:
+                for nxt in ((b,) if a == current else
+                            (a,) if b == current else ()):
+                    if nxt in base:
+                        return True
+                    if nxt not in seen:
+                        seen.add(nxt)
+                        frontier.append(nxt)
+        return False
+
+    # ------------------------------------------------------------------
+    # region-kind inference:  E ⊢ RKind(o) = k
+    # ------------------------------------------------------------------
+
+    def rkind_of(self, owner: Owner) -> Optional[Kind]:
+        """The kind of the region ``owner`` denotes (if a region) or is
+        allocated in (if an object); ``None`` if the environment cannot
+        determine it.  Exploits the invariant that a subobject is
+        allocated in the same region as its owner."""
+        seen: Set[Owner] = set()
+        frontier = [owner]
+        while frontier:
+            current = frontier.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            if current == THIS:
+                # [RKIND THIS]: the region of this = region of its owner.
+                if self.this_type is not None:
+                    frontier.append(self.this_type.owner)
+                continue
+            try:
+                kind = self.kind_of(current)
+            except OwnershipTypeError:
+                continue
+            if self.program.kind_table.is_subkind(kind, K_REGION):
+                return kind  # [RKIND FN1]
+            if kind.name in (OWNER, OBJ_OWNER):
+                # [RKIND FN2]: follow ownership upward.
+                for a, b in self.owns_edges:
+                    if b == current:
+                        frontier.append(a)
+        return None
+
+    # ------------------------------------------------------------------
+    # effects:  E ⊢ X ≽ X'
+    # ------------------------------------------------------------------
+
+    def effect_covers(self, permitted: Effects, accessed: Owner) -> bool:
+        """``E ⊢ X ≽ {o}`` — some permitted owner outlives ``o``.  The RT
+        marker is only covered by RT itself."""
+        if permitted is None:
+            return True
+        if accessed == RT_EFFECT:
+            return RT_EFFECT in permitted
+        return any(g != RT_EFFECT and self.outlives(g, accessed)
+                   for g in permitted)
+
+    def effects_subsume(self, permitted: Effects,
+                        accessed: Iterable[Owner]) -> bool:
+        return all(self.effect_covers(permitted, o) for o in accessed)

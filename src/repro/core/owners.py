@@ -1,0 +1,55 @@
+"""Semantic owner terms.
+
+Grammar (Figure 13): ``owner ::= fn | r | this | initialRegion | heap |
+immortal | RT``.  Owners are atoms; within one typing scope every owner has
+a unique name, so a thin wrapper around the name suffices.  ``RT`` is not a
+real owner — it is the marker effect of Section 2.3 and only ever appears
+inside ``accesses`` clauses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Tuple
+
+
+@dataclass(frozen=True, order=True)
+class Owner:
+    """An owner atom: a formal, a region name, or one of the specials."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+    @property
+    def is_special(self) -> bool:
+        return self.name in _SPECIALS
+
+
+THIS = Owner("this")
+HEAP = Owner("heap")
+IMMORTAL = Owner("immortal")
+INITIAL_REGION = Owner("initialRegion")
+RT_EFFECT = Owner("RT")
+
+_SPECIALS = frozenset({"this", "heap", "immortal", "initialRegion", "RT"})
+
+#: A substitution maps owner atoms (typically formals) to owner atoms.
+Subst = Dict[Owner, Owner]
+
+
+def substitute(owner: Owner, subst: Subst) -> Owner:
+    return subst.get(owner, owner)
+
+
+def substitute_all(owners: Iterable[Owner],
+                   subst: Subst) -> Tuple[Owner, ...]:
+    return tuple(substitute(o, subst) for o in owners)
+
+
+def make_subst(formals: Iterable[str],
+               actuals: Iterable[Owner]) -> Subst:
+    """Build the substitution ``[o1/fn1]..[on/fnn]`` used throughout
+    Appendix B."""
+    return {Owner(fn): actual for fn, actual in zip(formals, actuals)}

@@ -1,0 +1,121 @@
+"""Extraction of the ownership and outlives relations (Figure 6).
+
+The paper's Figure 6 draws, for the TStack example, the runtime ownership
+forest (solid arrows) and the outlives relation between regions (dashed
+arrows).  :func:`ownership_graph` rebuilds exactly that picture from a
+finished simulation: nodes are live objects and regions, ``owns`` edges
+follow each object's owner, and ``outlives`` edges follow region ancestry.
+
+The graph is a plain dict-of-lists structure so the core has no third-party
+dependencies; :func:`to_networkx` converts it when networkx is available.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+
+@dataclass
+class RelationGraph:
+    """Ownership forest + outlives DAG over a heap snapshot."""
+
+    #: node id -> human-readable label ("r2", "s1 (TStack)", ...)
+    labels: Dict[str, str] = field(default_factory=dict)
+    #: node id -> 'object' | 'region'
+    node_kinds: Dict[str, str] = field(default_factory=dict)
+    owns: List[Tuple[str, str]] = field(default_factory=list)
+    outlives: List[Tuple[str, str]] = field(default_factory=list)
+
+    def add_node(self, node_id: str, label: str, kind: str) -> None:
+        self.labels[node_id] = label
+        self.node_kinds[node_id] = kind
+
+    def add_owns(self, owner_id: str, owned_id: str) -> None:
+        self.owns.append((owner_id, owned_id))
+
+    def add_outlives(self, longer_id: str, shorter_id: str) -> None:
+        self.outlives.append((longer_id, shorter_id))
+
+    # -- queries used by tests and the Figure-6 example -----------------
+
+    def owner_of(self, node_id: str) -> str:
+        for owner, owned in self.owns:
+            if owned == node_id:
+                return owner
+        raise KeyError(node_id)
+
+    def owned_by(self, owner_id: str) -> List[str]:
+        return [owned for owner, owned in self.owns if owner == owner_id]
+
+    def is_forest(self) -> bool:
+        """Ownership property O1: every node has at most one owner and
+        there are no cycles."""
+        owners: Dict[str, str] = {}
+        for owner, owned in self.owns:
+            if owned in owners:
+                return False
+            owners[owned] = owner
+        for start in owners:
+            seen: Set[str] = set()
+            node = start
+            while node in owners:
+                if node in seen:
+                    return False
+                seen.add(node)
+                node = owners[node]
+        return True
+
+    def region_of(self, node_id: str) -> str:
+        """Ownership property O2: walk up the forest to the owning
+        region."""
+        node = node_id
+        while self.node_kinds.get(node) == "object":
+            node = self.owner_of(node)
+        return node
+
+    def outlives_closure(self) -> Set[Tuple[str, str]]:
+        adjacency: Dict[str, Set[str]] = {}
+        for a, b in self.outlives:
+            adjacency.setdefault(a, set()).add(b)
+        closure: Set[Tuple[str, str]] = set()
+        for start in list(adjacency):
+            frontier = [start]
+            seen: Set[str] = set()
+            while frontier:
+                node = frontier.pop()
+                for nxt in adjacency.get(node, ()):
+                    if nxt not in seen:
+                        seen.add(nxt)
+                        closure.add((start, nxt))
+                        frontier.append(nxt)
+        return closure
+
+    def to_dot(self) -> str:
+        """Graphviz rendering mirroring Figure 6: circles for objects,
+        boxes for regions, solid owns edges, dashed outlives edges."""
+        lines = ["digraph ownership {"]
+        for node_id, label in sorted(self.labels.items()):
+            shape = ("box" if self.node_kinds[node_id] == "region"
+                     else "ellipse")
+            lines.append(f'  "{node_id}" [label="{label}" shape={shape}];')
+        for owner, owned in self.owns:
+            lines.append(f'  "{owner}" -> "{owned}";')
+        for longer, shorter in self.outlives:
+            lines.append(f'  "{longer}" -> "{shorter}" [style=dashed];')
+        lines.append("}")
+        return "\n".join(lines)
+
+
+def to_networkx(graph: RelationGraph):
+    """Convert to a networkx.MultiDiGraph (optional dependency)."""
+    import networkx as nx
+
+    g = nx.MultiDiGraph()
+    for node_id, label in graph.labels.items():
+        g.add_node(node_id, label=label, kind=graph.node_kinds[node_id])
+    for owner, owned in graph.owns:
+        g.add_edge(owner, owned, relation="owns")
+    for longer, shorter in graph.outlives:
+        g.add_edge(longer, shorter, relation="outlives")
+    return g

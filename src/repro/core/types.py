@@ -1,0 +1,97 @@
+"""Semantic types (grammar: ``t ::= c | int | RHandle(r)``) plus the
+``float``/``boolean``/``void`` scalars and the null bottom type used by the
+statement sugar."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from .owners import Owner, Subst, substitute, substitute_all
+
+
+class Type:
+    """Base class of semantic types."""
+
+    def substitute(self, subst: Subst) -> "Type":
+        return self
+
+    def mentions(self, owner: Owner) -> bool:
+        return False
+
+    @property
+    def is_reference(self) -> bool:
+        """True for types whose values are object references (class types
+        and null); scalar and handle values need no RTSJ assignment
+        checks."""
+        return False
+
+
+@dataclass(frozen=True)
+class PrimType(Type):
+    name: str  # 'int' | 'float' | 'boolean' | 'void'
+
+    def __str__(self) -> str:
+        return self.name
+
+
+INT = PrimType("int")
+FLOAT = PrimType("float")
+BOOLEAN = PrimType("boolean")
+VOID = PrimType("void")
+
+
+@dataclass(frozen=True)
+class NullType(Type):
+    """Type of the ``null`` literal; subtype of every class/handle type."""
+
+    def __str__(self) -> str:
+        return "null"
+
+    @property
+    def is_reference(self) -> bool:
+        return True
+
+
+NULL = NullType()
+
+
+@dataclass(frozen=True)
+class ClassType(Type):
+    """``cn<o1..n>``; ``owners[0]`` owns (and thus places) the object."""
+
+    name: str
+    owners: Tuple[Owner, ...]
+
+    def __str__(self) -> str:
+        return self.name + "<" + ", ".join(map(str, self.owners)) + ">"
+
+    @property
+    def owner(self) -> Owner:
+        return self.owners[0]
+
+    def substitute(self, subst: Subst) -> "ClassType":
+        return ClassType(self.name, substitute_all(self.owners, subst))
+
+    def mentions(self, owner: Owner) -> bool:
+        return owner in self.owners
+
+    @property
+    def is_reference(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class HandleType(Type):
+    """``RHandle(r)`` — the runtime handle of region ``r``."""
+
+    region: Owner
+
+    def __str__(self) -> str:
+        return f"RHandle<{self.region}>"
+
+    def substitute(self, subst: Subst) -> "HandleType":
+        return HandleType(substitute(self.region, subst))
+
+    def mentions(self, owner: Owner) -> bool:
+        return self.region == owner

@@ -1,0 +1,111 @@
+"""Exception hierarchy for the whole reproduction.
+
+Static errors (lexing, parsing, typechecking) derive from
+:class:`StaticError`; runtime failures of the simulated RTSJ platform derive
+from :class:`RuntimeCheckError`.  The paper's central claim is that for
+well-typed programs no :class:`RuntimeCheckError` subclass corresponding to
+an RTSJ dynamic check (:class:`IllegalAssignmentError`,
+:class:`MemoryAccessError`, :class:`ScopedCycleError`) is ever raised; the
+test suite asserts exactly that.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .source import Span
+
+
+class ReproError(Exception):
+    """Root of every error raised by this library."""
+
+
+# ---------------------------------------------------------------------------
+# Static (compile-time) errors
+# ---------------------------------------------------------------------------
+
+class StaticError(ReproError):
+    """A compile-time error with an optional source location."""
+
+    def __init__(self, message: str, span: Optional[Span] = None):
+        self.message = message
+        self.span = span
+        where = f"{span}: " if span is not None else ""
+        super().__init__(f"{where}{message}")
+
+
+class LexError(StaticError):
+    """Malformed token in the input program."""
+
+
+class ParseError(StaticError):
+    """The input program does not conform to the grammar (Figure 13)."""
+
+
+class OwnershipTypeError(StaticError):
+    """A typing judgment of Appendix B failed.
+
+    ``rule`` names the judgment ([EXPR NEW], [AV HANDLE], ...) whose premise
+    was violated, so errors can be audited against the paper.
+    """
+
+    def __init__(self, message: str, span: Optional[Span] = None,
+                 rule: Optional[str] = None):
+        self.rule = rule
+        prefix = f"[{rule}] " if rule else ""
+        super().__init__(prefix + message, span)
+
+
+class InferenceError(StaticError):
+    """Intra-procedural owner inference (Section 2.5) failed to unify."""
+
+
+# ---------------------------------------------------------------------------
+# Runtime errors of the simulated RTSJ platform
+# ---------------------------------------------------------------------------
+
+class RuntimeCheckError(ReproError):
+    """Base class for failures of the simulated RTSJ runtime."""
+
+
+class IllegalAssignmentError(RuntimeCheckError):
+    """RTSJ assignment check failed: storing a reference to an object whose
+    region does not outlive the target's region would create a dangling
+    reference (violates property R3)."""
+
+
+class MemoryAccessError(RuntimeCheckError):
+    """RTSJ heap-access check failed: a no-heap real-time thread read,
+    wrote, or received a reference to a heap-allocated object."""
+
+
+class ScopedCycleError(RuntimeCheckError):
+    """A thread attempted to enter scoped regions in a non-LIFO order."""
+
+
+class OutOfRegionMemoryError(RuntimeCheckError):
+    """An LT region's preallocated budget was exhausted (the paper: 'the
+    system throws an exception to signal that the region size was too
+    small')."""
+
+
+class OutOfMemoryError(RuntimeCheckError):
+    """The simulated machine ran out of backing memory for VT/heap chunks."""
+
+
+class RealtimeViolationError(RuntimeCheckError):
+    """A real-time thread performed an operation with unbounded latency
+    (heap allocation, VT allocation, region creation, GC-blocked wait)."""
+
+
+class InterpreterError(ReproError):
+    """Internal interpreter failure (null dereference of the simulated
+    program, missing method, ...)."""
+
+
+class SimulatedNullPointerError(InterpreterError):
+    """The simulated program dereferenced null."""
+
+
+class DeadlockError(ReproError):
+    """The cooperative scheduler found all live threads blocked."""

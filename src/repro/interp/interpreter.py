@@ -1,0 +1,872 @@
+"""Generator-based tree-walking interpreter.
+
+Every ``eval``/``exec`` function is a Python generator that yields cycle
+costs (ints) or the scheduler sentinel :data:`~repro.rtsj.threads.YIELD`;
+the scheduler in :mod:`repro.rtsj.threads` drives thread coroutines round
+robin, so threads can interleave between any two simulated operations —
+which is what makes the producer/consumer and real-time experiments
+meaningful.
+
+The interpreter is *owner-passing*: objects carry their runtime owners so
+allocation sites can resolve their target region directly.  A real
+implementation erases owners and threads region handles instead
+(Section 2.6, :mod:`repro.interp.translate` shows how); the cost model
+charges nothing for owner upkeep, so the two are cost-equivalent.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core.kinds import Kind
+from ..core.owners import Owner
+from ..errors import (InterpreterError, MemoryAccessError,
+                      RealtimeViolationError, SimulatedNullPointerError)
+from ..lang import ast
+from ..rtsj.objects import ArrayStorage, ObjRef, make_array
+from ..rtsj.regions import LT, MemoryArea, VT
+from ..rtsj.threads import SimThread, YIELD
+from .values import RegionHandle, format_value, region_of_owner
+
+
+class _Return(Exception):
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+
+class Frame:
+    """One activation record.
+
+    ``temps`` holds object references produced by expression evaluation
+    but not yet stored anywhere the GC can see (a preemption point can
+    fall between an allocation and the variable store); it is a GC root
+    set and is cleared at each statement boundary of this frame.
+    """
+
+    __slots__ = ("this", "owners", "vars", "initial_region", "temps")
+
+    def __init__(self, this: Optional[ObjRef],
+                 owners: Dict[str, Any],
+                 initial_region: MemoryArea) -> None:
+        self.this = this
+        self.owners = owners
+        self.vars: Dict[str, Any] = {}
+        self.initial_region = initial_region
+        self.temps: List[Any] = []
+
+
+class Interpreter:
+    """Executes one analyzed program on a :class:`Machine`."""
+
+    def __init__(self, machine) -> None:
+        self.machine = machine
+        self.info = machine.analyzed.info
+        self.cost = machine.cost_model
+        self.stats = machine.stats
+        self.checks = machine.checks
+        self._layouts: Dict[str, List[Tuple[str, Any]]] = {}
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+
+    def _layout(self, class_name: str) -> List[Tuple[str, Any]]:
+        """All instance fields of ``class_name`` (inherited first) with
+        their literal initial values."""
+        cached = self._layouts.get(class_name)
+        if cached is not None:
+            return cached
+        fields: List[Tuple[str, Any]] = []
+        chain = []
+        info = self.info.classes[class_name]
+        while info is not None:
+            chain.append(info)
+            info = (self.info.classes.get(info.superclass.name)
+                    if info.superclass is not None else None)
+        from ..core.types import BOOLEAN, FLOAT, INT
+        zero = {INT: 0, FLOAT: 0.0, BOOLEAN: False}
+        for info in reversed(chain):
+            for fi in info.fields.values():
+                if fi.static:
+                    continue
+                # Java zero-initialization: scalars to 0/0.0/false,
+                # references to null
+                init = zero.get(fi.type)
+                if fi.decl is not None and fi.decl.init is not None:
+                    init = _literal_value(fi.decl.init)
+                fields.append((fi.name, init))
+        self._layouts[class_name] = fields
+        return fields
+
+    def owner_value(self, name: str, frame: Frame) -> Any:
+        if name == "this":
+            return frame.this
+        if name == "heap":
+            return self.machine.regions.heap
+        if name == "immortal":
+            return self.machine.regions.immortal
+        if name == "initialRegion":
+            return frame.initial_region
+        try:
+            return frame.owners[name]
+        except KeyError:
+            raise InterpreterError(f"owner '{name}' unbound at runtime")
+
+    def _require_object(self, value: Any, span, what: str) -> ObjRef:
+        if value is None:
+            raise SimulatedNullPointerError(
+                f"{what} on null at {span}")
+        assert isinstance(value, ObjRef), value
+        if self.machine.options.validate and not value.alive:
+            raise InterpreterError(
+                f"dangling reference followed at {span}: {value!r} "
+                "(its region was deleted)")
+        return value
+
+    # ------------------------------------------------------------------
+    # thread bodies
+    # ------------------------------------------------------------------
+
+    def main_coroutine(self, thread: SimThread):
+        main = self.machine.analyzed.program.main
+        if main is None:
+            return
+            yield  # pragma: no cover - make this a generator
+        frame = Frame(None, {}, self.machine.regions.heap)
+        thread.frames.append(frame)
+        try:
+            yield from self.exec_block(main, frame,
+                                       self.machine.regions.heap, thread)
+        except _Return:
+            pass
+        finally:
+            thread.frames.pop()
+
+    def thread_coroutine(self, thread: SimThread, receiver: ObjRef,
+                         method_name: str, owner_values: Tuple[Any, ...],
+                         args: Tuple[Any, ...],
+                         initial_region: MemoryArea):
+        yield from self.call_method(receiver, method_name, owner_values,
+                                    args, initial_region, thread)
+
+    # ------------------------------------------------------------------
+    # method calls
+    # ------------------------------------------------------------------
+
+    def _resolve_impl(self, obj: ObjRef, method_name: str):
+        """Dynamic dispatch: walk the superclass chain from the object's
+        dynamic class, translating owner values through each ``extends``
+        instantiation."""
+        class_name = obj.class_name
+        owner_values: Tuple[Any, ...] = obj.owners
+        info = self.info.classes[class_name]
+        while info is not None:
+            mi = info.methods.get(method_name)
+            if mi is not None:
+                return info, mi, owner_values
+            if info.superclass is None:
+                break
+            mapping = dict(zip(info.formal_names, owner_values))
+            new_values = []
+            for o in info.superclass.owners:
+                if o.name in mapping:
+                    new_values.append(mapping[o.name])
+                elif o.name == "this":
+                    new_values.append(obj)
+                else:  # heap / immortal
+                    new_values.append(
+                        self.machine.regions.heap if o.name == "heap"
+                        else self.machine.regions.immortal)
+            owner_values = tuple(new_values)
+            info = self.info.classes.get(info.superclass.name)
+        raise InterpreterError(
+            f"object {obj!r} has no method '{method_name}'")
+
+    def call_method(self, obj: ObjRef, method_name: str,
+                    owner_values: Tuple[Any, ...], args: Tuple[Any, ...],
+                    caller_region: MemoryArea, thread: SimThread):
+        info, mi, class_owner_values = self._resolve_impl(obj, method_name)
+        if mi.native is not None:
+            result = yield from self._native_call(obj, mi.native, args)
+            return result
+        frame = Frame(obj, dict(zip(info.formal_names, class_owner_values)),
+                      caller_region)
+        for (fn, _kind), value in zip(mi.formals, owner_values):
+            frame.owners[fn] = value
+        for (ptype, pname), value in zip(mi.params, args):
+            frame.vars[pname] = value
+        thread.frames.append(frame)
+        try:
+            yield from self.exec_block(mi.decl.body, frame, caller_region,
+                                       thread)
+        except _Return as ret:
+            return ret.value
+        finally:
+            thread.frames.pop()
+        return _default_return(mi.return_type)
+
+    def _native_call(self, obj: ObjRef, native: str, args: Tuple[Any, ...]):
+        storage: ArrayStorage = obj.fields["__storage__"]
+        op = native.split(".")[1]
+        if op == "get":
+            yield self.cost.op_field_read
+            return self._array_index(storage, args[0])
+        if op == "set":
+            yield self.cost.op_field_write
+            index = args[0]
+            if not 0 <= index < len(storage.values):
+                raise InterpreterError(
+                    f"array index {index} out of bounds "
+                    f"(length {len(storage.values)})")
+            storage.values[index] = args[1]
+            return None
+        if op == "length":
+            yield self.cost.op_basic
+            return len(storage.values)
+        raise InterpreterError(f"unknown native '{native}'")
+
+    def _array_index(self, storage: ArrayStorage, index: int) -> Any:
+        if not 0 <= index < len(storage.values):
+            raise InterpreterError(
+                f"array index {index} out of bounds "
+                f"(length {len(storage.values)})")
+        return storage.values[index]
+
+    # ------------------------------------------------------------------
+    # statements
+    # ------------------------------------------------------------------
+
+    def exec_block(self, block: ast.Block, frame: Frame,
+                   region: MemoryArea, thread: SimThread):
+        for stmt in block.stmts:
+            yield from self.exec_stmt(stmt, frame, region, thread)
+
+    def exec_stmt(self, stmt: ast.Stmt, frame: Frame, region: MemoryArea,
+                  thread: SimThread):
+        self.stats.steps += 1
+        # statement boundary: temporaries of the previous statement in
+        # this frame are dead (callee frames have their own lists)
+        frame.temps.clear()
+        if isinstance(stmt, ast.Block):
+            yield from self.exec_block(stmt, frame, region, thread)
+        elif isinstance(stmt, ast.LocalDecl):
+            value = None
+            if stmt.init is not None:
+                value = yield from self.eval_expr(stmt.init, frame, region,
+                                                  thread)
+            yield self.cost.op_local
+            frame.vars[stmt.name] = value
+        elif isinstance(stmt, ast.AssignLocal):
+            value = yield from self.eval_expr(stmt.value, frame, region,
+                                              thread)
+            if stmt.name in frame.vars:
+                yield self.cost.op_local
+                frame.vars[stmt.name] = value
+            else:
+                yield from self._field_write(frame.this, stmt.name, value,
+                                             thread, stmt.span)
+        elif isinstance(stmt, ast.AssignField):
+            value = yield from self.eval_expr(stmt.value, frame, region,
+                                              thread)
+            target = self._static_target(stmt.target, frame)
+            if target is not None:
+                yield from self._static_write(target, stmt.field_name,
+                                              value, thread)
+            else:
+                recv = yield from self.eval_expr(stmt.target, frame,
+                                                 region, thread)
+                if isinstance(recv, RegionHandle):
+                    yield from self._portal_write(recv.area,
+                                                  stmt.field_name, value,
+                                                  thread)
+                else:
+                    yield from self._field_write(recv, stmt.field_name,
+                                                 value, thread, stmt.span)
+        elif isinstance(stmt, ast.ExprStmt):
+            yield from self.eval_expr(stmt.expr, frame, region, thread)
+        elif isinstance(stmt, ast.If):
+            cond = yield from self.eval_expr(stmt.cond, frame, region,
+                                             thread)
+            yield self.cost.op_branch
+            if cond:
+                yield from self.exec_block(stmt.then_body, frame, region,
+                                           thread)
+            elif stmt.else_body is not None:
+                yield from self.exec_block(stmt.else_body, frame, region,
+                                           thread)
+        elif isinstance(stmt, ast.While):
+            while True:
+                cond = yield from self.eval_expr(stmt.cond, frame, region,
+                                                 thread)
+                yield self.cost.op_branch
+                if not cond:
+                    break
+                yield from self.exec_block(stmt.body, frame, region,
+                                           thread)
+        elif isinstance(stmt, ast.Return):
+            value = None
+            if stmt.value is not None:
+                value = yield from self.eval_expr(stmt.value, frame,
+                                                  region, thread)
+            yield self.cost.op_return
+            raise _Return(value)
+        elif isinstance(stmt, ast.Fork):
+            yield from self._exec_fork(stmt, frame, region, thread)
+        elif isinstance(stmt, ast.RegionStmt):
+            yield from self._exec_region(stmt, frame, region, thread)
+        elif isinstance(stmt, ast.SubregionStmt):
+            yield from self._exec_subregion(stmt, frame, region, thread)
+        else:
+            raise InterpreterError(f"unknown statement {stmt!r}")
+
+    # -- field access -------------------------------------------------------
+
+    def _static_target(self, target: ast.Expr,
+                       frame: Frame) -> Optional[str]:
+        if (isinstance(target, ast.VarRef)
+                and target.name not in frame.vars
+                and target.name in self.info.classes):
+            return target.name
+        return None
+
+    def _field_write(self, recv: Any, field_name: str, value: Any,
+                     thread: SimThread, span):
+        obj = self._require_object(recv, span, f"field write '{field_name}'")
+        if field_name not in obj.fields:
+            raise InterpreterError(
+                f"{obj!r} has no field '{field_name}'")
+        old = obj.fields[field_name]
+        cycles = self.cost.op_field_write
+        if isinstance(value, ObjRef):
+            cycles += self.checks.assignment_cost(obj.area, value)
+        if isinstance(value, ObjRef) or isinstance(old, ObjRef):
+            cycles += self.checks.read_cost(thread.realtime, value, old)
+        yield cycles
+        obj.fields[field_name] = value
+
+    def _field_read(self, recv: Any, field_name: str, thread: SimThread,
+                    span):
+        obj = self._require_object(recv, span, f"field read '{field_name}'")
+        if field_name not in obj.fields:
+            raise InterpreterError(f"{obj!r} has no field '{field_name}'")
+        value = obj.fields[field_name]
+        cycles = self.cost.op_field_read
+        if isinstance(value, ObjRef):
+            cycles += self.checks.read_cost(thread.realtime, value)
+        yield cycles
+        return value
+
+    def _static_write(self, class_name: str, field_name: str, value: Any,
+                      thread: SimThread):
+        key = (class_name, field_name)
+        old = self.machine.statics.get(key)
+        cycles = self.cost.op_field_write
+        if isinstance(value, ObjRef):
+            # statics conceptually live in immortal memory
+            cycles += self.checks.assignment_cost(
+                self.machine.regions.immortal, value)
+        if isinstance(value, ObjRef) or isinstance(old, ObjRef):
+            cycles += self.checks.read_cost(thread.realtime, value, old)
+        yield cycles
+        self.machine.statics[key] = value
+
+    def _static_read(self, class_name: str, field_name: str,
+                     thread: SimThread):
+        value = self.machine.statics.get((class_name, field_name))
+        cycles = self.cost.op_field_read
+        if isinstance(value, ObjRef):
+            cycles += self.checks.read_cost(thread.realtime, value)
+        yield cycles
+        return value
+
+    def _portal_write(self, area: MemoryArea, field_name: str, value: Any,
+                      thread: SimThread):
+        if field_name not in area.portals:
+            raise InterpreterError(
+                f"region '{area.name}' has no portal '{field_name}'")
+        old = area.portals[field_name]
+        cycles = self.cost.portal_write
+        if isinstance(value, ObjRef):
+            cycles += self.checks.assignment_cost(area, value)
+        if isinstance(value, ObjRef) or isinstance(old, ObjRef):
+            cycles += self.checks.read_cost(thread.realtime, value, old)
+        yield cycles
+        area.portals[field_name] = value
+
+    def _portal_read(self, area: MemoryArea, field_name: str,
+                     thread: SimThread):
+        if field_name not in area.portals:
+            raise InterpreterError(
+                f"region '{area.name}' has no portal '{field_name}'")
+        value = area.portals[field_name]
+        cycles = self.cost.portal_read
+        if isinstance(value, ObjRef):
+            cycles += self.checks.read_cost(thread.realtime, value)
+        yield cycles
+        return value
+
+    # -- regions ----------------------------------------------------------
+
+    def _subregion_meta(self, kind_name: str):
+        rk = self.info.region_kinds.get(kind_name)
+        if rk is None:
+            return {}
+        kind = Kind(kind_name, tuple(Owner(fn) for fn in rk.formal_names))
+        return {name: sub
+                for name, sub in self.info.all_subregions(kind).items()}
+
+    def _portal_defaults(self, kind_name: str):
+        """Portal slots with Java zero-initialization by declared type."""
+        rk = self.info.region_kinds.get(kind_name)
+        if rk is None:
+            return {}
+        from ..core.types import BOOLEAN, FLOAT, INT
+        zero = {INT: 0, FLOAT: 0.0, BOOLEAN: False}
+        kind = Kind(kind_name, tuple(Owner(fn) for fn in rk.formal_names))
+        return {name: zero.get(portal.type)
+                for name, portal in self.info.all_portals(kind).items()}
+
+    def _create_area(self, name: str, kind_name: str, policy: str,
+                     budget: int, ancestors, parent, realtime_only: bool,
+                     thread: SimThread):
+        """Create one area (plus, eagerly, its transitive LT subregions,
+        as Section 2.3 requires) and return (area, cycle cost)."""
+        area = self.machine.regions.create(name, kind_name, policy, budget,
+                                           ancestors, parent,
+                                           realtime_only)
+        self.stats.regions_created += 1
+        self.stats.event("region-created", f"{name} ({policy})")
+        cycles = self.cost.region_create
+        if policy == LT:
+            cycles += self.cost.lt_prealloc_per_byte * budget
+        area.portals = dict(self._portal_defaults(kind_name))
+        meta = self._subregion_meta(kind_name)
+        area.subregions = {sub_name: None for sub_name in meta}
+        setattr(area, "subregion_meta", meta)
+        for sub_name, sub in meta.items():
+            if sub.policy.kind == "LT":
+                child, child_cycles = self._create_area(
+                    f"{name}.{sub_name}", sub.kind.name, LT,
+                    sub.policy.size, set(), area, sub.realtime, thread)
+                area.subregions[sub_name] = child
+                cycles += child_cycles
+        return area, cycles
+
+    def _exec_region(self, stmt: ast.RegionStmt, frame: Frame,
+                     region: MemoryArea, thread: SimThread):
+        if thread.realtime and (self.checks.enabled
+                                or self.checks.validate):
+            raise RealtimeViolationError(
+                "real-time thread attempted to create a region "
+                f"'{stmt.region_name}'")
+        kind_name = stmt.kind.name if stmt.kind is not None \
+            else "LocalRegion"
+        policy = LT if (stmt.policy is not None
+                        and stmt.policy.kind == "LT") else VT
+        budget = stmt.policy.size if stmt.policy is not None else 0
+        shared = kind_name in self.info.region_kinds \
+            or kind_name == "SharedRegion"
+        ancestors = set(region.ancestor_ids) | {region.area_id}
+        for entered in thread.shared_stack:
+            ancestors |= entered.ancestor_ids | {entered.area_id}
+        area, cycles = self._create_area(stmt.region_name, kind_name,
+                                         policy, budget, ancestors, None,
+                                         False, thread)
+        yield cycles
+        saved_owner = frame.owners.get(stmt.region_name)
+        saved_var = frame.vars.get(stmt.handle_name)
+        frame.owners[stmt.region_name] = area
+        frame.vars[stmt.handle_name] = RegionHandle(area)
+        if shared:
+            area.thread_count = 1
+            thread.shared_stack.append(area)
+        try:
+            yield from self.exec_block(stmt.body, frame, area, thread)
+        finally:
+            # charged directly: yielding inside a finally would break
+            # generator close semantics
+            self.machine.charge_direct(thread, self.cost.region_exit)
+            if shared:
+                from ..rtsj.regions import release_shared
+                thread.shared_stack.remove(area)
+                self.stats.objects_freed += release_shared(area)
+            else:
+                self.stats.objects_freed += area.destroy()
+            if not area.live:
+                self.stats.event("region-destroyed", area.name)
+            _restore(frame.owners, stmt.region_name, saved_owner)
+            _restore(frame.vars, stmt.handle_name, saved_var)
+
+    def _exec_subregion(self, stmt: ast.SubregionStmt, frame: Frame,
+                        region: MemoryArea, thread: SimThread):
+        handle = yield from self.eval_expr(stmt.parent_handle, frame,
+                                           region, thread)
+        if not isinstance(handle, RegionHandle):
+            raise InterpreterError("subregion entry requires a handle")
+        parent = handle.area
+        meta = getattr(parent, "subregion_meta", {})
+        sub = meta.get(stmt.subregion_name)
+        if sub is None:
+            raise InterpreterError(
+                f"region '{parent.name}' has no subregion "
+                f"'{stmt.subregion_name}'")
+        slot = parent.subregions.get(stmt.subregion_name)
+        if stmt.fresh or slot is None or not slot.live:
+            if thread.realtime and (self.checks.enabled
+                                    or self.checks.validate):
+                raise RealtimeViolationError(
+                    "real-time thread attempted to create subregion "
+                    f"'{stmt.subregion_name}'")
+            policy = LT if sub.policy.kind == "LT" else VT
+            if slot is not None and slot.live and stmt.fresh:
+                slot.destroy()
+            slot, cycles = self._create_area(
+                f"{parent.name}.{stmt.subregion_name}", sub.kind.name,
+                policy, sub.policy.size, set(), parent, sub.realtime,
+                thread)
+            parent.subregions[stmt.subregion_name] = slot
+            yield cycles
+        if self.checks.enabled or self.checks.validate:
+            if thread.realtime and not slot.realtime_only:
+                raise RealtimeViolationError(
+                    "real-time thread entered NoRT subregion "
+                    f"'{slot.name}'")
+            if not thread.realtime and slot.realtime_only:
+                raise RealtimeViolationError(
+                    "regular thread entered RT subregion "
+                    f"'{slot.name}'")
+        yield self.cost.region_enter
+        self.stats.region_enters += 1
+        slot.thread_count += 1
+        thread.shared_stack.append(slot)
+        saved_owner = frame.owners.get(stmt.region_name)
+        saved_var = frame.vars.get(stmt.handle_name)
+        frame.owners[stmt.region_name] = slot
+        frame.vars[stmt.handle_name] = RegionHandle(slot)
+        try:
+            yield from self.exec_block(stmt.body, frame, slot, thread)
+        finally:
+            self.machine.charge_direct(thread, self.cost.region_exit)
+            from ..rtsj.regions import release_shared
+            thread.shared_stack.remove(slot)
+            before = slot.generation
+            self.stats.objects_freed += release_shared(slot)
+            if slot.generation != before:
+                self.stats.region_flushes += 1
+                self.stats.event("region-flushed", slot.name)
+            _restore(frame.owners, stmt.region_name, saved_owner)
+            _restore(frame.vars, stmt.handle_name, saved_var)
+
+    # -- fork ---------------------------------------------------------------
+
+    def _exec_fork(self, stmt: ast.Fork, frame: Frame, region: MemoryArea,
+                   thread: SimThread):
+        call = stmt.call
+        receiver = yield from self.eval_expr(call.target, frame, region,
+                                             thread)
+        obj = self._require_object(receiver, stmt.span, "fork")
+        owner_values = tuple(self.owner_value(o.name, frame)
+                             for o in call.owner_args)
+        args = []
+        for arg in call.args:
+            value = yield from self.eval_expr(arg, frame, region, thread)
+            args.append(value)
+        if stmt.realtime and (self.checks.enabled or self.checks.validate):
+            for value in [obj] + args:
+                if isinstance(value, ObjRef) and value.area.is_heap:
+                    raise MemoryAccessError(
+                        "RT fork passed a heap reference "
+                        f"{value!r} to a no-heap real-time thread")
+        yield self.cost.thread_spawn
+        name = f"{'rt-' if stmt.realtime else ''}thread-" \
+               f"{len(self.machine.scheduler.threads)}"
+        child = SimThread(name=name, coroutine=iter(()),
+                          realtime=stmt.realtime)
+        child.coroutine = self.thread_coroutine(
+            child, obj, call.method_name, owner_values, tuple(args),
+            region)
+        # the child inherits the parent's shared regions (Section 2.2)
+        for area in thread.shared_stack:
+            area.thread_count += 1
+            child.shared_stack.append(area)
+        self.stats.event("thread-spawned",
+                         f"{name}{' (realtime)' if stmt.realtime else ''}")
+        self.machine.scheduler.spawn(child)
+
+    # ------------------------------------------------------------------
+    # expressions
+    # ------------------------------------------------------------------
+
+    def eval_expr(self, expr: ast.Expr, frame: Frame, region: MemoryArea,
+                  thread: SimThread):
+        value = yield from self._eval_expr_inner(expr, frame, region,
+                                                 thread)
+        if isinstance(value, ObjRef):
+            frame.temps.append(value)  # keep in-flight values GC-visible
+        return value
+
+    def _eval_expr_inner(self, expr: ast.Expr, frame: Frame,
+                         region: MemoryArea, thread: SimThread):
+        if isinstance(expr, ast.IntLit):
+            return expr.value
+            yield  # pragma: no cover
+        if isinstance(expr, ast.FloatLit):
+            return expr.value
+        if isinstance(expr, ast.BoolLit):
+            return expr.value
+        if isinstance(expr, ast.NullLit):
+            return None
+        if isinstance(expr, ast.ThisRef):
+            return frame.this
+        if isinstance(expr, ast.VarRef):
+            if expr.name in frame.vars:
+                yield self.cost.op_local
+                return frame.vars[expr.name]
+            result = yield from self._field_read(frame.this, expr.name,
+                                                 thread, expr.span)
+            return result
+        if isinstance(expr, ast.NewExpr):
+            result = yield from self._eval_new(expr, frame, region, thread)
+            return result
+        if isinstance(expr, ast.FieldRead):
+            static = self._static_target(expr.target, frame)
+            if static is not None:
+                result = yield from self._static_read(
+                    static, expr.field_name, thread)
+                return result
+            recv = yield from self.eval_expr(expr.target, frame, region,
+                                             thread)
+            if isinstance(recv, RegionHandle):
+                result = yield from self._portal_read(
+                    recv.area, expr.field_name, thread)
+                return result
+            result = yield from self._field_read(recv, expr.field_name,
+                                                 thread, expr.span)
+            return result
+        if isinstance(expr, ast.Invoke):
+            result = yield from self._eval_invoke(expr, frame, region,
+                                                  thread)
+            return result
+        if isinstance(expr, ast.Binary):
+            result = yield from self._eval_binary(expr, frame, region,
+                                                  thread)
+            return result
+        if isinstance(expr, ast.Unary):
+            operand = yield from self.eval_expr(expr.operand, frame,
+                                                region, thread)
+            yield self.cost.op_basic
+            if expr.op == "!":
+                return not operand
+            return -operand
+        if isinstance(expr, ast.BuiltinCall):
+            result = yield from self._eval_builtin(expr, frame, region,
+                                                   thread)
+            return result
+        raise InterpreterError(f"unknown expression {expr!r}")
+
+    def _eval_new(self, expr: ast.NewExpr, frame: Frame,
+                  region: MemoryArea, thread: SimThread):
+        owner_values = tuple(self.owner_value(o.name, frame)
+                             for o in expr.owners)
+        target = region_of_owner(owner_values[0])
+        if thread.realtime and (self.checks.enabled
+                                or self.checks.validate):
+            if target.is_heap:
+                raise MemoryAccessError(
+                    "no-heap real-time thread allocated in the heap")
+            if target.policy == VT:
+                raise RealtimeViolationError(
+                    "real-time thread allocated in a VT region "
+                    f"'{target.name}'")
+        if expr.class_name in ("IntArray", "FloatArray"):
+            length = yield from self.eval_expr(expr.args[0], frame,
+                                               region, thread)
+            if length < 0:
+                raise InterpreterError(f"negative array length {length}")
+            obj = make_array(expr.class_name, owner_values, target, length)
+        else:
+            layout = self._layout(expr.class_name)
+            obj = ObjRef(expr.class_name, owner_values,
+                         tuple(name for name, _ in layout), target)
+            for name, init in layout:
+                if init is not None:
+                    obj.fields[name] = init
+        fresh_chunks = target.allocate(obj)
+        cycles = (self.cost.alloc_base
+                  + self.cost.alloc_per_byte * obj.size_bytes)
+        if target.policy == VT:
+            cycles += (self.cost.vt_alloc_extra
+                       + self.cost.vt_chunk_cost * fresh_chunks)
+        if target.is_heap:
+            cycles += self.cost.heap_alloc_extra
+            self.stats.peak_heap_bytes = max(self.stats.peak_heap_bytes,
+                                             target.bytes_used)
+        self.stats.allocations += 1
+        self.stats.bytes_allocated += obj.size_bytes
+        # pin before yielding the allocation cost: a GC at this very
+        # preemption point must see the newborn object
+        frame.temps.append(obj)
+        yield cycles
+        return obj
+
+    def _eval_invoke(self, expr: ast.Invoke, frame: Frame,
+                     region: MemoryArea, thread: SimThread):
+        recv = yield from self.eval_expr(expr.target, frame, region,
+                                         thread)
+        obj = self._require_object(recv, expr.span,
+                                   f"call '{expr.method_name}'")
+        owner_values = tuple(self.owner_value(o.name, frame)
+                             for o in expr.owner_args)
+        args = []
+        for arg in expr.args:
+            value = yield from self.eval_expr(arg, frame, region, thread)
+            args.append(value)
+        if obj.class_name not in ("IntArray", "FloatArray"):
+            # primitive-array accesses compile to plain loads/stores on a
+            # JVM; only real method calls pay call overhead
+            yield self.cost.op_invoke
+        result = yield from self.call_method(obj, expr.method_name,
+                                             owner_values, tuple(args),
+                                             region, thread)
+        return result
+
+    def _eval_binary(self, expr: ast.Binary, frame: Frame,
+                     region: MemoryArea, thread: SimThread):
+        op = expr.op
+        left = yield from self.eval_expr(expr.left, frame, region, thread)
+        if op == "&&":
+            yield self.cost.op_basic
+            if not left:
+                return False
+            right = yield from self.eval_expr(expr.right, frame, region,
+                                              thread)
+            return bool(right)
+        if op == "||":
+            yield self.cost.op_basic
+            if left:
+                return True
+            right = yield from self.eval_expr(expr.right, frame, region,
+                                              thread)
+            return bool(right)
+        right = yield from self.eval_expr(expr.right, frame, region,
+                                          thread)
+        yield self.cost.op_basic
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            return _java_div(left, right)
+        if op == "%":
+            return _java_mod(left, right)
+        if op == "==":
+            return _ref_eq(left, right)
+        if op == "!=":
+            return not _ref_eq(left, right)
+        if op == "<":
+            return left < right
+        if op == "<=":
+            return left <= right
+        if op == ">":
+            return left > right
+        if op == ">=":
+            return left >= right
+        raise InterpreterError(f"unknown operator '{op}'")
+
+    def _eval_builtin(self, expr: ast.BuiltinCall, frame: Frame,
+                      region: MemoryArea, thread: SimThread):
+        args = []
+        for arg in expr.args:
+            value = yield from self.eval_expr(arg, frame, region, thread)
+            args.append(value)
+        name = expr.name
+        if name == "print":
+            yield self.cost.op_builtin
+            self.machine.output.append(format_value(args[0]))
+            return None
+        if name == "io":
+            # simulated network/disk operation: dominates server loops
+            yield self.cost.op_builtin + max(int(args[0]), 0)
+            return int(args[0])
+        if name == "yieldnow":
+            yield self.cost.thread_yield
+            yield YIELD
+            return None
+        if name == "sqrt":
+            yield self.cost.op_builtin
+            if args[0] < 0:
+                raise InterpreterError(f"sqrt of negative {args[0]}")
+            return math.sqrt(args[0])
+        if name == "itof":
+            yield self.cost.op_basic
+            return float(args[0])
+        if name == "ftoi":
+            yield self.cost.op_basic
+            return int(args[0])
+        if name == "check":
+            yield self.cost.op_basic
+            if not args[0]:
+                raise InterpreterError(
+                    f"program assertion failed at {expr.span}")
+            return None
+        raise InterpreterError(f"unknown builtin '{name}'")
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+def _restore(mapping: Dict[str, Any], key: str, saved: Any) -> None:
+    if saved is None:
+        mapping.pop(key, None)
+    else:
+        mapping[key] = saved
+
+
+def _literal_value(expr: ast.Expr) -> Any:
+    if isinstance(expr, ast.IntLit):
+        return expr.value
+    if isinstance(expr, ast.FloatLit):
+        return expr.value
+    if isinstance(expr, ast.BoolLit):
+        return expr.value
+    if isinstance(expr, ast.NullLit):
+        return None
+    raise InterpreterError(f"not a literal: {expr!r}")
+
+
+def _default_return(return_type) -> Any:
+    from ..core.types import BOOLEAN, FLOAT, INT
+    if return_type == INT:
+        return 0
+    if return_type == FLOAT:
+        return 0.0
+    if return_type == BOOLEAN:
+        return False
+    return None
+
+
+def _java_div(a, b):
+    if isinstance(a, float) or isinstance(b, float):
+        if b == 0:
+            raise InterpreterError("float division by zero")
+        return a / b
+    if b == 0:
+        raise InterpreterError("integer division by zero")
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+def _java_mod(a, b):
+    if b == 0:
+        raise InterpreterError("integer modulo by zero")
+    return a - _java_div(a, b) * b
+
+
+def _ref_eq(a, b) -> bool:
+    if isinstance(a, ObjRef) or isinstance(b, ObjRef):
+        return a is b
+    return a == b

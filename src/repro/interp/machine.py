@@ -1,0 +1,181 @@
+"""The simulated machine: program + regions + GC + scheduler + checks.
+
+``run_source`` is the one-call entry point used by the examples, tests and
+benchmarks::
+
+    result = run_source(SOURCE, RunOptions(checks_enabled=True))
+    print(result.stats.cycles, result.output)
+
+``checks_enabled=True`` is the RTSJ baseline (dynamic checks performed and
+charged); ``checks_enabled=False`` is the paper's statically-checked mode.
+``validate=True`` (default) additionally *verifies* every check without
+charging cycles, which is how the test suite asserts Theorems 3/4: a
+well-typed program behaves identically in both modes and never violates a
+check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from ..core.api import AnalyzedProgram, analyze
+from ..core.relations import RelationGraph
+from ..errors import OwnershipTypeError
+from ..rtsj.checks import CheckEngine
+from ..rtsj.gc import GarbageCollector
+from ..rtsj.objects import ArrayStorage, ObjRef
+from ..rtsj.regions import RegionManager
+from ..rtsj.stats import CostModel, Stats
+from ..rtsj.threads import Scheduler, SimThread
+from .interpreter import Frame, Interpreter
+
+
+@dataclass
+class RunOptions:
+    #: perform + charge the RTSJ dynamic checks (Figure 12's "Dynamic
+    #: Checks" column); False = the statically-checked build
+    checks_enabled: bool = True
+    #: verify the checks without charging cycles (soundness assertion)
+    validate: bool = True
+    cost_model: CostModel = field(default_factory=CostModel)
+    #: heap bytes that trigger a garbage collection
+    gc_trigger_bytes: int = 1 << 20
+    #: scheduler time slice in cycles
+    quantum: int = 2000
+    #: runaway-guard on the global clock
+    max_cycles: int = 2_000_000_000
+
+
+@dataclass
+class RunResult:
+    output: List[str]
+    stats: Stats
+    options: RunOptions
+
+    @property
+    def cycles(self) -> int:
+        return self.stats.cycles
+
+
+class Machine:
+    """One simulated execution of an analyzed program."""
+
+    def __init__(self, analyzed: AnalyzedProgram,
+                 options: Optional[RunOptions] = None) -> None:
+        self.analyzed = analyzed
+        self.options = options or RunOptions()
+        self.cost_model = self.options.cost_model
+        self.stats = Stats()
+        self.regions = RegionManager()
+        self.checks = CheckEngine(self.cost_model, self.stats,
+                                  enabled=self.options.checks_enabled,
+                                  validate=self.options.validate)
+        self.gc = GarbageCollector(self.regions, self.cost_model,
+                                   self.stats,
+                                   self.options.gc_trigger_bytes)
+        self.scheduler = Scheduler(self.stats,
+                                   quantum=self.options.quantum,
+                                   max_cycles=self.options.max_cycles,
+                                   gc_hook=self._maybe_collect)
+        self.statics: Dict[Tuple[str, str], Any] = {}
+        self.output: List[str] = []
+        self.interpreter = Interpreter(self)
+        self._init_statics()
+
+    # ------------------------------------------------------------------
+
+    def _init_statics(self) -> None:
+        from ..lang import ast
+        from .interpreter import _literal_value
+        for cls in self.analyzed.program.classes:
+            for fld in cls.fields:
+                if not fld.static:
+                    continue
+                value = None
+                if fld.init is not None:
+                    value = _literal_value(fld.init)
+                elif isinstance(fld.declared_type, ast.PrimTypeAst):
+                    value = {"int": 0, "float": 0.0,
+                             "boolean": False}.get(fld.declared_type.name)
+                self.statics[(cls.name, fld.name)] = value
+
+    def charge_direct(self, thread: SimThread, cycles: int) -> None:
+        """Charge cycles outside the scheduler's quantum accounting (used
+        from ``finally`` blocks where yielding is unsafe)."""
+        thread.cycles += cycles
+        self.stats.charge(cycles, thread.name)
+
+    def _gc_roots(self):
+        for thread in self.scheduler.threads:
+            for frame in thread.frames:
+                if isinstance(frame, Frame):
+                    if frame.this is not None:
+                        yield frame.this
+                    for value in frame.vars.values():
+                        yield value
+                    for value in frame.temps:
+                        yield value
+        for value in self.statics.values():
+            yield value
+
+    def _maybe_collect(self) -> int:
+        if not self.gc.should_collect():
+            return 0
+        return self.gc.collect(self._gc_roots())
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> RunResult:
+        main_thread = SimThread(name="main", coroutine=iter(()))
+        main_thread.coroutine = self.interpreter.main_coroutine(main_thread)
+        self.scheduler.spawn(main_thread)
+        self.scheduler.run()
+        return RunResult(self.output, self.stats, self.options)
+
+    # ------------------------------------------------------------------
+    # Figure 6: ownership / outlives graph extraction
+    # ------------------------------------------------------------------
+
+    def ownership_graph(self, include_dead: bool = False) -> RelationGraph:
+        graph = RelationGraph()
+        areas = [a for a in self.regions.areas
+                 if a.live or include_dead]
+        for area in areas:
+            graph.add_node(f"region:{area.area_id}", area.name, "region")
+        for area in areas:
+            for other in areas:
+                if other is not area and other.outlives(area):
+                    graph.add_outlives(f"region:{other.area_id}",
+                                       f"region:{area.area_id}")
+        for area in areas:
+            for obj in area.objects:
+                if not (obj.alive or include_dead):
+                    continue
+                node = f"obj:{obj.oid}"
+                graph.add_node(node, f"{obj.class_name}#{obj.oid}",
+                               "object")
+        for area in areas:
+            for obj in area.objects:
+                node = f"obj:{obj.oid}"
+                if node not in graph.labels:
+                    continue
+                owner = obj.owner
+                if isinstance(owner, ObjRef):
+                    owner_node = f"obj:{owner.oid}"
+                else:
+                    owner_node = f"region:{owner.area_id}"
+                if owner_node in graph.labels:
+                    graph.add_owns(owner_node, node)
+        return graph
+
+
+def run_source(source: Union[str, AnalyzedProgram],
+               options: Optional[RunOptions] = None,
+               require_well_typed: bool = True) -> RunResult:
+    """Analyze (if needed) and execute ``source`` on the simulated
+    platform."""
+    analyzed = analyze(source) if isinstance(source, str) else source
+    if require_well_typed and analyzed.errors:
+        raise analyzed.errors[0]
+    return Machine(analyzed, options).run()

@@ -1,0 +1,187 @@
+"""Minimal RTSJ-style runtime for *compiled* (erased) programs.
+
+The Section 2.6 claim is that the typed language compiles by erasure:
+owners disappear, only region handles survive as values.
+:mod:`repro.interp.compile_py` emits plain Python against this shim —
+note that nothing here knows anything about owners, exactly like the
+RTSJ libraries the paper targeted.
+
+The shim intentionally mirrors the RTSJ surface: memory areas with
+LT/VT policies, ``instance()`` singletons for heap and immortal, portal
+storage, subregion tables, and the two dynamic checks (which the
+compiler omits when the program was typechecked — the paper's point).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from ..errors import (IllegalAssignmentError, OutOfRegionMemoryError)
+
+OBJ_HEADER = 16
+FIELD_BYTES = 8
+
+
+class Area:
+    """An erased memory area (the compiled counterpart of a region)."""
+
+    def __init__(self, name: str, policy: str = "VT", budget: int = 0,
+                 parent: Optional["Area"] = None) -> None:
+        self.name = name
+        self.policy = policy
+        self.budget = budget
+        self.used = 0
+        self.peak = 0
+        self.live = True
+        self.parent = parent
+        self.ancestors = set()
+        if parent is not None:
+            self.ancestors = parent.ancestors | {id(parent)}
+        self.portals: Dict[str, Any] = {}
+        self.subregions: Dict[str, "Area"] = {}
+        self.count = 0
+        self.objects_allocated = 0
+
+    # -- allocation ------------------------------------------------------
+
+    def alloc(self, obj: Any, n_fields: int) -> Any:
+        if not self.live:
+            raise OutOfRegionMemoryError(
+                f"allocation in dead area '{self.name}'")
+        size = OBJ_HEADER + FIELD_BYTES * n_fields
+        if self.policy == "LT" and self.used + size > self.budget:
+            raise OutOfRegionMemoryError(
+                f"LT area '{self.name}' of {self.budget} bytes cannot "
+                f"fit {size} more (used {self.used})")
+        self.used += size
+        self.peak = max(self.peak, self.used)
+        self.objects_allocated += 1
+        obj.__dict__["_area"] = self
+        return obj
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def flush(self) -> None:
+        self.used = 0
+
+    def destroy(self) -> None:
+        self.flush()
+        self.live = False
+
+    def outlives(self, other: "Area") -> bool:
+        return self is other or id(self) in other.ancestors \
+            or self.policy in ("HEAP", "IMMORTAL")
+
+    def can_flush(self) -> bool:
+        if self.count > 0:
+            return False
+        if any(hasattr(v, "_area") for v in self.portals.values()):
+            return False
+        return all(sub.used == 0 for sub in self.subregions.values())
+
+
+class Runtime:
+    """Per-run state: the special areas, the output channel, and the
+    dynamic-check configuration."""
+
+    def __init__(self, checks: bool = False) -> None:
+        self.heap = Area("heap", "HEAP")
+        self.immortal = Area("immortal", "IMMORTAL")
+        self.checks = checks
+        self.out = []
+        self.areas = [self.heap, self.immortal]
+        self.assignment_checks = 0
+
+    # -- RTSJ-style factory surface ---------------------------------------
+
+    def create_region(self, name: str, policy: str = "VT",
+                      budget: int = 0,
+                      parent: Optional[Area] = None,
+                      current: Optional[Area] = None) -> Area:
+        area = Area(name, policy, budget, parent)
+        if parent is None and current is not None:
+            area.ancestors = (current.ancestors
+                              | {id(current), id(self.heap),
+                                 id(self.immortal)})
+        self.areas.append(area)
+        return area
+
+    def enter_sub(self, parent: Area, name: str, policy: str,
+                  budget: int, fresh: bool) -> Area:
+        sub = parent.subregions.get(name)
+        if fresh or sub is None or not sub.live:
+            sub = self.create_region(f"{parent.name}.{name}", policy,
+                                     budget, parent=parent)
+            parent.subregions[name] = sub
+        sub.count += 1
+        return sub
+
+    def exit_sub(self, sub: Area) -> None:
+        sub.count -= 1
+        if sub.can_flush():
+            sub.flush()
+
+    # -- the dynamic checks (omitted by the typed compiler) -----------------
+
+    def check_store(self, target_area: Area, value: Any) -> None:
+        if not self.checks:
+            return
+        varea = getattr(value, "_area", None)
+        if varea is None:
+            return
+        self.assignment_checks += 1
+        if not varea.outlives(target_area):
+            raise IllegalAssignmentError(
+                f"compiled check: storing a reference from "
+                f"'{varea.name}' into '{target_area.name}' would dangle")
+
+    # -- intrinsics ----------------------------------------------------------
+
+    def print_(self, value: Any) -> None:
+        from .values import format_value
+        self.out.append(format_value(value))
+
+    @staticmethod
+    def io(n: int) -> int:
+        return n
+
+    @staticmethod
+    def check(cond: bool) -> None:
+        if not cond:
+            from ..errors import InterpreterError
+            raise InterpreterError("compiled program assertion failed")
+
+
+def jdiv(a, b):
+    """Java-style division (truncates toward zero for ints)."""
+    if isinstance(a, float) or isinstance(b, float):
+        return a / b
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+def jmod(a, b):
+    return a - jdiv(a, b) * b
+
+
+class IntArray:
+    def __init__(self, length: int) -> None:
+        self._data = [0] * length
+
+    def get(self, i):
+        return self._data[i]
+
+    def set(self, i, v):
+        self._data[i] = v
+
+    def length(self):
+        return len(self._data)
+
+    @property
+    def _n_fields(self):
+        return len(self._data)
+
+
+class FloatArray(IntArray):
+    def __init__(self, length: int) -> None:
+        self._data = [0.0] * length

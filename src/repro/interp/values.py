@@ -1,0 +1,48 @@
+"""Runtime values.
+
+Scalars are host ints/floats/bools, ``null`` is ``None``, objects are
+:class:`repro.rtsj.objects.ObjRef`; the only wrapper this module adds is
+the region handle (the one piece of region machinery that survives type
+erasure, Section 2.6)."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..rtsj.objects import ObjRef
+from ..rtsj.regions import MemoryArea
+
+
+class RegionHandle:
+    """The runtime value of type ``RHandle<r>``."""
+
+    __slots__ = ("area",)
+
+    def __init__(self, area: MemoryArea) -> None:
+        self.area = area
+
+    def __repr__(self) -> str:
+        return f"<handle {self.area.name}>"
+
+
+def region_of_owner(owner_value: Any) -> MemoryArea:
+    """The region an owner value stands for: a region is itself; an object
+    owner places the new object in its own region (Section 2.1)."""
+    if isinstance(owner_value, MemoryArea):
+        return owner_value
+    if isinstance(owner_value, ObjRef):
+        return owner_value.area
+    raise TypeError(f"not an owner value: {owner_value!r}")
+
+
+def format_value(value: Any) -> str:
+    """Rendering used by the ``print`` builtin."""
+    if value is None:
+        return "null"
+    if value is True:
+        return "true"
+    if value is False:
+        return "false"
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)

@@ -1,0 +1,31 @@
+"""Front end for the core language of the paper.
+
+The paper formalizes its type system over a core subset of Java ("Classic
+Java" [28]) extended with owner parameters, region kinds, portal fields,
+effects clauses, and fork/RT-fork (Figures 3, 7, 9 and 13).  This package
+provides a concrete, Java-flavoured syntax for that language together with a
+lexer, a recursive-descent parser, and a pretty printer.
+
+The concrete syntax follows the paper's own examples (Figures 5 and 8)::
+
+    class TStack<Owner stackOwner, Owner TOwner> {
+        TNode<this, TOwner> head;
+        void push(T<TOwner> value) { ... }
+    }
+    (RHandle<r1> h1) {
+        (RHandle<r2> h2) {
+            TStack<r2, r1> s2;
+            ...
+        }
+    }
+
+plus ``regionKind`` declarations, ``accesses`` effects clauses, ``where``
+constraint clauses, ``fork`` / ``RT fork``, and subregion-entry blocks
+``(RHandle<BufferSubRegion r2> h2 = h.b) { ... }``.
+"""
+
+from .lexer import Lexer, tokenize
+from .parser import Parser, parse_program
+from .pretty import pretty_program
+
+__all__ = ["Lexer", "tokenize", "Parser", "parse_program", "pretty_program"]

@@ -1,0 +1,171 @@
+"""Hand-written lexer for the core language."""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import LexError
+from ..source import Position, Span
+from .tokens import KEYWORDS, Token, TokenKind
+
+_PUNCT2 = {
+    "==": TokenKind.EQ,
+    "!=": TokenKind.NE,
+    "<=": TokenKind.LE,
+    ">=": TokenKind.GE,
+    "&&": TokenKind.AND_AND,
+    "||": TokenKind.OR_OR,
+}
+
+_PUNCT1 = {
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    "{": TokenKind.LBRACE,
+    "}": TokenKind.RBRACE,
+    "<": TokenKind.LANGLE,
+    ">": TokenKind.RANGLE,
+    ",": TokenKind.COMMA,
+    ";": TokenKind.SEMI,
+    ".": TokenKind.DOT,
+    ":": TokenKind.COLON,
+    "=": TokenKind.ASSIGN,
+    "+": TokenKind.PLUS,
+    "-": TokenKind.MINUS,
+    "*": TokenKind.STAR,
+    "/": TokenKind.SLASH,
+    "%": TokenKind.PERCENT,
+    "!": TokenKind.BANG,
+}
+
+
+_ASCII_DIGITS = "0123456789"
+
+
+def _is_digit(ch: str) -> bool:
+    """ASCII decimal digits only — unicode "digits" like '¹' satisfy
+    str.isdigit() but are not valid literals.  ``ch`` may be the empty
+    string (end of input)."""
+    return len(ch) == 1 and ch in _ASCII_DIGITS
+
+
+class Lexer:
+    """Converts core-language source text into a token stream."""
+
+    def __init__(self, text: str, filename: str = "<input>"):
+        self.text = text
+        self.filename = filename
+        self.pos = 0
+        self.line = 1
+        self.col = 1
+
+    # -- low-level cursor ---------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> str:
+        i = self.pos + offset
+        return self.text[i] if i < len(self.text) else ""
+
+    def _advance(self) -> str:
+        ch = self.text[self.pos]
+        self.pos += 1
+        if ch == "\n":
+            self.line += 1
+            self.col = 1
+        else:
+            self.col += 1
+        return ch
+
+    def _here(self) -> Position:
+        return Position(self.line, self.col)
+
+    def _span(self, start: Position) -> Span:
+        return Span(start, self._here(), self.filename)
+
+    # -- scanning -----------------------------------------------------------
+
+    def _skip_trivia(self) -> None:
+        while self.pos < len(self.text):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self.pos < len(self.text) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                start = self._here()
+                self._advance()
+                self._advance()
+                while not (self._peek() == "*" and self._peek(1) == "/"):
+                    if self.pos >= len(self.text):
+                        raise LexError("unterminated block comment",
+                                       self._span(start))
+                    self._advance()
+                self._advance()
+                self._advance()
+            else:
+                return
+
+    def _lex_number(self) -> Token:
+        start = self._here()
+        begin = self.pos
+        while _is_digit(self._peek()):
+            self._advance()
+        is_float = False
+        if self._peek() == "." and _is_digit(self._peek(1)):
+            is_float = True
+            self._advance()
+            while _is_digit(self._peek()):
+                self._advance()
+        if self._peek() in "eE" and (
+                _is_digit(self._peek(1))
+                or (self._peek(1) in "+-" and _is_digit(self._peek(2)))):
+            is_float = True
+            self._advance()
+            if self._peek() in "+-":
+                self._advance()
+            while _is_digit(self._peek()):
+                self._advance()
+        text = self.text[begin:self.pos]
+        kind = TokenKind.FLOAT_LIT if is_float else TokenKind.INT_LIT
+        return Token(kind, text, self._span(start))
+
+    def _lex_word(self) -> Token:
+        start = self._here()
+        begin = self.pos
+        while self._peek().isalnum() or self._peek() == "_":
+            self._advance()
+        text = self.text[begin:self.pos]
+        kind = KEYWORDS.get(text, TokenKind.IDENT)
+        return Token(kind, text, self._span(start))
+
+    def next_token(self) -> Token:
+        self._skip_trivia()
+        start = self._here()
+        if self.pos >= len(self.text):
+            return Token(TokenKind.EOF, "", self._span(start))
+        ch = self._peek()
+        if _is_digit(ch):
+            return self._lex_number()
+        if ch.isalpha() or ch == "_":
+            return self._lex_word()
+        two = ch + self._peek(1)
+        if two in _PUNCT2:
+            self._advance()
+            self._advance()
+            return Token(_PUNCT2[two], two, self._span(start))
+        if ch in _PUNCT1:
+            self._advance()
+            return Token(_PUNCT1[ch], ch, self._span(start))
+        raise LexError(f"unexpected character {ch!r}", self._span(start))
+
+    def tokens(self) -> List[Token]:
+        out: List[Token] = []
+        while True:
+            tok = self.next_token()
+            out.append(tok)
+            if tok.kind is TokenKind.EOF:
+                return out
+
+
+def tokenize(text: str, filename: str = "<input>") -> List[Token]:
+    """Tokenize ``text``, returning a list ending in an EOF token."""
+    return Lexer(text, filename).tokens()

@@ -1,0 +1,232 @@
+"""Pretty printer for the core language.
+
+Produces parseable source text; ``parse(pretty(parse(text)))`` is
+structurally identical to ``parse(text)``, a property the test suite checks
+with hypothesis-generated programs.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from . import ast
+
+_INDENT = "    "
+
+
+class _Printer:
+    def __init__(self) -> None:
+        self.lines: List[str] = []
+        self.depth = 0
+
+    def emit(self, text: str) -> None:
+        self.lines.append(_INDENT * self.depth + text)
+
+    # -- fragments ----------------------------------------------------------
+
+    def fmt_owner(self, owner: ast.OwnerAst) -> str:
+        return owner.name
+
+    def fmt_kind(self, kind: ast.KindAst) -> str:
+        base = kind.name
+        if kind.args:
+            base += "<" + ", ".join(self.fmt_owner(o) for o in kind.args) + ">"
+        if kind.lt:
+            base += " : LT"
+        return base
+
+    def fmt_type(self, t: ast.TypeAst) -> str:
+        if isinstance(t, ast.PrimTypeAst):
+            return t.name
+        if isinstance(t, ast.ClassTypeAst):
+            if not t.owners:
+                return t.name
+            owners = ", ".join(self.fmt_owner(o) for o in t.owners)
+            return f"{t.name}<{owners}>"
+        if isinstance(t, ast.HandleTypeAst):
+            return f"RHandle<{self.fmt_owner(t.region)}>"
+        raise TypeError(f"unknown type node {t!r}")
+
+    def fmt_formals(self, formals: List[ast.FormalAst]) -> str:
+        if not formals:
+            return ""
+        inner = ", ".join(f"{self.fmt_kind(f.kind)} {f.name}"
+                          for f in formals)
+        return f"<{inner}>"
+
+    def fmt_constraints(self, constraints: List[ast.ConstraintAst]) -> str:
+        if not constraints:
+            return ""
+        parts = ", ".join(f"{c.left.name} {c.relation} {c.right.name}"
+                          for c in constraints)
+        return f" where {parts}"
+
+    def fmt_policy(self, policy: ast.PolicyAst) -> str:
+        return f"LT({policy.size})" if policy.kind == "LT" else "VT"
+
+    # -- expressions ----------------------------------------------------------
+
+    def fmt_expr(self, e: ast.Expr) -> str:
+        if isinstance(e, ast.IntLit):
+            return str(e.value)
+        if isinstance(e, ast.FloatLit):
+            text = repr(e.value)
+            return text if ("." in text or "e" in text) else text + ".0"
+        if isinstance(e, ast.BoolLit):
+            return "true" if e.value else "false"
+        if isinstance(e, ast.NullLit):
+            return "null"
+        if isinstance(e, ast.ThisRef):
+            return "this"
+        if isinstance(e, ast.VarRef):
+            return e.name
+        if isinstance(e, ast.NewExpr):
+            text = f"new {e.class_name}"
+            if e.owners:
+                text += "<" + ", ".join(o.name for o in e.owners) + ">"
+            if e.args:
+                text += "(" + ", ".join(self.fmt_expr(a) for a in e.args) + ")"
+            return text
+        if isinstance(e, ast.FieldRead):
+            return f"{self.fmt_expr(e.target)}.{e.field_name}"
+        if isinstance(e, ast.Invoke):
+            owners = ""
+            if e.owner_args:
+                owners = "<" + ", ".join(o.name for o in e.owner_args) + ">"
+            args = ", ".join(self.fmt_expr(a) for a in e.args)
+            return f"{self.fmt_expr(e.target)}.{e.method_name}{owners}({args})"
+        if isinstance(e, ast.Binary):
+            return (f"({self.fmt_expr(e.left)} {e.op} "
+                    f"{self.fmt_expr(e.right)})")
+        if isinstance(e, ast.Unary):
+            return f"({e.op}{self.fmt_expr(e.operand)})"
+        if isinstance(e, ast.BuiltinCall):
+            args = ", ".join(self.fmt_expr(a) for a in e.args)
+            return f"{e.name}({args})"
+        raise TypeError(f"unknown expression node {e!r}")
+
+    # -- statements -----------------------------------------------------------
+
+    def print_stmt(self, s: ast.Stmt) -> None:
+        if isinstance(s, ast.Block):
+            self.emit("{")
+            self.depth += 1
+            for inner in s.stmts:
+                self.print_stmt(inner)
+            self.depth -= 1
+            self.emit("}")
+        elif isinstance(s, ast.LocalDecl):
+            text = f"{self.fmt_type(s.declared_type)} {s.name}"
+            if s.init is not None:
+                text += f" = {self.fmt_expr(s.init)}"
+            self.emit(text + ";")
+        elif isinstance(s, ast.AssignLocal):
+            self.emit(f"{s.name} = {self.fmt_expr(s.value)};")
+        elif isinstance(s, ast.AssignField):
+            self.emit(f"{self.fmt_expr(s.target)}.{s.field_name} = "
+                      f"{self.fmt_expr(s.value)};")
+        elif isinstance(s, ast.ExprStmt):
+            self.emit(self.fmt_expr(s.expr) + ";")
+        elif isinstance(s, ast.If):
+            self.emit(f"if ({self.fmt_expr(s.cond)})")
+            self.print_stmt(s.then_body)
+            if s.else_body is not None:
+                self.emit("else")
+                self.print_stmt(s.else_body)
+        elif isinstance(s, ast.While):
+            self.emit(f"while ({self.fmt_expr(s.cond)})")
+            self.print_stmt(s.body)
+        elif isinstance(s, ast.Return):
+            if s.value is None:
+                self.emit("return;")
+            else:
+                self.emit(f"return {self.fmt_expr(s.value)};")
+        elif isinstance(s, ast.Fork):
+            prefix = "RT fork" if s.realtime else "fork"
+            self.emit(f"{prefix} {self.fmt_expr(s.call)};")
+        elif isinstance(s, ast.RegionStmt):
+            inner = s.region_name
+            if s.kind is not None:
+                inner = self.fmt_kind(s.kind)
+                if s.policy is not None:
+                    inner += f" : {self.fmt_policy(s.policy)}"
+                inner += f" {s.region_name}"
+            self.emit(f"(RHandle<{inner}> {s.handle_name})")
+            self.print_stmt(s.body)
+        elif isinstance(s, ast.SubregionStmt):
+            inner = s.region_name
+            if s.declared_kind is not None:
+                inner = f"{self.fmt_kind(s.declared_kind)} {s.region_name}"
+            fresh = "new " if s.fresh else ""
+            parent = self.fmt_expr(s.parent_handle)
+            self.emit(f"(RHandle<{inner}> {s.handle_name} = "
+                      f"{fresh}{parent}.{s.subregion_name})")
+            self.print_stmt(s.body)
+        else:
+            raise TypeError(f"unknown statement node {s!r}")
+
+    # -- declarations -----------------------------------------------------
+
+    def print_field(self, f: ast.FieldDecl) -> None:
+        prefix = "static " if f.static else ""
+        text = f"{prefix}{self.fmt_type(f.declared_type)} {f.name}"
+        if f.init is not None:
+            text += f" = {self.fmt_expr(f.init)}"
+        self.emit(text + ";")
+
+    def print_method(self, m: ast.MethodDecl) -> None:
+        formals = self.fmt_formals(m.formals) if m.formals else ""
+        params = ", ".join(f"{self.fmt_type(t)} {name}"
+                           for t, name in m.params)
+        header = (f"{self.fmt_type(m.return_type)} {m.name}{formals}"
+                  f"({params})")
+        if m.effects is not None:
+            header += " accesses " + ", ".join(o.name for o in m.effects)
+        header += self.fmt_constraints(m.constraints)
+        self.emit(header)
+        self.print_stmt(m.body)
+
+    def print_class(self, cls: ast.ClassDecl) -> None:
+        header = f"class {cls.name}{self.fmt_formals(cls.formals)}"
+        if cls.superclass is not None:
+            header += f" extends {self.fmt_type(cls.superclass)}"
+        header += self.fmt_constraints(cls.constraints)
+        self.emit(header + " {")
+        self.depth += 1
+        for f in cls.fields:
+            self.print_field(f)
+        for m in cls.methods:
+            self.print_method(m)
+        self.depth -= 1
+        self.emit("}")
+
+    def print_region_kind(self, rk: ast.RegionKindDecl) -> None:
+        formals = self.fmt_formals(rk.formals) if rk.formals else ""
+        header = (f"regionKind {rk.name}{formals} extends "
+                  f"{self.fmt_kind(rk.superkind)}")
+        header += self.fmt_constraints(rk.constraints)
+        self.emit(header + " {")
+        self.depth += 1
+        for f in rk.portals:
+            self.print_field(f)
+        for sub in rk.subregions:
+            tt = "RT" if sub.realtime else "NoRT"
+            self.emit(f"{self.fmt_kind(sub.kind)} : "
+                      f"{self.fmt_policy(sub.policy)} {tt} {sub.name};")
+        self.depth -= 1
+        self.emit("}")
+
+
+def pretty_program(program: ast.Program) -> str:
+    """Render ``program`` back to parseable source text."""
+    printer = _Printer()
+    for rk in program.region_kinds:
+        printer.print_region_kind(rk)
+        printer.emit("")
+    for cls in program.classes:
+        printer.print_class(cls)
+        printer.emit("")
+    if program.main is not None:
+        for stmt in program.main.stmts:
+            printer.print_stmt(stmt)
+    return "\n".join(printer.lines) + "\n"

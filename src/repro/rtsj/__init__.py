@@ -1,0 +1,29 @@
+"""Simulated RTSJ platform (the substrate the paper ran on, [6, 7]).
+
+The paper evaluated its type system on MIT's RTSJ implementation: scoped
+LT/VT memory regions, immortal memory, a garbage-collected heap, regular
+and no-heap real-time threads, and the RTSJ *dynamic checks* whose removal
+Figure 12 measures.  This package is a faithful, deterministic simulation
+of that platform:
+
+* :mod:`~repro.rtsj.stats` — the cycle cost model and counters.
+* :mod:`~repro.rtsj.objects` — the simulated object model.
+* :mod:`~repro.rtsj.regions` — LT/VT/scoped/shared regions, subregions,
+  portal fields, reference counting, and the flush rule of Section 2.2.
+* :mod:`~repro.rtsj.checks` — the RTSJ dynamic checks (assignment /
+  heap-access) with per-check accounting.
+* :mod:`~repro.rtsj.gc` — a stop-the-world mark-sweep collector for the
+  heap that pauses regular threads but never real-time threads.
+* :mod:`~repro.rtsj.threads` — the deterministic cooperative scheduler.
+"""
+
+from .stats import CostModel, Stats
+from .objects import ObjRef
+from .regions import (HEAP_AREA_NAME, IMMORTAL_AREA_NAME, MemoryArea,
+                      RegionManager)
+from .threads import Scheduler, SimThread
+
+__all__ = [
+    "CostModel", "Stats", "ObjRef", "MemoryArea", "RegionManager",
+    "Scheduler", "SimThread", "HEAP_AREA_NAME", "IMMORTAL_AREA_NAME",
+]

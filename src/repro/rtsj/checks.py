@@ -1,0 +1,83 @@
+"""The RTSJ dynamic checks.
+
+Two families, exactly as in the paper's introduction:
+
+* **Assignment checks** — storing a reference must not create a dangling
+  reference: the value's memory area must outlive the target's area
+  (``IllegalAssignmentError`` otherwise).  Performed on *every* reference
+  store by *every* thread.
+* **Heap-access checks** — a no-heap real-time thread must never read,
+  overwrite, or receive a reference to a heap-allocated object
+  (``MemoryAccessError``).  Performed on every reference load/store
+  executed by a real-time thread.
+
+``CheckEngine`` runs in one of three modes:
+
+* ``dynamic``   — checks performed *and charged* to the cycle clock
+  (the RTSJ baseline of Figure 12);
+* ``static``    — checks skipped entirely (our type system has proven
+  them redundant; the "static checks" column of Figure 12);
+* additionally, ``validate=True`` performs the checks without charging
+  cycles — the test suite uses this to assert Theorems 3/4 empirically:
+  a well-typed program never fails a check.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..errors import IllegalAssignmentError, MemoryAccessError
+from .objects import ObjRef
+from .regions import MemoryArea
+from .stats import CostModel, Stats
+
+
+class CheckEngine:
+    def __init__(self, cost_model: CostModel, stats: Stats,
+                 enabled: bool, validate: bool) -> None:
+        self.cost = cost_model
+        self.stats = stats
+        self.enabled = enabled
+        self.validate = validate
+
+    # ------------------------------------------------------------------
+
+    def assignment_cost(self, target_area: MemoryArea, value: Any) -> int:
+        """Cycles charged for one RTSJ assignment check (0 when checks
+        are compiled out).  Raises on violation when checking is on in
+        either mode."""
+        if not (self.enabled or self.validate):
+            return 0
+        cycles = 0
+        if self.enabled:
+            self.stats.assignment_checks += 1
+            cycles = self.cost.check_assign_base
+            if isinstance(value, ObjRef):
+                cycles += (self.cost.check_assign_per_level
+                           * value.area.ancestry_distance(target_area))
+            self.stats.check_cycles += cycles
+        if isinstance(value, ObjRef):
+            if not value.area.outlives(target_area):
+                raise IllegalAssignmentError(
+                    f"storing a reference to {value!r} (area "
+                    f"'{value.area.name}') into area "
+                    f"'{target_area.name}' would dangle")
+        return cycles
+
+    def read_cost(self, realtime: bool, value: Any,
+                  old_value: Any = None) -> int:
+        """Cycles charged for the no-heap read/overwrite check on a
+        reference touched by a real-time thread."""
+        if not realtime or not (self.enabled or self.validate):
+            return 0
+        cycles = 0
+        if self.enabled:
+            self.stats.read_checks += 1
+            cycles = self.cost.check_read_base
+            self.stats.check_cycles += cycles
+        for v in (value, old_value):
+            if isinstance(v, ObjRef) and v.area.is_heap:
+                raise MemoryAccessError(
+                    f"no-heap real-time thread touched heap reference "
+                    f"{v!r}")
+        return cycles

@@ -1,0 +1,70 @@
+"""The simulated object model.
+
+Objects carry their runtime owner values (regions or objects) purely for
+diagnostics and the Figure-6 ownership-graph extraction — a real
+implementation erases them (Section 2.6) and the cost model charges
+nothing for their upkeep.  What the RTSJ runtime *does* track per object —
+the memory area it is allocated in — is the ``area`` field that the
+dynamic checks consult.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Optional, Tuple
+
+#: bytes charged per object header / per field slot
+HEADER_BYTES = 16
+FIELD_BYTES = 8
+
+_oid_counter = itertools.count(1)
+
+
+class ObjRef:
+    """A simulated object reference."""
+
+    __slots__ = ("oid", "class_name", "owners", "fields", "area",
+                 "generation", "size_bytes", "gc_mark")
+
+    def __init__(self, class_name: str, owners: Tuple[Any, ...],
+                 field_names, area) -> None:
+        self.oid = next(_oid_counter)
+        self.class_name = class_name
+        self.owners = owners
+        self.fields: Dict[str, Any] = {name: None for name in field_names}
+        self.area = area
+        #: the area generation at allocation; a region flush bumps the
+        #: generation, turning every extant reference dangling
+        self.generation = area.generation
+        self.size_bytes = HEADER_BYTES + FIELD_BYTES * len(self.fields)
+        self.gc_mark = False
+
+    @property
+    def alive(self) -> bool:
+        return self.area.live and self.area.generation == self.generation
+
+    @property
+    def owner(self) -> Any:
+        return self.owners[0] if self.owners else self.area
+
+    def __repr__(self) -> str:
+        return f"<{self.class_name}#{self.oid} in {self.area.name}>"
+
+
+class ArrayStorage:
+    """Backing store for the built-in IntArray/FloatArray classes; lives
+    in ``extra`` so ObjRef stays uniform."""
+
+    __slots__ = ("values",)
+
+    def __init__(self, length: int, zero) -> None:
+        self.values = [zero] * length
+
+
+def make_array(class_name: str, owners: Tuple[Any, ...], area,
+               length: int) -> ObjRef:
+    zero = 0 if class_name == "IntArray" else 0.0
+    obj = ObjRef(class_name, owners, ("__storage__",), area)
+    obj.fields["__storage__"] = ArrayStorage(length, zero)
+    obj.size_bytes = HEADER_BYTES + FIELD_BYTES * max(length, 0)
+    return obj

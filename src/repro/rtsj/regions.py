@@ -1,0 +1,222 @@
+"""Memory areas: the RTSJ region model extended with the paper's
+subregions and typed portal fields.
+
+Lifetimes and the runtime outlives relation
+-------------------------------------------
+
+Every area records the set of areas that were accessible to the creating
+thread when it was created (``ancestor_ids``); the static rule
+[EXPR REGION] adds ``re ≽ r`` for exactly those regions, so the runtime
+relation ``a outlives b  ⇔  a ∈ ancestors(b) ∪ {b, heap, immortal}``
+mirrors the type system.  The RTSJ assignment check consults this
+relation.
+
+Flushing (Section 2.2)
+----------------------
+
+A subregion is flushed when (1) its thread count is zero, (2) every portal
+field is null, and (3) every one of its subregions is flushed.  Flushing
+an LT area resets the allocation pointer but keeps the preallocated
+memory — that is why real-time threads can re-enter LT subregions without
+ever allocating.  Flushing a VT area returns its on-demand chunks.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, List, Optional, Set
+
+from ..errors import OutOfRegionMemoryError
+from .objects import ObjRef
+
+HEAP_AREA_NAME = "heap"
+IMMORTAL_AREA_NAME = "immortal"
+
+_area_ids = itertools.count(1)
+
+#: allocation policies
+LT, VT, HEAP_POLICY, IMMORTAL_POLICY = "LT", "VT", "HEAP", "IMMORTAL"
+
+
+class MemoryArea:
+    """One simulated memory area (region)."""
+
+    def __init__(self, name: str, kind_name: str, policy: str,
+                 lt_budget: int = 0,
+                 ancestors: Optional[Set[int]] = None,
+                 parent: Optional["MemoryArea"] = None,
+                 realtime_only: bool = False) -> None:
+        self.area_id = next(_area_ids)
+        self.name = name
+        self.kind_name = kind_name          # region kind (static)
+        self.policy = policy                # LT / VT / HEAP / IMMORTAL
+        self.lt_budget = lt_budget
+        self.bytes_used = 0
+        self.peak_bytes = 0
+        self.chunks = 0                     # VT chunks acquired
+        self.live = True
+        self.generation = 0
+        self.parent = parent
+        self.ancestor_ids: Set[int] = set(ancestors or ())
+        if parent is not None:
+            self.ancestor_ids |= parent.ancestor_ids | {parent.area_id}
+        self.depth = len(self.ancestor_ids)
+        self.thread_count = 0
+        self.portals: Dict[str, Any] = {}
+        #: subregion slot name -> current instance (None until entered,
+        #: unless preallocated eagerly for LT policies)
+        self.subregions: Dict[str, Optional["MemoryArea"]] = {}
+        self.realtime_only = realtime_only  # RT subregion (Section 2.3)
+        #: objects allocated here (sweep lists / graph extraction)
+        self.objects: List[ObjRef] = []
+
+    # ------------------------------------------------------------------
+
+    @property
+    def is_heap(self) -> bool:
+        return self.policy == HEAP_POLICY
+
+    @property
+    def is_immortal(self) -> bool:
+        return self.policy == IMMORTAL_POLICY
+
+    @property
+    def is_flushed(self) -> bool:
+        """An area with no live objects; freshly created areas count as
+        flushed (nothing allocated yet)."""
+        return self.bytes_used == 0
+
+    def outlives(self, other: "MemoryArea") -> bool:
+        """Runtime outlives: would a reference from an object in ``other``
+        to an object in ``self`` be safe?"""
+        if self is other or self.is_heap or self.is_immortal:
+            return True
+        return self.area_id in other.ancestor_ids
+
+    def ancestry_distance(self, other: "MemoryArea") -> int:
+        """Scope-stack steps an RTSJ assignment check walks to find
+        ``self`` from ``other`` (cost model input)."""
+        if self is other:
+            return 0
+        if self.is_heap or self.is_immortal:
+            return max(other.depth, 1)
+        return max(other.depth - self.depth, 1)
+
+    # ------------------------------------------------------------------
+    # allocation / flushing
+    # ------------------------------------------------------------------
+
+    VT_CHUNK_BYTES = 4096
+
+    def allocate(self, obj: ObjRef) -> int:
+        """Account for ``obj``'s bytes; returns the number of *fresh VT
+        chunks* acquired (0 for LT/heap/immortal), so the interpreter can
+        charge variable-time cost.  Raises if an LT budget overflows."""
+        if not self.live:
+            raise OutOfRegionMemoryError(
+                f"allocation in dead region '{self.name}'")
+        fresh_chunks = 0
+        if self.policy == LT:
+            if self.bytes_used + obj.size_bytes > self.lt_budget:
+                raise OutOfRegionMemoryError(
+                    f"LT region '{self.name}' of size {self.lt_budget} "
+                    f"bytes cannot fit {obj.size_bytes} more bytes "
+                    f"(used {self.bytes_used})")
+        elif self.policy == VT:
+            before = (self.bytes_used + self.VT_CHUNK_BYTES - 1) \
+                // self.VT_CHUNK_BYTES
+            after = (self.bytes_used + obj.size_bytes
+                     + self.VT_CHUNK_BYTES - 1) // self.VT_CHUNK_BYTES
+            fresh_chunks = max(after - before, 1 if self.chunks == 0 else 0)
+            self.chunks = max(self.chunks, after)
+        self.bytes_used += obj.size_bytes
+        self.peak_bytes = max(self.peak_bytes, self.bytes_used)
+        self.objects.append(obj)
+        return fresh_chunks
+
+    def free_object_bytes(self, obj: ObjRef) -> None:
+        """Heap sweep support: return one object's bytes."""
+        self.bytes_used -= obj.size_bytes
+
+    def flush(self) -> int:
+        """Delete all objects; returns the number of objects flushed.
+        LT keeps its preallocated memory (pointer reset); VT returns its
+        chunks."""
+        freed = len(self.objects)
+        self.generation += 1
+        self.bytes_used = 0
+        self.objects.clear()
+        if self.policy == VT:
+            self.chunks = 0
+        return freed
+
+    def destroy(self) -> int:
+        """Scoped-region exit / shared count reaching zero: the region is
+        deleted, freeing all objects stored therein."""
+        freed = self.flush()
+        self.live = False
+        return freed
+
+    # ------------------------------------------------------------------
+    # the Section 2.2 flush rule
+    # ------------------------------------------------------------------
+
+    def can_flush(self) -> bool:
+        if self.thread_count > 0:
+            return False
+        # only *reference* portals keep a region alive ("a portal field
+        # ... is either null or points to an object"); scalar portal
+        # values are plain data
+        if any(isinstance(value, ObjRef)
+               for value in self.portals.values()):
+            return False
+        for sub in self.subregions.values():
+            if sub is not None and sub.live and not sub.is_flushed:
+                return False
+        return True
+
+    def __repr__(self) -> str:
+        return (f"<MemoryArea {self.name} kind={self.kind_name} "
+                f"policy={self.policy} used={self.bytes_used}>")
+
+
+def release_shared(area: MemoryArea) -> int:
+    """One thread leaves a shared region (block exit or thread death).
+
+    Top-level shared regions are deleted when the last thread exits
+    (Section 2.2); subregions are *flushed* when the flush rule allows,
+    keeping their preallocated memory.  Returns the number of objects
+    freed."""
+    area.thread_count -= 1
+    if area.thread_count > 0 or not area.live:
+        return 0
+    if area.parent is None:
+        return area.destroy()
+    if area.can_flush() and not area.is_flushed:
+        return area.flush()
+    return 0
+
+
+class RegionManager:
+    """Owns the special areas and the registry of all areas created
+    during one run."""
+
+    def __init__(self) -> None:
+        self.heap = MemoryArea(HEAP_AREA_NAME, "GCRegion", HEAP_POLICY)
+        self.immortal = MemoryArea(IMMORTAL_AREA_NAME, "SharedRegion",
+                                   IMMORTAL_POLICY)
+        self.areas: List[MemoryArea] = [self.heap, self.immortal]
+
+    def create(self, name: str, kind_name: str, policy: str,
+               lt_budget: int, ancestors: Set[int],
+               parent: Optional[MemoryArea] = None,
+               realtime_only: bool = False) -> MemoryArea:
+        area = MemoryArea(name, kind_name, policy, lt_budget,
+                          ancestors, parent, realtime_only)
+        area.ancestor_ids |= {self.heap.area_id, self.immortal.area_id}
+        area.depth = len(area.ancestor_ids)
+        self.areas.append(area)
+        return area
+
+    def live_areas(self) -> List[MemoryArea]:
+        return [a for a in self.areas if a.live]

@@ -1,0 +1,146 @@
+"""Deterministic cooperative scheduler.
+
+Threads are generator coroutines produced by the interpreter; each yield
+is either an ``int`` (cycles to charge) or the :data:`YIELD` sentinel (end
+the time slice, e.g. ``yieldnow()``).  Scheduling is strict-priority
+round-robin: all runnable real-time threads run before any regular
+thread, matching the RTSJ model where real-time threads preempt regular
+ones.  A pending garbage collection runs between slices and pauses only
+the regular threads.
+
+The whole machine is single-CPU: the global cycle clock advances by every
+charged cost, so "execution time" (Figure 12) is the final clock value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, List, Optional
+
+from ..errors import DeadlockError, ReproError
+from .regions import MemoryArea
+from .stats import Stats
+
+#: yielded by a coroutine to voluntarily end its time slice
+YIELD = object()
+
+Coroutine = Generator[Any, None, None]
+
+
+@dataclass
+class SimThread:
+    name: str
+    coroutine: Coroutine
+    realtime: bool = False
+    done: bool = False
+    #: shared regions this thread is currently inside (for refcounts)
+    shared_stack: List[MemoryArea] = field(default_factory=list)
+    #: live interpreter frames (GC root discovery)
+    frames: List[Dict[str, Any]] = field(default_factory=list)
+    #: cycles consumed by this thread
+    cycles: int = 0
+    #: clock value when the thread last got the CPU (latency metric)
+    last_scheduled: int = 0
+    max_dispatch_latency: int = 0
+
+    @property
+    def no_heap(self) -> bool:
+        """Our RT forked threads are no-heap real-time threads."""
+        return self.realtime
+
+
+class Scheduler:
+    def __init__(self, stats: Stats, quantum: int = 2000,
+                 max_cycles: int = 2_000_000_000,
+                 gc_hook: Optional[Callable[[], int]] = None) -> None:
+        self.stats = stats
+        self.quantum = quantum
+        self.max_cycles = max_cycles
+        self.threads: List[SimThread] = []
+        self.gc_hook = gc_hook  # returns pause cycles, or 0 if no GC ran
+        self.failure: Optional[BaseException] = None
+
+    def spawn(self, thread: SimThread) -> None:
+        thread.last_scheduled = self.stats.cycles
+        self.threads.append(thread)
+        self.stats.threads_spawned += 1
+
+    # ------------------------------------------------------------------
+
+    def _finish(self, thread: SimThread) -> None:
+        from .regions import release_shared
+        thread.done = True
+        self.stats.event("thread-finished", thread.name)
+        # a terminating thread exits all its shared regions (Section 2.2)
+        for area in reversed(thread.shared_stack):
+            if release_shared(area) or not area.live:
+                self.stats.event("region-destroyed", area.name)
+        thread.shared_stack.clear()
+
+    def _run_slice(self, thread: SimThread) -> None:
+        latency = self.stats.cycles - thread.last_scheduled
+        thread.max_dispatch_latency = max(thread.max_dispatch_latency,
+                                          latency)
+        budget = self.quantum
+        while budget > 0:
+            try:
+                item = next(thread.coroutine)
+            except StopIteration:
+                self._finish(thread)
+                return
+            except RecursionError:
+                # the simulated program's call stack overflowed the host
+                # interpreter's: surface it as the simulated platform's
+                # StackOverflowError equivalent
+                from ..errors import InterpreterError
+                self._finish(thread)
+                self.failure = InterpreterError(
+                    f"simulated call stack overflow in thread "
+                    f"'{thread.name}' (deep recursion)")
+                return
+            except ReproError as err:
+                self._finish(thread)
+                self.failure = err
+                return
+            if item is YIELD:
+                break
+            cycles = int(item)
+            budget -= cycles
+            thread.cycles += cycles
+            self.stats.charge(cycles, thread.name)
+        thread.last_scheduled = self.stats.cycles
+
+    def run(self) -> None:
+        """Run until every thread finishes.  Re-raises the first simulated
+        runtime failure after stopping all threads."""
+        while True:
+            if self.failure is not None:
+                raise self.failure
+            alive = [t for t in self.threads if not t.done]
+            if not alive:
+                return
+            if self.stats.cycles > self.max_cycles:
+                raise DeadlockError(
+                    f"simulation exceeded {self.max_cycles} cycles "
+                    "(runaway program?)")
+            if self.gc_hook is not None:
+                pause = self.gc_hook()
+                if pause:
+                    # the pause hits the global clock; real-time threads
+                    # are not blocked by it (asserted via latency metrics)
+                    self.stats.charge(pause, "<gc>")
+                    for t in alive:
+                        if t.realtime:
+                            # RT threads keep running during GC: their
+                            # next dispatch is not delayed by the pause
+                            t.last_scheduled = self.stats.cycles
+            ran_any = False
+            # strict priority: real-time threads first
+            for thread in [t for t in alive if t.realtime] + \
+                          [t for t in alive if not t.realtime]:
+                if thread.done:
+                    continue
+                self._run_slice(thread)
+                ran_any = True
+            if not ran_any:
+                raise DeadlockError("no runnable threads")

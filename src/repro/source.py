@@ -1,0 +1,53 @@
+"""Source positions and spans for diagnostics.
+
+Every token, AST node, and diagnostic carries a :class:`Span` so that type
+errors point back at the offending line of the core-language program, exactly
+the way the paper's checker reports errors against Java source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Position:
+    """A single point in a source file (1-based line and column)."""
+
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"{self.line}:{self.column}"
+
+
+@dataclass(frozen=True)
+class Span:
+    """A contiguous range of source text, used to anchor diagnostics."""
+
+    start: Position
+    end: Position
+    filename: str = "<input>"
+
+    def __str__(self) -> str:
+        return f"{self.filename}:{self.start}"
+
+    @staticmethod
+    def unknown() -> "Span":
+        return Span(Position(0, 0), Position(0, 0), "<unknown>")
+
+    def merge(self, other: "Span") -> "Span":
+        """Smallest span covering both ``self`` and ``other``."""
+        lo = min((self.start.line, self.start.column),
+                 (other.start.line, other.start.column))
+        hi = max((self.end.line, self.end.column),
+                 (other.end.line, other.end.column))
+        return Span(Position(*lo), Position(*hi), self.filename)
+
+
+def excerpt(text: str, span: Span, context: int = 0) -> str:
+    """Return the source line(s) covered by ``span`` for error messages."""
+    lines = text.splitlines()
+    lo = max(span.start.line - 1 - context, 0)
+    hi = min(span.end.line + context, len(lines))
+    return "\n".join(lines[lo:hi])

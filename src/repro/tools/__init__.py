@@ -1,0 +1,21 @@
+"""Developer tools layered on the reproduction.
+
+* :mod:`~repro.tools.advisor` — profiling-based advice for the two
+  development burdens the paper names in Section 4: "grouping objects
+  into regions and determining the maximum size of LT regions [31, 32]".
+* :mod:`~repro.tools.effects_lint` — find redundant ``accesses``
+  declarations (an unnecessary heap effect makes a method unusable from
+  real-time threads).
+* :mod:`~repro.tools.timeline` — render the machine's region/thread/GC
+  event log as a text timeline.
+"""
+
+from .advisor import AdvisorReport, advise
+from .effects_lint import MethodEffectsReport, format_report, lint_effects
+from .timeline import event_counts, render_timeline
+
+__all__ = [
+    "AdvisorReport", "advise",
+    "MethodEffectsReport", "lint_effects", "format_report",
+    "render_timeline", "event_counts",
+]

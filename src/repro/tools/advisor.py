@@ -1,0 +1,138 @@
+"""Region-sizing and placement advisor.
+
+The paper (Section 4): "The additional development burden consists of
+grouping objects into regions and determining the maximum size of LT
+regions [31, 32]" — the cited works do this with static preallocation
+analysis and offline dynamic analysis [26, 27].  This module implements
+the dynamic-analysis flavour on our simulated platform: run the program
+once under instrumentation, then report
+
+* **LT budget suggestions** — the observed peak occupancy of every LT
+  region/subregion with headroom, vs the declared budget (flagging both
+  near-overflow and gross over-provisioning);
+* **VT → LT candidates** — VT regions whose peak size is small and
+  stable enough that preallocating them would give real-time threads
+  linear-time allocation;
+* **heap escape report** — how many heap-allocated objects were
+  reclaimed by the collector (i.e. died young), the population the
+  paper's region discipline wants moved out of the heap.
+
+The advisor never changes semantics; it only reads the statistics the
+machine already tracks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from ..core.api import AnalyzedProgram, analyze
+from ..interp.machine import Machine, RunOptions
+from ..rtsj.regions import LT, VT
+
+
+@dataclass
+class RegionAdvice:
+    name: str
+    kind_name: str
+    policy: str
+    declared_budget: int
+    peak_bytes: int
+    suggested_budget: int
+    note: str
+
+
+@dataclass
+class AdvisorReport:
+    regions: List[RegionAdvice] = field(default_factory=list)
+    heap_allocated: int = 0
+    heap_collected: int = 0
+    gc_runs: int = 0
+
+    @property
+    def heap_death_rate(self) -> float:
+        if not self.heap_allocated:
+            return 0.0
+        return self.heap_collected / self.heap_allocated
+
+    def lt_suggestions(self) -> Dict[str, int]:
+        return {advice.name: advice.suggested_budget
+                for advice in self.regions if advice.policy == LT}
+
+    def vt_to_lt_candidates(self) -> List[str]:
+        return [advice.name for advice in self.regions
+                if advice.policy == VT and "candidate" in advice.note]
+
+    def format(self) -> str:
+        lines = [f"{'Region':<22} {'Policy':>6} {'Declared':>9} "
+                 f"{'Peak':>7} {'Suggest':>8}  Note"]
+        lines.append("-" * len(lines[0]))
+        for advice in self.regions:
+            declared = (str(advice.declared_budget)
+                        if advice.policy == LT else "-")
+            lines.append(
+                f"{advice.name:<22} {advice.policy:>6} {declared:>9} "
+                f"{advice.peak_bytes:>7} {advice.suggested_budget:>8}  "
+                f"{advice.note}")
+        lines.append(
+            f"heap: {self.heap_allocated} objects allocated, "
+            f"{self.heap_collected} collected "
+            f"({self.heap_death_rate:.0%} died young) across "
+            f"{self.gc_runs} GCs")
+        return "\n".join(lines)
+
+
+#: round suggested budgets up to this granularity
+_GRANULARITY = 256
+#: headroom multiplier over the observed peak
+_HEADROOM = 1.5
+
+
+def _suggest(peak: int) -> int:
+    target = max(int(peak * _HEADROOM), _GRANULARITY)
+    return ((target + _GRANULARITY - 1) // _GRANULARITY) * _GRANULARITY
+
+
+def advise(source: Union[str, AnalyzedProgram],
+           options: Optional[RunOptions] = None) -> AdvisorReport:
+    """Run ``source`` once under instrumentation and produce sizing
+    advice."""
+    analyzed = analyze(source) if isinstance(source, str) else source
+    analyzed.require_well_typed()
+    machine = Machine(analyzed, options or RunOptions())
+    result = machine.run()
+
+    report = AdvisorReport(gc_runs=result.stats.gc_runs)
+    heap = machine.regions.heap
+    # every heap object ever allocated is either still resident or was
+    # swept by the collector
+    collected = result.stats.gc_objects_collected
+    report.heap_allocated = len(heap.objects) + collected
+    report.heap_collected = collected
+
+    for area in machine.regions.areas:
+        if area.is_heap or area.is_immortal:
+            continue
+        if area.policy == LT:
+            usage = (area.peak_bytes / area.lt_budget
+                     if area.lt_budget else 1.0)
+            if usage > 0.9:
+                note = "near overflow — raise the budget"
+            elif usage < 0.25 and area.lt_budget > _GRANULARITY:
+                note = "over-provisioned — shrink the budget"
+            else:
+                note = "well sized"
+            report.regions.append(RegionAdvice(
+                area.name, area.kind_name, LT, area.lt_budget,
+                area.peak_bytes, _suggest(area.peak_bytes), note))
+        else:
+            stable = area.generation <= 1  # never re-grown after a flush
+            small = area.peak_bytes <= 64 * 1024
+            note = ("LT candidate — preallocate "
+                    f"{_suggest(area.peak_bytes)} bytes for linear-time "
+                    "allocation" if (stable and small)
+                    else "keep VT (large or growing)")
+            report.regions.append(RegionAdvice(
+                area.name, area.kind_name, VT, 0, area.peak_bytes,
+                _suggest(area.peak_bytes), note))
+    return report

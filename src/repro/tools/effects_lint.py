@@ -1,0 +1,127 @@
+"""Effects linter: find redundant ``accesses`` declarations.
+
+The effect system is a contract: a method's clause must *cover* every
+owner the body (and everything it transitively calls or spawns) accesses.
+Over-declaring is sound but costly — a too-wide clause forces every
+caller to widen too, and (Section 2.3) an unnecessary ``heap`` effect
+makes a method unusable from real-time threads.
+
+``lint_effects`` re-runs the typechecker with an observer on the
+``E ⊢ X ≽ o`` judgment, records each method's actually-demanded owners,
+and reports declared effects that cover no demand the rest of the clause
+would not also cover.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..core.api import AnalyzedProgram, analyze
+from ..core.checker import Checker
+from ..core.env import Env
+from ..core.owners import HEAP, Owner, RT_EFFECT
+
+
+@dataclass
+class MethodEffectsReport:
+    class_name: str
+    method_name: str
+    declared: Tuple[Owner, ...]
+    demanded: Tuple[Owner, ...]
+    redundant: Tuple[Owner, ...]
+
+    @property
+    def qualified(self) -> str:
+        return f"{self.class_name}.{self.method_name}"
+
+
+class _ObservingChecker(Checker):
+    def __init__(self, program_info):
+        super().__init__(program_info)
+        self.demands: Dict[Tuple[str, str], List[Tuple[Env, Owner]]] = {}
+        self._current_key: Optional[Tuple[str, str]] = None
+        self._method_envs: Dict[Tuple[str, str], Env] = {}
+
+    def _check_method(self, class_env, info, mi):
+        self._current_key = (info.name, mi.name)
+        self.demands.setdefault(self._current_key, [])
+        try:
+            super()._check_method(class_env, info, mi)
+        finally:
+            self._current_key = None
+
+    def check_block(self, env, block, permitted, rcr):
+        # remember the outermost env of the current method so entailment
+        # questions can be answered afterwards
+        if self._current_key is not None \
+                and self._current_key not in self._method_envs:
+            self._method_envs[self._current_key] = env
+        super().check_block(env, block, permitted, rcr)
+
+    def _covers(self, env, permitted, owner):
+        if self._current_key is not None:
+            self.demands[self._current_key].append((env, owner))
+        return super()._covers(env, permitted, owner)
+
+
+def lint_effects(source) -> List[MethodEffectsReport]:
+    """Report per-method declared vs demanded effects; methods with
+    redundant declarations come back with a non-empty ``redundant``."""
+    analyzed = source if isinstance(source, AnalyzedProgram) \
+        else analyze(source)
+    analyzed.require_well_typed()
+    checker = _ObservingChecker(analyzed.info)
+    errors = checker.check()
+    if errors:
+        raise errors[0]
+
+    reports: List[MethodEffectsReport] = []
+    for (class_name, method_name), demands in checker.demands.items():
+        info = analyzed.info.classes[class_name]
+        mi = info.methods[method_name]
+        declared = tuple(mi.effects or ())
+        env = checker._method_envs.get((class_name, method_name))
+        redundant: List[Owner] = []
+        if env is not None:
+            def covers_all(clause: frozenset) -> bool:
+                for demand_env, owner in demands:
+                    if owner == RT_EFFECT:
+                        if RT_EFFECT not in clause:
+                            return False
+                    elif owner == HEAP:
+                        if HEAP not in clause:
+                            return False
+                    elif not demand_env.effect_covers(clause, owner):
+                        return False
+                return True
+
+            # greedy elimination; try to drop the special owners first —
+            # an unnecessary `heap` is what locks real-time threads out
+            keep = frozenset(declared)
+            order = sorted(
+                declared,
+                key=lambda o: (o != HEAP, o != Owner("immortal"), str(o)))
+            for candidate in order:
+                trial = keep - {candidate}
+                if covers_all(trial):
+                    keep = trial
+                    redundant.append(candidate)
+        demanded = tuple(dict.fromkeys(owner for _env, owner in demands))
+        reports.append(MethodEffectsReport(
+            class_name, method_name, declared, demanded,
+            tuple(redundant)))
+    return reports
+
+
+def format_report(reports: List[MethodEffectsReport],
+                  only_redundant: bool = True) -> str:
+    lines = []
+    for report in sorted(reports, key=lambda r: r.qualified):
+        if only_redundant and not report.redundant:
+            continue
+        declared = ", ".join(map(str, report.declared)) or "(none)"
+        extra = ", ".join(map(str, report.redundant))
+        lines.append(f"{report.qualified}: accesses {declared}"
+                     + (f"  [redundant: {extra}]" if extra else ""))
+    return "\n".join(lines) if lines else "(no redundant effects)"

@@ -1,0 +1,170 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import RunOptions, analyze, run_source
+
+#: Figure 5 — the TStack example, fully annotated.
+TSTACK_SOURCE = """
+class T<Owner o> { int x; }
+class TStack<Owner stackOwner, Owner TOwner> {
+    TNode<this, TOwner> head = null;
+    int size = 0;
+    void push(T<TOwner> value) {
+        TNode<this, TOwner> newNode = new TNode<this, TOwner>;
+        newNode.init(value, head);
+        head = newNode;
+        size = size + 1;
+    }
+    T<TOwner> pop() {
+        if (head == null) { return null; }
+        T<TOwner> value = head.value;
+        head = head.next;
+        size = size - 1;
+        return value;
+    }
+}
+class TNode<Owner nodeOwner, Owner TOwner> {
+    T<TOwner> value;
+    TNode<nodeOwner, TOwner> next;
+    void init(T<TOwner> v, TNode<nodeOwner, TOwner> n) {
+        this.value = v;
+        this.next = n;
+    }
+}
+(RHandle<r1> h1) {
+    (RHandle<r2> h2) {
+        TStack<r2, r2> s1 = new TStack<r2, r2>;
+        TStack<r2, r1> s2 = new TStack<r2, r1>;
+        TStack<r1, immortal> s3 = new TStack<r1, immortal>;
+        TStack<heap, immortal> s4 = new TStack<heap, immortal>;
+        TStack<immortal, heap> s5 = new TStack<immortal, heap>;
+        s1.push(new T<r2>);
+        T<r2> t = s1.pop();
+        print(t.x);
+    }
+}
+"""
+
+#: Figure 8 — producer/consumer with subregions and portal fields,
+#: with a portal-polling handshake in place of the paper's elided
+#: wait/notify synchronization.
+PRODUCER_CONSUMER_SOURCE = """
+regionKind BufferRegion extends SharedRegion {
+    BufferSubRegion : LT(4096) NoRT b;
+}
+regionKind BufferSubRegion extends SharedRegion {
+    Frame<this> f;
+}
+class Frame { int data; }
+class Producer<BufferRegion r> {
+    void run(RHandle<r> h, int frames) accesses r, heap {
+        int i = 0;
+        while (i < frames) {
+            boolean placed = false;
+            while (!placed) {
+                (RHandle<BufferSubRegion r2> h2 = h.b) {
+                    if (h2.f == null) {
+                        Frame frame = new Frame;
+                        frame.data = i * 10;
+                        h2.f = frame;
+                        placed = true;
+                    }
+                }
+                yieldnow();
+            }
+            i = i + 1;
+        }
+    }
+}
+class Consumer<BufferRegion r> {
+    void run(RHandle<r> h, int frames) accesses r, heap {
+        int got = 0;
+        while (got < frames) {
+            (RHandle<BufferSubRegion r2> h2 = h.b) {
+                Frame frame = h2.f;
+                if (frame != null) {
+                    h2.f = null;
+                    print(frame.data);
+                    got = got + 1;
+                }
+            }
+            yieldnow();
+        }
+    }
+}
+(RHandle<BufferRegion r> h) {
+    fork (new Producer<r>).run(h, 5);
+    fork (new Consumer<r>).run(h, 5);
+}
+"""
+
+#: A real-time pipeline using an RT LT subregion.
+REALTIME_SOURCE = """
+regionKind MissionRegion extends SharedRegion {
+    WorkSubRegion : LT(8192) RT w;
+}
+regionKind WorkSubRegion extends SharedRegion { }
+class Cell { int v; }
+class RTTask<MissionRegion r> {
+    void run(RHandle<r> h, int n) accesses r, RT {
+        int i = 0;
+        while (i < n) {
+            (RHandle<WorkSubRegion r2> h2 = h.w) {
+                Cell<r2> c = new Cell<r2>;
+                c.v = i;
+                print(c.v);
+            }
+            i = i + 1;
+        }
+    }
+}
+(RHandle<MissionRegion : LT(65536) r> h) {
+    RT fork (new RTTask<r>).run(h, 3);
+}
+"""
+
+
+def errors_of(source: str):
+    """Typecheck and return the error list."""
+    return analyze(source).errors
+
+
+def rules_of(source: str):
+    """Typecheck and return the violated judgment names."""
+    return analyze(source).error_rules()
+
+
+def assert_well_typed(source: str):
+    analyzed = analyze(source)
+    assert not analyzed.errors, [str(e) for e in analyzed.errors]
+    return analyzed
+
+
+def assert_rejected(source: str, rule: str = None, fragment: str = None):
+    analyzed = analyze(source)
+    assert analyzed.errors, "expected a type error"
+    if rule is not None:
+        assert rule in analyzed.error_rules(), \
+            f"expected rule {rule}, got {analyzed.error_rules()}"
+    if fragment is not None:
+        assert any(fragment in str(e) for e in analyzed.errors), \
+            [str(e) for e in analyzed.errors]
+    return analyzed.errors
+
+
+def run_both_modes(source: str, **options):
+    """Run with and without dynamic checks; asserts identical output and
+    returns (dynamic_result, static_result)."""
+    analyzed = assert_well_typed(source)
+    dyn = run_source(analyzed, RunOptions(checks_enabled=True, **options))
+    sta = run_source(analyzed, RunOptions(checks_enabled=False, **options))
+    assert dyn.output == sta.output
+    return dyn, sta
+
+
+@pytest.fixture
+def tstack_analyzed():
+    return assert_well_typed(TSTACK_SOURCE)

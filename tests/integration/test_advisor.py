@@ -1,0 +1,99 @@
+"""Tests for the region-sizing advisor (repro.tools.advisor)."""
+
+from repro import RunOptions
+from repro.rtsj.regions import LT, VT
+from repro.tools import advise
+
+
+class TestLTSizing:
+    OVERSIZED = """
+class Cell { int v; }
+(RHandle<LocalRegion : LT(65536) r> h) {
+    Cell<r> a = new Cell<r>;
+    print(a == null);
+}
+"""
+
+    TIGHT = """
+class Cell { int v; Cell next; }
+(RHandle<LocalRegion : LT(200) r> h) {
+    Cell<r> head = null;
+    int i = 0;
+    while (i < 6) {
+        Cell<r> c = new Cell<r>;
+        c.next = head;
+        head = c;
+        i = i + 1;
+    }
+    print(i);
+}
+"""
+
+    def test_over_provisioned_flagged(self):
+        report = advise(self.OVERSIZED)
+        advice = [a for a in report.regions if a.policy == LT][0]
+        assert advice.declared_budget == 65536
+        assert "over-provisioned" in advice.note
+        assert advice.suggested_budget < advice.declared_budget
+
+    def test_near_overflow_flagged(self):
+        report = advise(self.TIGHT)
+        advice = [a for a in report.regions if a.policy == LT][0]
+        # 6 cells * 32 bytes = 192 of 200: near overflow
+        assert advice.peak_bytes == 192
+        assert "near overflow" in advice.note
+        assert advice.suggested_budget >= advice.peak_bytes
+
+    def test_suggestion_has_headroom_and_granularity(self):
+        report = advise(self.TIGHT)
+        advice = [a for a in report.regions if a.policy == LT][0]
+        assert advice.suggested_budget % 256 == 0
+        assert advice.suggested_budget >= advice.peak_bytes * 1.2
+
+
+class TestVTtoLTCandidates:
+    SMALL_VT = """
+class Cell { int v; }
+(RHandle<r> h) {
+    Cell<r> a = new Cell<r>;
+    print(a != null);
+}
+"""
+
+    def test_small_stable_vt_is_candidate(self):
+        report = advise(self.SMALL_VT)
+        assert report.vt_to_lt_candidates()
+
+    def test_lt_suggestions_mapping(self):
+        report = advise(TestLTSizing.TIGHT)
+        suggestions = report.lt_suggestions()
+        assert len(suggestions) == 1
+        assert all(v % 256 == 0 for v in suggestions.values())
+
+
+class TestHeapEscape:
+    CHURNY = """
+class Cell { int v; }
+{
+    int i = 0;
+    while (i < 300) {
+        Cell<heap> c = new Cell<heap>;
+        c.v = i;
+        i = i + 1;
+    }
+    print(i);
+}
+"""
+
+    def test_heap_death_rate_reported(self):
+        report = advise(self.CHURNY, RunOptions(gc_trigger_bytes=4000))
+        assert report.gc_runs > 0
+        assert report.heap_allocated >= 300
+        assert report.heap_collected > 0
+        assert 0 < report.heap_death_rate <= 1.0
+
+    def test_format_renders(self):
+        report = advise(TestLTSizing.TIGHT)
+        text = report.format()
+        assert "Region" in text
+        assert "heap:" in text

@@ -1,0 +1,154 @@
+"""Integration tests for the command-line front end."""
+
+import io
+import sys
+from contextlib import redirect_stderr, redirect_stdout
+
+import pytest
+
+from repro.cli import main
+
+GOOD = """
+class Cell<Owner o> { int v; Cell<o> next; }
+(RHandle<r> h) {
+    Cell<r> a = new Cell<r>;
+    Cell b = new Cell;
+    a.next = b;
+    b.v = 42;
+    print(b.v);
+}
+"""
+
+BAD = """
+class Cell<Owner o> { Cell<o> next; }
+(RHandle<r1> h1) { (RHandle<r2> h2) {
+    Cell<r1> outer = new Cell<r1>;
+    Cell<r2> inner = new Cell<r2>;
+    outer.next = inner;
+} }
+"""
+
+
+@pytest.fixture
+def good_file(tmp_path):
+    path = tmp_path / "good.rtj"
+    path.write_text(GOOD)
+    return str(path)
+
+
+@pytest.fixture
+def bad_file(tmp_path):
+    path = tmp_path / "bad.rtj"
+    path.write_text(BAD)
+    return str(path)
+
+
+def run_cli(*argv):
+    out, err = io.StringIO(), io.StringIO()
+    with redirect_stdout(out), redirect_stderr(err):
+        code = main(list(argv))
+    return code, out.getvalue(), err.getvalue()
+
+
+class TestCheck:
+    def test_well_typed(self, good_file):
+        code, out, _err = run_cli("check", good_file)
+        assert code == 0
+        assert "well-typed" in out
+
+    def test_ill_typed(self, bad_file):
+        code, _out, err = run_cli("check", bad_file)
+        assert code == 1
+        assert "SUBTYPE" in err
+
+
+class TestRun:
+    def test_static_mode(self, good_file):
+        code, out, _err = run_cli("run", good_file)
+        assert code == 0
+        assert out.strip() == "42"
+
+    def test_dynamic_mode_with_stats(self, good_file):
+        code, out, err = run_cli("run", "--dynamic-checks", "--stats",
+                                 good_file)
+        assert code == 0
+        assert out.strip() == "42"
+        assert "assignment checks" in err
+
+    def test_ill_typed_refuses_to_run(self, bad_file):
+        code, _out, err = run_cli("run", bad_file)
+        assert code == 1
+
+    def test_runtime_failure_exit_code(self, tmp_path):
+        path = tmp_path / "crash.rtj"
+        path.write_text("{ int z = 0; print(1 / z); }")
+        code, _out, err = run_cli("run", str(path))
+        assert code == 2
+        assert "runtime error" in err
+
+
+class TestTranslate:
+    def test_emits_java(self, good_file):
+        code, out, _err = run_cli("translate", good_file)
+        assert code == 0
+        assert "class Cell" in out
+        assert "MemoryArea" in out or "Memory" in out
+
+    def test_strategies_flag(self, good_file):
+        code, _out, err = run_cli("translate", "--strategies", good_file)
+        assert code == 0
+        assert "CURRENT_REGION" in err
+
+
+class TestInferAndGraph:
+    def test_infer_prints_annotated_program(self, good_file):
+        code, out, _err = run_cli("infer", good_file)
+        assert code == 0
+        assert "Cell<r> b = new Cell<r>;" in out
+
+    def test_graph_emits_dot(self, good_file):
+        code, out, _err = run_cli("graph", good_file)
+        assert code == 0
+        assert out.startswith("digraph")
+        assert "heap" in out
+
+
+class TestLint:
+    def test_lint_flags_redundant_heap(self, tmp_path):
+        path = tmp_path / "sloppy.rtj"
+        path.write_text(
+            "class Cell<Owner o> { int v; Cell<o> next; }\n"
+            "class M<Owner o> {\n"
+            "  void go(Cell<o> c) accesses o, heap { c.next = null; }\n"
+            "}\n")
+        code, out, _err = run_cli("lint", str(path))
+        assert code == 0
+        assert "M.go" in out and "redundant" in out
+
+    def test_lint_all_shows_clean_methods(self, good_file):
+        code, out, _err = run_cli("lint", "--all", good_file)
+        assert code == 0
+
+
+class TestCompile:
+    def test_compile_prints_erased_python(self, good_file):
+        code, out, _err = run_cli("compile", good_file)
+        assert code == 0
+        assert "def run(rt):" in out
+        assert "Owner" not in out
+
+    def test_compile_execute_matches_run(self, good_file):
+        code_c, out_c, _ = run_cli("compile", "--execute", good_file)
+        code_r, out_r, _ = run_cli("run", good_file)
+        assert code_c == code_r == 0
+        assert out_c == out_r
+
+    def test_compile_threaded_program_fails_cleanly(self, tmp_path):
+        path = tmp_path / "threaded.rtj"
+        path.write_text(
+            "regionKind S extends SharedRegion { }\n"
+            "class W<S r> { void go(RHandle<r> h) accesses r { } }\n"
+            "(RHandle<S r> h) { fork (new W<r>).go(h); }")
+        code, _out, err = run_cli("compile", str(path))
+        assert code == 2
+        assert "compile error" in err

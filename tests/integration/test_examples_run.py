@@ -1,0 +1,26 @@
+"""Every example script must run clean (they assert their own claims)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).resolve().parent.parent.parent / "examples")
+    .glob("*.py"))
+
+
+def test_examples_exist():
+    names = {p.name for p in EXAMPLES}
+    assert {"quickstart.py", "producer_consumer.py",
+            "realtime_pipeline.py", "check_elimination.py",
+            "ownership_graph.py"} <= names
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(script):
+    proc = subprocess.run([sys.executable, str(script)],
+                          capture_output=True, text=True, timeout=180)
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert proc.stdout.strip(), "examples narrate what they demonstrate"

@@ -1,0 +1,161 @@
+"""Integration tests: more demanding thread/region interaction patterns —
+multiple producers, fresh subregions, handle fields across calls, nested
+shared regions."""
+
+import pytest
+
+from repro import RunOptions, analyze, run_source
+from repro.interp.machine import Machine
+
+
+def run_ok(source: str, **options):
+    analyzed = analyze(source)
+    assert not analyzed.errors, [str(e) for e in analyzed.errors]
+    return run_source(analyzed, RunOptions(**options))
+
+
+class TestMultipleProducers:
+    def make_source(self, producers: int, per_producer: int) -> str:
+        total = producers * per_producer
+        forks = "\n    ".join(
+            f"fork (new Producer<r>).run(h, {i * per_producer}, "
+            f"{per_producer});"
+            for i in range(producers))
+        return f"""
+regionKind Buf extends SharedRegion {{
+    Sub : LT(1024) NoRT s;
+}}
+regionKind Sub extends SharedRegion {{
+    Item<this> slot;
+}}
+class Item {{ int tag; }}
+class Producer<Buf r> {{
+    void run(RHandle<r> h, int base, int n) accesses r, heap {{
+        int i = 0;
+        while (i < n) {{
+            boolean placed = false;
+            while (!placed) {{
+                (RHandle<Sub r2> h2 = h.s) {{
+                    if (h2.slot == null) {{
+                        Item item = new Item;
+                        item.tag = base + i;
+                        h2.slot = item;
+                        placed = true;
+                    }}
+                }}
+                yieldnow();
+            }}
+            i = i + 1;
+        }}
+    }}
+}}
+class Consumer<Buf r> {{
+    void run(RHandle<r> h, int expect) accesses r, heap {{
+        int got = 0;
+        int sum = 0;
+        while (got < expect) {{
+            (RHandle<Sub r2> h2 = h.s) {{
+                Item item = h2.slot;
+                if (item != null) {{
+                    sum = sum + item.tag;
+                    h2.slot = null;
+                    got = got + 1;
+                }}
+            }}
+            yieldnow();
+        }}
+        print(got);
+        print(sum);
+    }}
+}}
+(RHandle<Buf r> h) {{
+    {forks}
+    fork (new Consumer<r>).run(h, {total});
+}}
+"""
+
+    @pytest.mark.parametrize("producers,per", [(2, 3), (3, 4)])
+    def test_all_items_delivered_exactly_once(self, producers, per):
+        total = producers * per
+        expected_sum = sum(range(total))
+        result = run_ok(self.make_source(producers, per), quantum=350,
+                        max_cycles=20_000_000)
+        assert result.output == [str(total), str(expected_sum)]
+
+    def test_identical_across_check_modes(self):
+        source = self.make_source(2, 3)
+        analyzed = analyze(source)
+        dyn = run_source(analyzed, RunOptions(checks_enabled=True,
+                                              quantum=350))
+        sta = run_source(analyzed, RunOptions(checks_enabled=False,
+                                              quantum=350))
+        assert dyn.output == sta.output
+
+
+class TestFreshSubregions:
+    SOURCE = """
+regionKind Buf extends SharedRegion {
+    Sub : VT NoRT s;
+}
+regionKind Sub extends SharedRegion { }
+class Cell { int v; }
+(RHandle<Buf r> h) {
+    int i = 0;
+    while (i < 3) {
+        (RHandle<Sub r2> h2 = new h.s) {
+            Cell<r2> c = new Cell<r2>;
+            c.v = i;
+            print(c.v);
+        }
+        i = i + 1;
+    }
+}
+"""
+
+    def test_new_creates_distinct_instances(self):
+        analyzed = analyze(self.SOURCE)
+        assert not analyzed.errors
+        machine = Machine(analyzed, RunOptions())
+        result = machine.run()
+        assert result.output == ["0", "1", "2"]
+        instances = [a for a in machine.regions.areas
+                     if a.kind_name == "Sub"]
+        assert len(instances) == 3, \
+            "`new h.s` replaces the subregion instance each time"
+
+
+class TestNestedSharedRegions:
+    # the worker lives in the inner (shorter-lived) region and reaches
+    # outward into the outer one — the direction TYPE C allows
+    SOURCE = """
+regionKind Outer extends SharedRegion { }
+regionKind Inner extends SharedRegion { }
+class Cell { int v; }
+class Worker<Inner b, Outer a> {
+    void run(RHandle<b> hb, RHandle<a> ha) accesses a, b {
+        Cell<a> longer = new Cell<a>;
+        Cell<b> shorter = new Cell<b>;
+        longer.v = 1;
+        shorter.v = 2;
+        print(longer.v + shorter.v);
+    }
+}
+(RHandle<Outer ra> hOuter) {
+    (RHandle<Inner rb> hInner) {
+        fork (new Worker<rb, ra>).run(hInner, hOuter);
+    }
+}
+"""
+
+    def test_nested_shared_regions_with_fork(self):
+        result = run_ok(self.SOURCE, quantum=500)
+        assert result.output == ["3"]
+
+    def test_inverted_lifetimes_rejected(self):
+        # an outer-region worker cannot be parameterized by the inner
+        # region: rb does not outlive ra (TYPE C)
+        bad = self.SOURCE.replace("fork (new Worker<rb, ra>)"
+                                  ".run(hInner, hOuter);",
+                                  "Worker<ra, rb> bad = null;")
+        analyzed = analyze(bad)
+        assert "TYPE C" in analyzed.error_rules()

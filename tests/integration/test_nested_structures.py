@@ -1,0 +1,190 @@
+"""Integration tests for deeper region structures: nested subregions,
+scalar portals, inference through subtyping."""
+
+import pytest
+
+from repro import RunOptions, analyze, run_source
+from repro.interp.machine import Machine
+
+
+def run_ok(source: str, **options):
+    analyzed = analyze(source)
+    assert not analyzed.errors, [str(e) for e in analyzed.errors]
+    return run_source(analyzed, RunOptions(**options))
+
+
+class TestNestedSubregions:
+    """A subregion kind that itself declares subregions — the paper's
+    grammar allows arbitrary finite nesting, and the LT preallocation
+    must recurse ('allocates memory for all its (transitive) LT
+    (sub)regions')."""
+
+    SOURCE = """
+regionKind Top extends SharedRegion {
+    Mid : LT(2048) NoRT mid;
+}
+regionKind Mid extends SharedRegion {
+    Leaf : LT(512) NoRT leaf;
+}
+regionKind Leaf extends SharedRegion { }
+class Cell { int v; }
+(RHandle<Top r> h) {
+    (RHandle<Mid r2> h2 = h.mid) {
+        Cell<r2> inMid = new Cell<r2>;
+        inMid.v = 1;
+        (RHandle<Leaf r3> h3 = h2.leaf) {
+            Cell<r3> inLeaf = new Cell<r3>;
+            inLeaf.v = 2;
+            print(inMid.v + inLeaf.v);
+        }
+    }
+}
+"""
+
+    def test_two_level_entry(self):
+        assert run_ok(self.SOURCE).output == ["3"]
+
+    def test_transitive_lt_preallocation(self):
+        analyzed = analyze(self.SOURCE)
+        machine = Machine(analyzed, RunOptions())
+        machine.run()
+        kinds = [a.kind_name for a in machine.regions.areas]
+        # all three levels were instantiated, the LT ones eagerly at
+        # top-level region creation
+        assert kinds.count("Mid") == 1
+        assert kinds.count("Leaf") == 1
+        leaf = [a for a in machine.regions.areas
+                if a.kind_name == "Leaf"][0]
+        assert leaf.policy == "LT"
+        assert leaf.lt_budget == 512
+
+    def test_inner_pointing_outward_ok(self):
+        source = self.SOURCE.replace(
+            "print(inMid.v + inLeaf.v);",
+            "Link<r3, r2> l = new Link<r3, r2>; l.out = inMid; print(3);"
+        ).replace(
+            "class Cell { int v; }",
+            "class Cell { int v; }\n"
+            "class Link<Owner a, Owner b> { Cell<b> out; }")
+        assert run_ok(source).output == ["3"]
+
+    def test_outer_pointing_inward_rejected(self):
+        source = self.SOURCE.replace(
+            "print(inMid.v + inLeaf.v);",
+            "Link<r2, r3> bad = null; print(0);"
+        ).replace(
+            "class Cell { int v; }",
+            "class Cell { int v; }\n"
+            "class Link<Owner a, Owner b> { Cell<b> out; }")
+        analyzed = analyze(source)
+        assert "TYPE C" in analyzed.error_rules()
+
+    def test_flush_cascades_from_the_leaves(self):
+        # exiting mid flushes mid only once leaf has been flushed
+        analyzed = analyze(self.SOURCE)
+        machine = Machine(analyzed, RunOptions())
+        result = machine.run()
+        assert result.stats.region_flushes >= 2
+        mid = [a for a in machine.regions.areas
+               if a.kind_name == "Mid"][0]
+        assert mid.is_flushed
+
+
+class TestScalarPortals:
+    SOURCE = """
+regionKind Counter extends SharedRegion {
+    int hits;
+    float load;
+    boolean open;
+}
+(RHandle<Counter r> h) {
+    h.hits = 3;
+    h.hits = h.hits + 1;
+    h.load = 0.5;
+    h.open = true;
+    print(h.hits);
+    print(h.load);
+    print(h.open);
+}
+"""
+
+    def test_scalar_portal_fields(self):
+        assert run_ok(self.SOURCE).output == ["4", "0.5", "true"]
+
+    def test_scalar_portals_never_block_flush(self):
+        # the flush rule only considers *reference* portals; scalar
+        # portal values are data, not liveness roots.  Our portals store
+        # scalars too — a non-null scalar is a value, not a reference,
+        # and can_flush must treat it as such.
+        analyzed = analyze(self.SOURCE)
+        machine = Machine(analyzed, RunOptions())
+        machine.run()
+        counter = [a for a in machine.regions.areas
+                   if a.kind_name == "Counter"][0]
+        assert not counter.live  # destroyed when main exited
+
+
+class TestInferenceThroughSubtyping:
+    def test_local_inferred_via_upcast(self):
+        from repro.lang import pretty_program
+        analyzed = analyze(
+            "class Animal<Owner o> { int legs; }\n"
+            "class Dog<Owner o> extends Animal<o> { }\n"
+            "(RHandle<r> h) {"
+            "  Animal<r> a = new Animal<r>;"
+            "  Animal mixed = new Dog;"
+            "  mixed = a;"
+            "}")
+        assert not analyzed.errors
+        text = pretty_program(analyzed.program)
+        assert "Animal<r> mixed = new Dog<r>;" in text
+
+    def test_field_of_superclass_type(self):
+        assert run_ok(
+            "class Animal<Owner o> { int legs; }\n"
+            "class Dog<Owner o> extends Animal<o> { }\n"
+            "class Kennel<Owner o> {"
+            "  Animal<o> resident;"
+            "}\n"
+            "(RHandle<r> h) {"
+            "  Kennel<r> k = new Kennel<r>;"
+            "  Dog pup = new Dog;"       # inferred Dog<r> via the store
+            "  k.resident = pup;"
+            "  print(k.resident == pup);"
+            "}").output == ["true"]
+
+
+class TestScalarPortalsOnSubregions:
+    SOURCE = """
+regionKind Top extends SharedRegion {
+    Stats : LT(256) NoRT stats;
+}
+regionKind Stats extends SharedRegion {
+    int count;
+}
+class Cell { int v; }
+(RHandle<Top r> h) {
+    int i = 0;
+    while (i < 3) {
+        (RHandle<Stats r2> h2 = h.stats) {
+            Cell<r2> c = new Cell<r2>;
+            h2.count = h2.count + 1;
+        }
+        i = i + 1;
+    }
+    (RHandle<Stats r2> h2 = h.stats) {
+        print(h2.count);
+    }
+}
+"""
+
+    def test_scalar_portal_does_not_block_flush(self):
+        analyzed = analyze(self.SOURCE)
+        assert not analyzed.errors, [str(e) for e in analyzed.errors]
+        machine = Machine(analyzed, RunOptions())
+        result = machine.run()
+        # flushed on every exit despite the non-zero scalar portal ...
+        assert result.stats.region_flushes >= 3
+        # ... but note the flush clears the region's *objects*, not the
+        # portal scalars, which live in the region header (w2 wrapper)
+        assert result.output == ["3"]

@@ -1,0 +1,187 @@
+"""Section 2.3's second contribution: preventing the RTSJ priority
+inversion.
+
+"In the RTSJ, any thread entering a region waits if there are threads
+exiting the region.  If a regular thread exiting a region is suspended by
+the garbage collector, then a real-time thread entering the region might
+have to wait for an unbounded amount of time. ... we impose the
+restriction that real-time threads and regular threads cannot share
+subregions."
+
+These tests pin down both halves: the static restriction (RT and NoRT
+subregions cannot be crossed) and the sanctioned alternative
+(communication through top-level regions / separate subregions).
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro import RealtimeViolationError, RunOptions, analyze, run_source
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+from conftest import assert_rejected, assert_well_typed  # noqa: E402
+
+KINDS = """
+regionKind Mission extends SharedRegion {
+    Work : LT(4096) RT rtside;
+    Work : LT(4096) NoRT gcside;
+}
+regionKind Work extends SharedRegion { }
+class Cell { int v; }
+"""
+
+
+class TestStaticSeparation:
+    def test_regular_method_cannot_enter_rt_subregion(self):
+        assert_rejected(
+            KINDS +
+            "class Regular<Mission m> {"
+            "  void run(RHandle<m> h) accesses m, heap {"
+            "    (RHandle<Work r2> h2 = h.rtside) { }"
+            "  }"
+            "}",
+            rule="EXPR SUBREGION", fragment="RT effect")
+
+    def test_rt_method_cannot_enter_nort_subregion(self):
+        # entering a NoRT subregion demands the heap effect, which an
+        # RT-forkable method can never carry
+        assert_rejected(
+            KINDS +
+            "class Task<Mission : LT m> {"
+            "  void run(RHandle<m> h) accesses m, RT {"
+            "    (RHandle<Work r2> h2 = h.gcside) { }"
+            "  }"
+            "}",
+            rule="EXPR SUBREGION")
+
+    def test_method_with_rt_effect_cannot_be_plain_forked(self):
+        assert_rejected(
+            KINDS +
+            "class Task<Mission : LT m> {"
+            "  void run(RHandle<m> h) accesses m, RT {"
+            "    (RHandle<Work r2> h2 = h.rtside) { int x = 1; }"
+            "  }"
+            "}\n"
+            "(RHandle<Mission : LT(16384) r> h) {"
+            "  fork (new Task<r>).run(h);"
+            "}",
+            rule="EXPR FORK")
+
+    def test_method_with_heap_effect_cannot_be_rt_forked(self):
+        assert_rejected(
+            KINDS +
+            "class Task<Mission : LT m> {"
+            "  void run(RHandle<m> h) accesses m, heap {"
+            "    (RHandle<Work r2> h2 = h.gcside) { int x = 1; }"
+            "  }"
+            "}\n"
+            "(RHandle<Mission : LT(16384) r> h) {"
+            "  RT fork (new Task<r>).run(h);"
+            "}",
+            rule="EXPR RTFORK")
+
+    def test_separated_sides_coexist(self):
+        assert_well_typed(
+            KINDS +
+            "class RTTask<Mission : LT m> {"
+            "  void run(RHandle<m> h) accesses m, RT {"
+            "    (RHandle<Work r2> h2 = h.rtside) {"
+            "      Cell<r2> c = new Cell<r2>;"
+            "      c.v = 1;"
+            "    }"
+            "  }"
+            "}\n"
+            "class GCTask<Mission m> {"
+            "  void run(RHandle<m> h) accesses m, heap {"
+            "    (RHandle<Work r2> h2 = h.gcside) {"
+            "      Cell<r2> c = new Cell<r2>;"
+            "      c.v = 2;"
+            "    }"
+            "  }"
+            "}\n"
+            "(RHandle<Mission : LT(16384) r> h) {"
+            "  fork (new GCTask<r>).run(h);"
+            "  RT fork (new RTTask<r>).run(h);"
+            "}")
+
+
+class TestRuntimeBackstop:
+    """The simulator's validation catches violations even when a program
+    bypasses the typechecker — showing the checks and the types guard the
+    same property."""
+
+    CROSSING = KINDS + """
+class Sneaky<Mission m> {
+    void run(RHandle<m> h) accesses m, heap, RT {
+        (RHandle<Work r2> h2 = h.rtside) { int x = 1; }
+    }
+}
+(RHandle<Mission : LT(16384) r> h) {
+    fork (new Sneaky<r>).run(h);
+}
+"""
+
+    def test_crossing_is_rejected_statically(self):
+        analyzed = analyze(self.CROSSING)
+        assert analyzed.errors  # fork target has the RT effect
+
+    def test_crossing_caught_at_runtime_if_forced(self):
+        analyzed = analyze(self.CROSSING)
+        with pytest.raises(RealtimeViolationError):
+            run_source(analyzed, RunOptions(checks_enabled=True),
+                       require_well_typed=False)
+
+
+class TestNoUnboundedWait:
+    """With the separation in place, a real-time thread's dispatch
+    latency is bounded by the scheduler quantum — never by a GC pause."""
+
+    PROGRAM = KINDS + """
+class RTTask<Mission : LT m> {
+    void run(RHandle<m> h, int iters) accesses m, RT {
+        int i = 0;
+        while (i < iters) {
+            (RHandle<Work r2> h2 = h.rtside) {
+                Cell<r2> c = new Cell<r2>;
+                c.v = i;
+            }
+            yieldnow();
+            i = i + 1;
+        }
+        print(i);
+    }
+}
+class Churner {
+    void run(int n) accesses heap {
+        int i = 0;
+        while (i < n) {
+            Cell<heap> c = new Cell<heap>;
+            if (i % 10 == 0) { yieldnow(); }
+            i = i + 1;
+        }
+    }
+}
+(RHandle<Mission : LT(16384) r> h) {
+    fork (new Churner<heap>).run(400);
+    RT fork (new RTTask<r>).run(h, 15);
+}
+"""
+
+    def test_rt_latency_bounded_despite_gc(self):
+        from repro.interp.machine import Machine
+        analyzed = analyze(self.PROGRAM)
+        assert not analyzed.errors, [str(e) for e in analyzed.errors]
+        quantum = 500
+        machine = Machine(analyzed, RunOptions(
+            checks_enabled=False, validate=True,
+            gc_trigger_bytes=5_000, quantum=quantum))
+        result = machine.run()
+        assert result.output == ["15"]
+        assert result.stats.gc_runs > 0
+        rt = [t for t in machine.scheduler.threads if t.realtime][0]
+        # bounded by the other threads' slices, NOT by the GC pauses
+        gc_pause = result.stats.gc_pause_cycles
+        assert rt.max_dispatch_latency < gc_pause
+        assert rt.max_dispatch_latency <= 3 * quantum + 200

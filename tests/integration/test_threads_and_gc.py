@@ -1,0 +1,148 @@
+"""Integration tests: threads, the scheduler, shared-region reference
+counting, and GC interaction with real-time threads."""
+
+import sys
+from pathlib import Path
+
+from repro import RunOptions, analyze, run_source
+from repro.interp.machine import Machine
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+from conftest import assert_well_typed  # noqa: E402
+
+
+class TestSharedRegionLifetimes:
+    SOURCE = """
+regionKind Shared extends SharedRegion { }
+class Cell { int v; }
+class Worker<Shared r> {
+    void run(RHandle<r> h, int n) accesses r {
+        int i = 0;
+        Cell<r> mine = new Cell<r>;
+        while (i < n) {
+            mine.v = mine.v + 1;
+            yieldnow();
+            i = i + 1;
+        }
+        print(mine.v);
+    }
+}
+(RHandle<Shared r> h) {
+    fork (new Worker<r>).run(h, 4);
+    fork (new Worker<r>).run(h, 2);
+}
+"""
+
+    def test_region_stays_alive_until_last_thread_exits(self):
+        analyzed = assert_well_typed(self.SOURCE)
+        machine = Machine(analyzed, RunOptions(quantum=150))
+        result = machine.run()
+        assert sorted(result.output) == ["2", "4"]
+        shared = [a for a in machine.regions.areas
+                  if a.kind_name == "Shared"][0]
+        # main exits the block before the workers finish; the region must
+        # have outlived all three threads and only then died
+        assert not shared.live
+        assert shared.thread_count == 0
+
+    def test_threads_interleave(self):
+        analyzed = assert_well_typed(self.SOURCE)
+        result = run_source(analyzed, RunOptions(quantum=100))
+        assert result.stats.threads_spawned == 3  # main + 2 workers
+
+
+class TestGCAndRealtime:
+    CHURN_AND_RT = """
+regionKind Mission extends SharedRegion {
+    Work : LT(4096) RT w;
+}
+regionKind Work extends SharedRegion { }
+class Cell { int v; Cell next; }
+class Churner {
+    void run(int n) accesses heap {
+        int i = 0;
+        while (i < n) {
+            Cell<heap> c = new Cell<heap>;
+            c.v = i;
+            if (i % 20 == 0) { yieldnow(); }
+            i = i + 1;
+        }
+    }
+}
+class RTWorker<Mission : LT m> {
+    void run(RHandle<m> h, int iters) accesses m, RT {
+        int i = 0;
+        while (i < iters) {
+            (RHandle<Work r2> h2 = h.w) {
+                Cell<r2> c = new Cell<r2>;
+                c.v = i;
+                check(c.v == i);
+            }
+            yieldnow();
+            i = i + 1;
+        }
+        print(i);
+    }
+}
+(RHandle<Mission : LT(8192) r> h) {
+    fork (new Churner<heap>).run(500);
+    RT fork (new RTWorker<r>).run(h, 10);
+}
+"""
+
+    def test_gc_runs_while_rt_thread_progresses(self):
+        analyzed = assert_well_typed(self.CHURN_AND_RT)
+        machine = Machine(analyzed, RunOptions(
+            checks_enabled=False, validate=True,
+            gc_trigger_bytes=6_000, quantum=600))
+        result = machine.run()
+        assert result.output == ["10"]
+        assert result.stats.gc_runs > 0
+
+    def test_rt_thread_dispatch_latency_below_regular(self):
+        analyzed = assert_well_typed(self.CHURN_AND_RT)
+        machine = Machine(analyzed, RunOptions(
+            checks_enabled=False, validate=True,
+            gc_trigger_bytes=6_000, quantum=600))
+        machine.run()
+        rt = [t for t in machine.scheduler.threads if t.realtime][0]
+        regular = [t for t in machine.scheduler.threads
+                   if not t.realtime and t.name != "main"][0]
+        assert rt.max_dispatch_latency < regular.max_dispatch_latency
+
+    def test_rt_thread_work_identical_with_and_without_gc(self):
+        analyzed = assert_well_typed(self.CHURN_AND_RT)
+        gc_heavy = run_source(analyzed, RunOptions(
+            gc_trigger_bytes=5_000, quantum=600))
+        gc_free = run_source(analyzed, RunOptions(
+            gc_trigger_bytes=1 << 30, quantum=600))
+        assert gc_heavy.output == gc_free.output == ["10"]
+        assert gc_heavy.stats.gc_runs > 0
+        assert gc_free.stats.gc_runs == 0
+
+
+class TestDeterminism:
+    def test_same_program_same_cycles(self):
+        source = """
+class Cell { int v; }
+(RHandle<r> h) {
+    int i = 0;
+    while (i < 50) {
+        Cell<r> c = new Cell<r>;
+        c.v = i;
+        i = i + 1;
+    }
+    print(i);
+}
+"""
+        analyzed = assert_well_typed(source)
+        runs = [run_source(analyzed, RunOptions()) for _ in range(3)]
+        assert len({r.cycles for r in runs}) == 1
+        assert all(r.output == ["50"] for r in runs)
+
+    def test_threaded_program_deterministic(self):
+        analyzed = assert_well_typed(TestSharedRegionLifetimes.SOURCE)
+        runs = [run_source(analyzed, RunOptions(quantum=150))
+                for _ in range(3)]
+        assert len({tuple(r.output) for r in runs}) == 1
+        assert len({r.cycles for r in runs}) == 1

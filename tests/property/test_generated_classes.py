@@ -1,0 +1,117 @@
+"""Property tests over generated class hierarchies: inheritance, dynamic
+dispatch, and owner translation through ``extends`` chains must agree
+between the typechecker and the interpreter, in both check modes."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import RunOptions, analyze, run_source
+
+
+def build_hierarchy(depth: int, tags) -> str:
+    """A chain C0 <: C1 <: ... where each level overrides tag() and adds
+    a field; plus a driver that exercises dispatch at every level."""
+    classes = []
+    for i in range(depth):
+        parent = f" extends C{i - 1}<o>" if i > 0 else ""
+        classes.append(f"""
+class C{i}<Owner o>{parent} {{
+    int f{i};
+    int tag() {{ return {tags[i]}; }}
+    int level() {{ return {i}; }}
+}}""")
+    uses = []
+    for i in range(depth):
+        # statically typed at every ancestor level, dynamically C{i}
+        uses.append(f"C0<r> v{i} = new C{i}<r>;")
+        uses.append(f"print(v{i}.tag());")
+    body = "\n    ".join(uses)
+    return "\n".join(classes) + f"\n(RHandle<r> h) {{\n    {body}\n}}"
+
+
+@st.composite
+def hierarchies(draw):
+    depth = draw(st.integers(min_value=1, max_value=5))
+    tags = draw(st.lists(st.integers(0, 999), min_size=depth,
+                         max_size=depth))
+    return depth, tags
+
+
+class TestInheritanceDispatch:
+    @given(hierarchies())
+    @settings(max_examples=25, deadline=None)
+    def test_dispatch_uses_dynamic_class(self, case):
+        depth, tags = case
+        source = build_hierarchy(depth, tags)
+        analyzed = analyze(source)
+        assert not analyzed.errors, [str(e) for e in analyzed.errors]
+        result = run_source(analyzed, RunOptions())
+        assert result.output == [str(tags[i]) for i in range(depth)]
+
+    @given(hierarchies())
+    @settings(max_examples=15, deadline=None)
+    def test_check_modes_agree(self, case):
+        depth, tags = case
+        analyzed = analyze(build_hierarchy(depth, tags))
+        dyn = run_source(analyzed, RunOptions(checks_enabled=True))
+        sta = run_source(analyzed, RunOptions(checks_enabled=False))
+        assert dyn.output == sta.output
+
+
+class TestQuantumIndependence:
+    """For a single-threaded program, the scheduler quantum must not
+    change behaviour or the cycle total."""
+
+    SOURCE = """
+class Cell { int v; Cell next; }
+(RHandle<r> h) {
+    Cell<r> head = null;
+    int i = 0;
+    while (i < 40) {
+        Cell c = new Cell;
+        c.v = i * 3 % 7;
+        c.next = head;
+        head = c;
+        i = i + 1;
+    }
+    int total = 0;
+    Cell w = head;
+    while (w != null) { total = total + w.v; w = w.next; }
+    print(total);
+}
+"""
+
+    @given(st.integers(min_value=20, max_value=5000))
+    @settings(max_examples=20, deadline=None)
+    def test_single_threaded_output_and_cycles(self, quantum):
+        analyzed = analyze(self.SOURCE)
+        assert not analyzed.errors
+        result = run_source(analyzed, RunOptions(quantum=quantum))
+        baseline = run_source(analyzed, RunOptions(quantum=2000))
+        assert result.output == baseline.output
+        assert result.cycles == baseline.cycles
+
+
+class TestParserRobustness:
+    """Arbitrary junk must produce a diagnostic, never an internal
+    crash."""
+
+    @given(st.text(alphabet="class{}<>();=.+intOwner abfork\n", max_size=80))
+    @settings(max_examples=120, deadline=None)
+    def test_junk_raises_only_static_errors(self, text):
+        from repro.errors import StaticError
+        from repro.lang import parse_program
+        try:
+            parse_program(text)
+        except StaticError:
+            pass  # LexError/ParseError are the contract
+
+    @given(st.text(max_size=40))
+    @settings(max_examples=80, deadline=None)
+    def test_arbitrary_unicode(self, text):
+        from repro.errors import StaticError
+        from repro.lang import parse_program
+        try:
+            parse_program(text)
+        except StaticError:
+            pass

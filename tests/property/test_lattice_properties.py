@@ -1,0 +1,134 @@
+"""Property-based tests for the kind lattice and the environment
+relations."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.env import Env
+from repro.core.kinds import (BUILTIN_KINDS, K_LOCAL_REGION,
+                              K_SHARED_REGION, Kind, KindTable)
+from repro.core.owners import HEAP, IMMORTAL, Owner
+from repro.core.program import build_program_info
+from repro.lang import parse_program
+
+
+def make_table(chain_length: int) -> KindTable:
+    """A user-kind chain K0 <: K1 <: ... <: SharedRegion."""
+    table = KindTable()
+    for i in range(chain_length):
+        parent = Kind(f"K{i + 1}") if i + 1 < chain_length \
+            else K_SHARED_REGION
+        table.supers[f"K{i}"] = ((), parent)
+    return table
+
+
+builtin_kinds = st.sampled_from(
+    [Kind(name) for name in BUILTIN_KINDS]
+    + [Kind(name, lt=True) for name in BUILTIN_KINDS])
+
+
+class TestSubkindLattice:
+    @given(builtin_kinds)
+    def test_reflexive(self, kind):
+        assert KindTable().is_subkind(kind, kind)
+
+    @given(builtin_kinds, builtin_kinds, builtin_kinds)
+    def test_transitive(self, a, b, c):
+        table = KindTable()
+        if table.is_subkind(a, b) and table.is_subkind(b, c):
+            assert table.is_subkind(a, c)
+
+    @given(builtin_kinds, builtin_kinds)
+    def test_antisymmetric(self, a, b):
+        table = KindTable()
+        if table.is_subkind(a, b) and table.is_subkind(b, a):
+            assert a == b
+
+    @given(builtin_kinds)
+    def test_owner_is_top(self, kind):
+        assert KindTable().is_subkind(kind.strip_lt(), Kind("Owner"))
+
+    @given(builtin_kinds)
+    def test_delete_lt(self, kind):
+        # k:LT <= k always
+        assert KindTable().is_subkind(kind.with_lt(), kind.strip_lt())
+
+    @given(st.integers(min_value=1, max_value=6),
+           st.integers(min_value=0, max_value=5),
+           st.integers(min_value=0, max_value=5))
+    def test_user_chain_ordering(self, length, i, j):
+        table = make_table(length)
+        i, j = i % length, j % length
+        lower, higher = Kind(f"K{min(i, j)}"), Kind(f"K{max(i, j)}")
+        assert table.is_subkind(lower, higher)
+        if i != j:
+            assert not table.is_subkind(higher, lower)
+
+    @given(st.integers(min_value=1, max_value=6))
+    def test_user_chain_reaches_shared(self, length):
+        table = make_table(length)
+        assert table.is_subkind(Kind("K0"), K_SHARED_REGION)
+        assert not table.is_subkind(K_SHARED_REGION, Kind("K0"))
+
+
+# -- environment relation properties ---------------------------------------
+
+def env_with_edges(edges):
+    """Env over owners o0..o5 with the given outlives edges."""
+    info = build_program_info(parse_program("class C<Owner a> { }"))
+    env = Env.initial(info)
+    for i in range(6):
+        env = env.with_owner(f"o{i}", K_LOCAL_REGION)
+    for a, b in edges:
+        env = env.with_outlives(Owner(f"o{a}"), Owner(f"o{b}"))
+    return env
+
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 5), st.integers(0, 5)), max_size=12)
+
+
+class TestOutlivesClosure:
+    @given(edge_lists, st.integers(0, 5))
+    def test_reflexive(self, edges, i):
+        env = env_with_edges(edges)
+        assert env.outlives(Owner(f"o{i}"), Owner(f"o{i}"))
+
+    @given(edge_lists, st.integers(0, 5), st.integers(0, 5),
+           st.integers(0, 5))
+    @settings(max_examples=60)
+    def test_transitive(self, edges, i, j, k):
+        env = env_with_edges(edges)
+        a, b, c = Owner(f"o{i}"), Owner(f"o{j}"), Owner(f"o{k}")
+        if env.outlives(a, b) and env.outlives(b, c):
+            assert env.outlives(a, c)
+
+    @given(edge_lists, st.integers(0, 5))
+    def test_heap_immortal_top(self, edges, i):
+        env = env_with_edges(edges)
+        assert env.outlives(HEAP, Owner(f"o{i}"))
+        assert env.outlives(IMMORTAL, Owner(f"o{i}"))
+
+    @given(edge_lists, st.integers(0, 5), st.integers(0, 5))
+    def test_closure_contains_declared_edges(self, edges, i, j):
+        env = env_with_edges(edges + [(i, j)])
+        assert env.outlives(Owner(f"o{i}"), Owner(f"o{j}"))
+
+    @given(edge_lists, st.integers(0, 5), st.integers(0, 5))
+    @settings(max_examples=60)
+    def test_owns_implies_outlives(self, edges, i, j):
+        env = env_with_edges(edges).with_owns(Owner(f"o{i}"),
+                                              Owner(f"o{j}"))
+        assert env.outlives(Owner(f"o{i}"), Owner(f"o{j}"))
+
+    @given(edge_lists, st.integers(0, 5), st.integers(0, 5))
+    @settings(max_examples=60)
+    def test_effect_coverage_monotone(self, edges, i, j):
+        # a larger permitted set never covers less
+        env = env_with_edges(edges)
+        a, b = Owner(f"o{i}"), Owner(f"o{j}")
+        small = frozenset({a})
+        large = frozenset({a, b})
+        for target in (Owner(f"o{k}") for k in range(6)):
+            if env.effect_covers(small, target):
+                assert env.effect_covers(large, target)

@@ -1,0 +1,138 @@
+"""Property-based tests of the region runtime and the parser round-trip."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import OutOfRegionMemoryError
+from repro.lang import parse_program, pretty_program
+from repro.rtsj.objects import ObjRef
+from repro.rtsj.regions import LT, VT, RegionManager
+
+
+# ---------------------------------------------------------------------------
+# region-runtime invariants under random operation sequences
+# ---------------------------------------------------------------------------
+
+#: operations: ('alloc',) ('flush',) ('enter',) ('exit',) ('portal', on/off)
+ops_strategy = st.lists(
+    st.one_of(
+        st.just(("alloc",)),
+        st.just(("flush",)),
+        st.just(("enter",)),
+        st.just(("exit",)),
+        st.tuples(st.just("portal"), st.booleans()),
+    ),
+    max_size=30)
+
+
+class TestRegionInvariants:
+    @given(st.sampled_from([LT, VT]), ops_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_invariants_hold_under_any_sequence(self, policy, ops):
+        mgr = RegionManager()
+        area = mgr.create("r", "K", policy, lt_budget=200,
+                          ancestors=set())
+        area.portals = {"p": None}
+        live_objs = []
+        for op in ops:
+            if op[0] == "alloc":
+                obj = ObjRef("C", (area,), ("f",), area)
+                try:
+                    area.allocate(obj)
+                    live_objs.append(obj)
+                except OutOfRegionMemoryError:
+                    assert policy == LT  # only LT budgets overflow
+            elif op[0] == "flush":
+                if area.can_flush():
+                    area.flush()
+                    # flushing kills every object allocated so far
+                    assert all(not o.alive for o in live_objs)
+                    live_objs = []
+            elif op[0] == "enter":
+                area.thread_count += 1
+            elif op[0] == "exit":
+                if area.thread_count > 0:
+                    area.thread_count -= 1
+            elif op[0] == "portal":
+                area.portals["p"] = live_objs[-1] if (op[1]
+                                                      and live_objs) \
+                    else None
+            # global invariants after every step
+            assert area.thread_count >= 0
+            assert area.bytes_used >= 0
+            if policy == LT:
+                assert area.bytes_used <= area.lt_budget
+            assert area.bytes_used <= area.peak_bytes
+            if area.thread_count > 0:
+                assert not area.can_flush()
+            if area.portals["p"] is not None:
+                assert not area.can_flush()
+
+    @given(ops_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_flush_rule_portal_blocks(self, ops):
+        mgr = RegionManager()
+        area = mgr.create("r", "K", LT, 500, set())
+        area.portals = {"p": None}
+        obj = ObjRef("C", (area,), ("f",), area)
+        area.allocate(obj)
+        area.portals["p"] = obj
+        # whatever the count does, a non-null portal blocks the flush
+        for op in ops:
+            if op[0] == "enter":
+                area.thread_count += 1
+            elif op[0] == "exit" and area.thread_count > 0:
+                area.thread_count -= 1
+            assert not area.can_flush()
+
+
+# ---------------------------------------------------------------------------
+# parser round-trip on generated programs
+# ---------------------------------------------------------------------------
+
+ident = st.from_regex(r"[a-z][a-zA-Z0-9]{0,5}", fullmatch=True).filter(
+    lambda s: s not in {
+        "class", "extends", "where", "owns", "outlives", "new", "null",
+        "true", "false", "this", "if", "else", "while", "return", "fork",
+        "int", "float", "boolean", "void", "heap", "immortal", "io",
+        "print", "check", "sqrt", "itof", "ftoi", "yieldnow", "regionKind",
+        "accesses",
+    })
+
+
+@st.composite
+def small_programs(draw):
+    """Random but syntactically valid programs: a class with scalar
+    fields and arithmetic-heavy methods plus a main block."""
+    n_fields = draw(st.integers(0, 3))
+    fields = [f"int f{i};" for i in range(n_fields)]
+    exprs = draw(st.lists(st.integers(-99, 99), min_size=1, max_size=5))
+    stmts = [f"int v{i} = {value if value >= 0 else f'(0 - {-value})'};"
+             for i, value in enumerate(exprs)]
+    stmts.append(
+        "int total = " + " + ".join(f"v{i}" for i in range(len(exprs)))
+        + ";")
+    stmts.append("print(total);")
+    cls_name = draw(ident).capitalize() + "K"
+    body = " ".join(fields)
+    main = " ".join(stmts)
+    return (f"class {cls_name}<Owner o> {{ {body} }}\n"
+            f"{{ {main} }}")
+
+
+class TestParserRoundTrip:
+    @given(small_programs())
+    @settings(max_examples=60, deadline=None)
+    def test_pretty_parse_fixpoint(self, source):
+        first = pretty_program(parse_program(source))
+        second = pretty_program(parse_program(first))
+        assert first == second
+
+    @given(small_programs())
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_preserves_behaviour(self, source):
+        from repro import RunOptions, analyze, run_source
+        direct = run_source(analyze(source), RunOptions())
+        roundtripped = run_source(
+            analyze(pretty_program(parse_program(source))), RunOptions())
+        assert direct.output == roundtripped.output

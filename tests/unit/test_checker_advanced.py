@@ -1,0 +1,258 @@
+"""Typechecker tests: the subtler corners of the system — object owners
+as method arguments, `this` in signatures, handle-typed fields, the
+heap-effect strengthening, constraint propagation."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+from conftest import assert_rejected, assert_well_typed  # noqa: E402
+
+CELL = "class Cell<Owner o> { int v; Cell<o> next; }\n"
+
+
+class TestObjectOwnersAsMethodArguments:
+    """Section 2.1: "if a formal owner parameter of mn is instantiated
+    with an object obj, then our system ensures that obj ≽o o1"."""
+
+    BASE = (CELL +
+            "class Node<Owner o> {"
+            "  Cell<this> mine;"
+            "  void fill() { mine = new Cell<this>; }"
+            "  void visit<Owner p>(Cell<p> c) accesses p { }"
+            "}\n")
+
+    def test_this_as_owner_argument_for_own_method(self):
+        # inside the class, `this` trivially owns this
+        assert_well_typed(
+            self.BASE +
+            "class User<Owner o> extends Node<o> {"
+            "  void go() {"
+            "    this.fill();"
+            "    this.visit<this>(mine);"
+            "  }"
+            "}")
+
+    def test_unrelated_object_owner_argument_rejected(self):
+        # `this` of class M does not own the receiver's owner
+        assert_rejected(
+            self.BASE +
+            "class M<Owner o> {"
+            "  void go(Node<o> node, Cell<this> c) { node.visit<this>(c); }"
+            "}",
+            rule="EXPR INVOKE", fragment="own the receiver")
+
+    def test_region_owner_arguments_unconstrained(self):
+        # regions are not required to own the receiver (Theorem 4)
+        assert_well_typed(
+            self.BASE +
+            "(RHandle<r1> h1) { (RHandle<r2> h2) {"
+            "  Node<r2> node = new Node<r2>;"
+            "  Cell<r1> c = new Cell<r1>;"
+            "  node.visit<r1>(c);"
+            "} }")
+
+
+class TestThisInSignatures:
+    SOURCE = (CELL +
+              "class Keeper<Owner o> {"
+              "  Cell<this> held;"
+              "  Cell<this> expose() { return held; }"
+              "  void absorb(Cell<this> c) { held = c; }"
+              "}\n")
+
+    def test_internal_use_fine(self):
+        assert_well_typed(
+            self.SOURCE +
+            "class Sub<Owner o> extends Keeper<o> {"
+            "  void cycle() {"
+            "    Cell<this> c = new Cell<this>;"
+            "    this.absorb(c);"
+            "    Cell<this> back = this.expose();"
+            "  }"
+            "}")
+
+    def test_external_return_type_rejected(self):
+        assert_rejected(
+            self.SOURCE +
+            "(RHandle<r> h) {"
+            "  Keeper<r> k = new Keeper<r>;"
+            "  Cell<r> c = k.expose();"
+            "}",
+            rule="EXPR INVOKE", fragment="O3")
+
+    def test_external_param_type_rejected(self):
+        assert_rejected(
+            self.SOURCE +
+            "(RHandle<r> h) {"
+            "  Keeper<r> k = new Keeper<r>;"
+            "  k.absorb(null);"
+            "}",
+            rule="EXPR INVOKE", fragment="O3")
+
+
+class TestHandleFields:
+    def test_handle_field_with_region_formal(self):
+        assert_well_typed(
+            CELL +
+            "class Holder<Owner o, Region r> {"
+            "  RHandle<r> stash;"
+            "  void keep(RHandle<r> h) { stash = h; }"
+            "  Cell<r> make() accesses r {"
+            "    RHandle<r> h = stash;"
+            "    return new Cell<r>;"
+            "  }"
+            "}\n"
+            "(RHandle<r1> h1) {"
+            "  Holder<r1, r1> holder = new Holder<r1, r1>;"
+            "  holder.keep(h1);"
+            "  Cell<r1> c = holder.make();"
+            "}")
+
+    def test_handle_field_requires_region_kind(self):
+        assert_rejected(
+            "class Holder<Owner o> { RHandle<o> h; }",
+            rule="TYPE REGION HANDLE")
+
+    def test_handle_type_mismatch(self):
+        assert_rejected(
+            "class Holder<Owner o, Region r, Region s> {"
+            "  RHandle<r> stash;"
+            "  void keep(RHandle<s> h) { stash = h; }"
+            "}",
+            rule="SUBTYPE")
+
+
+class TestHeapEffectStrengthening:
+    """`accesses immortal` must not smuggle in heap access (our
+    documented strengthening of the effect system)."""
+
+    def test_immortal_does_not_cover_heap(self):
+        assert_rejected(
+            CELL +
+            "class M<Owner o> {"
+            "  void go() accesses immortal {"
+            "    Cell<heap> c = new Cell<heap>;"
+            "  }"
+            "}",
+            rule="EXPR NEW")
+
+    def test_heap_covers_immortal(self):
+        # the paper's R1 direction that is safe: heap/immortal both live
+        # forever, and heap-capable methods may touch immortal
+        assert_well_typed(
+            CELL +
+            "class M<Owner o> {"
+            "  void go() accesses heap {"
+            "    Cell<immortal> c = new Cell<immortal>;"
+            "  }"
+            "}")
+
+    def test_immortal_covers_regions(self):
+        assert_well_typed(
+            CELL +
+            "class M<Owner o> {"
+            "  void fill<Region r>(RHandle<r> h) accesses immortal"
+            "      where immortal outlives r {"
+            "    Cell<r> c = new Cell<r>;"
+            "  }"
+            "}")
+
+
+class TestConstraintPropagation:
+    def test_class_constraint_usable_in_body(self):
+        assert_well_typed(
+            CELL +
+            "class Pairing<Owner a, Owner b> where b owns a {"
+            "  void go(Cell<b> c) accesses b {"
+            "    Cell<b> mine = c;"
+            "  }"
+            "}")
+
+    def test_method_constraint_grants_type_formation(self):
+        assert_well_typed(
+            CELL +
+            "class Link<Owner x, Owner y> { Cell<y> to; }\n"
+            "class M<Owner o> {"
+            "  void go<Owner p, Owner q>() where q outlives p {"
+            "    Link<p, q> l = null;"
+            "  }"
+            "}")
+
+    def test_without_constraint_type_formation_fails(self):
+        assert_rejected(
+            CELL +
+            "class Link<Owner x, Owner y> { Cell<y> to; }\n"
+            "class M<Owner o> {"
+            "  void go<Owner p, Owner q>() {"
+            "    Link<p, q> l = null;"
+            "  }"
+            "}",
+            rule="TYPE C")
+
+    def test_caller_must_discharge_method_constraint(self):
+        src = (CELL +
+               "class M<Owner o> {"
+               "  void need<Owner p, Owner q>() where q outlives p { }"
+               "}\n"
+               "(RHandle<r1> h1) { (RHandle<r2> h2) {"
+               "  M<r1> m = new M<r1>;"
+               "  m.need<r1, r2>();"   # r2 does not outlive r1
+               "} }")
+        assert_rejected(src, rule="EXPR INVOKE")
+
+    def test_caller_discharges_with_actual_nesting(self):
+        assert_well_typed(
+            CELL +
+            "class M<Owner o> {"
+            "  void need<Owner p, Owner q>() where q outlives p { }"
+            "}\n"
+            "(RHandle<r1> h1) { (RHandle<r2> h2) {"
+            "  M<r1> m = new M<r1>;"
+            "  m.need<r2, r1>();"
+            "} }")
+
+
+class TestMethodOwnerKinds:
+    def test_region_kinded_formal_rejects_object_owner(self):
+        assert_rejected(
+            CELL +
+            "class M<Owner o> {"
+            "  void go<Region r>() accesses r { }"
+            "  void call() { this.go<this>(); }"
+            "}",
+            rule="EXPR INVOKE", fragment="kind")
+
+    def test_region_kinded_formal_accepts_region(self):
+        assert_well_typed(
+            CELL +
+            "class M<Owner o> {"
+            "  void go<Region r>() accesses r { }"
+            "}\n"
+            "(RHandle<r1> h1) {"
+            "  M<r1> m = new M<r1>;"
+            "  m.go<r1>();"
+            "}")
+
+    def test_lt_refined_formal_rejects_unrefined_region(self):
+        assert_rejected(
+            "regionKind K extends SharedRegion { }\n"
+            "class M<Owner o> {"
+            "  void go<K : LT r>() accesses r { }"
+            "}\n"
+            "(RHandle<K r> h) {"
+            "  M<heap> m = new M<heap>;"
+            "  m.go<r>();"
+            "}",
+            rule="EXPR INVOKE")
+
+    def test_lt_refined_formal_accepts_lt_region(self):
+        assert_well_typed(
+            "regionKind K extends SharedRegion { }\n"
+            "class M<Owner o> {"
+            "  void go<K : LT r>() accesses r { }"
+            "}\n"
+            "(RHandle<K : LT(512) r> h) {"
+            "  M<heap> m = new M<heap>;"
+            "  m.go<r>();"
+            "}")

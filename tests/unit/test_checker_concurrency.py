@@ -1,0 +1,133 @@
+"""Typechecker tests: fork / RT fork (Sections 2.2 / 2.3)."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+from conftest import assert_rejected, assert_well_typed  # noqa: E402
+
+SHARED = """
+regionKind Shared extends SharedRegion {
+    Sub : LT(512) RT rtwork;
+    Sub : VT NoRT scratch;
+}
+regionKind Sub extends SharedRegion { }
+class Worker<Shared r> {
+    void run(RHandle<r> h) accesses r { int x = 1; }
+    void heapy(RHandle<r> h) accesses r, heap { int x = 1; }
+    void rt(RHandle<r> h) accesses r, RT {
+        (RHandle<Sub r2> h2 = h.rtwork) { int x = 1; }
+    }
+}
+"""
+
+
+class TestFork:
+    def test_fork_into_shared_region(self):
+        assert_well_typed(SHARED +
+                          "(RHandle<Shared r> h) {"
+                          "  fork (new Worker<r>).run(h);"
+                          "}")
+
+    def test_fork_on_heap_owned_receiver(self):
+        assert_well_typed(
+            "class W<Owner o> { void go() accesses o { } }\n"
+            "{ fork (new W<heap>).go(); }")
+
+    def test_fork_cannot_pass_local_region_objects(self):
+        # objects in local regions cannot escape to another thread
+        assert_rejected(
+            "class W<Owner o> { void go() accesses o { } }\n"
+            "(RHandle<r> h) { fork (new W<r>).go(); }",
+            rule="EXPR FORK")
+
+    def test_fork_cannot_run_inside_local_region(self):
+        assert_rejected(
+            SHARED +
+            "class M<Shared s> {"
+            "  void go(RHandle<s> hs) accesses s, heap {"
+            "    (RHandle<r> h) {"
+            "      fork (new Worker<s>).run(hs);"
+            "    }"
+            "  }"
+            "}",
+            rule="EXPR FORK")
+
+    def test_fork_target_cannot_have_rt_effect(self):
+        assert_rejected(SHARED +
+                        "(RHandle<Shared r> h) {"
+                        "  fork (new Worker<r>).rt(h);"
+                        "}",
+                        rule="EXPR FORK")
+
+    def test_fork_explicit_owner_args_checked(self):
+        assert_rejected(
+            "class W<Owner o> {"
+            "  void go<Owner p>() accesses o, p { }"
+            "}\n"
+            "(RHandle<r> h) {"
+            "  W<heap> w = new W<heap>;"
+            "  fork w.go<r>();"   # r is a local region
+            "}",
+            rule="EXPR FORK")
+
+
+class TestRTFork:
+    def test_rt_fork_into_lt_shared_region(self):
+        assert_well_typed(SHARED +
+                          "(RHandle<Shared : LT(8192) r> h) {"
+                          "  RT fork (new Worker<r>).rt(h);"
+                          "}")
+
+    def test_rt_fork_requires_lt_region_effects(self):
+        # the mission region is VT by default -> unbounded allocation
+        assert_rejected(SHARED +
+                        "(RHandle<Shared r> h) {"
+                        "  RT fork (new Worker<r>).rt(h);"
+                        "}",
+                        rule="EXPR RTFORK")
+
+    def test_rt_fork_target_cannot_touch_heap(self):
+        assert_rejected(SHARED +
+                        "(RHandle<Shared : LT(8192) r> h) {"
+                        "  RT fork (new Worker<r>).heapy(h);"
+                        "}",
+                        rule="EXPR RTFORK")
+
+    def test_rt_fork_cannot_receive_heap_owned_receiver(self):
+        assert_rejected(
+            "class W<Owner o> { void go() accesses RT { } }\n"
+            "regionKind Shared extends SharedRegion { }\n"
+            "(RHandle<Shared : LT(1024) r> h) {"
+            "  RT fork (new W<heap>).go();"
+            "}",
+            rule="EXPR RTFORK")
+
+    def test_rt_fork_from_main_inside_shared_region(self):
+        assert_well_typed(SHARED +
+                          "(RHandle<Shared : LT(8192) r> h) {"
+                          "  RT fork (new Worker<r>).run(h);"
+                          "}")
+
+    def test_rt_fork_outside_shared_region_rejected(self):
+        # main's current region is the heap: RT fork must happen inside a
+        # shared region
+        assert_rejected(
+            "regionKind Shared extends SharedRegion { }\n"
+            "class W<Owner o> { void go() { } }\n"
+            "{ RT fork (new W<heap>).go(); }",
+            rule="EXPR RTFORK")
+
+    def test_rt_fork_inside_method_is_conservative(self):
+        # a method's initialRegion has opaque kind `Region`, so the
+        # checker cannot prove the current region is shared and must
+        # reject — RT forks happen lexically inside the region creation
+        # scope (as in every paper example)
+        assert_rejected(
+            SHARED +
+            "class Launcher<Shared : LT s> {"
+            "  void launch(RHandle<s> hs) accesses s, RT {"
+            "    RT fork (new Worker<s>).run(hs);"
+            "  }"
+            "}",
+            rule="EXPR RTFORK")

@@ -1,0 +1,435 @@
+"""Typechecker tests: single-threaded rules (Section 2.1 / Appendix B)."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+from conftest import assert_rejected, assert_well_typed  # noqa: E402
+
+CELL = "class Cell<Owner o> { int v; Cell<o> next; }\n"
+PAIR = ("class Pair<Owner o, Owner p> { Cell<p> item; }\n")
+
+
+class TestTypeWellformedness:
+    def test_owners_must_outlive_first(self):
+        # Figure 5's illegal s6
+        assert_rejected(
+            CELL + PAIR +
+            "(RHandle<r1> h1) { (RHandle<r2> h2) {"
+            "  Pair<r1, r2> p = null;"
+            "} }",
+            rule="TYPE C", fragment="does not outlive")
+
+    def test_heap_first_owner_needs_immortal_or_heap_args(self):
+        # Figure 5's illegal s7
+        assert_rejected(
+            CELL + PAIR +
+            "(RHandle<r1> h1) { Pair<heap, r1> p = null; }",
+            rule="TYPE C")
+
+    def test_legal_combinations(self):
+        assert_well_typed(
+            CELL + PAIR +
+            "(RHandle<r1> h1) { (RHandle<r2> h2) {"
+            "  Pair<r2, r1> a = null;"
+            "  Pair<r2, r2> b = null;"
+            "  Pair<r1, immortal> c = null;"
+            "  Pair<heap, immortal> d = null;"
+            "  Pair<immortal, heap> e = null;"
+            "} }")
+
+    def test_wrong_owner_arity(self):
+        assert_rejected(CELL + "{ Cell<heap, heap> c = null; }",
+                        rule="TYPE C", fragment="expects 1 owners")
+
+    def test_unknown_class(self):
+        assert_rejected("{ Nope<heap> x = null; }", fragment="Nope")
+
+    def test_unknown_owner(self):
+        assert_rejected(CELL + "{ Cell<zap> x = null; }",
+                        fragment="'zap'")
+
+    def test_class_where_clause_must_hold_at_use(self):
+        src = (CELL +
+               "class Demand<Owner a, Owner b> where b owns a { }\n"
+               "(RHandle<r1> h1) {"
+               "  Demand<r1, heap> d = null;"
+               "}")
+        assert_rejected(src, rule="TYPE C", fragment="not satisfied")
+
+    def test_object_base_type(self):
+        assert_well_typed("{ Object<heap> o = null; }")
+
+
+class TestNew:
+    def test_new_requires_effect_coverage(self):
+        src = (CELL +
+               "class M<Owner o> {"
+               "  void make() accesses o { Cell<heap> c = new Cell<heap>; }"
+               "}")
+        assert_rejected(src, rule="EXPR NEW", fragment="heap")
+
+    def test_new_in_own_owner_allowed(self):
+        assert_well_typed(
+            CELL +
+            "class M<Owner o> {"
+            "  Cell<o> make() { return new Cell<o>; }"
+            "}")
+
+    def test_new_requires_handle_availability(self):
+        # a region formal without a handle argument cannot be allocated in
+        src = (CELL +
+               "class M<Owner o> {"
+               "  void make<Region r>() accesses r {"
+               "    Cell<r> c = new Cell<r>;"
+               "  }"
+               "}")
+        assert_rejected(src, rule="AV RH")
+
+    def test_new_with_handle_argument_ok(self):
+        assert_well_typed(
+            CELL +
+            "class M<Owner o> {"
+            "  void make<Region r>(RHandle<r> h) accesses r {"
+            "    Cell<r> c = new Cell<r>;"
+            "  }"
+            "}")
+
+    def test_new_via_this_owned_needs_no_handle(self):
+        # the paper: "if a method allocates only objects (transitively)
+        # owned by this, it does not need an explicit region handle"
+        assert_well_typed(
+            CELL +
+            "class M<Owner o> {"
+            "  Cell<this> guts;"
+            "  void make() { guts = new Cell<this>; }"
+            "}")
+
+    def test_user_class_constructor_args_rejected(self):
+        assert_rejected(CELL + "{ Cell<heap> c = new Cell<heap>(3); }",
+                        rule="EXPR NEW")
+
+    def test_array_constructor_needs_length(self):
+        assert_rejected("{ IntArray<heap> a = new IntArray<heap>; }",
+                        rule="EXPR NEW")
+        assert_well_typed("{ IntArray<heap> a = new IntArray<heap>(4); }")
+
+
+class TestFieldAccess:
+    def test_field_read_and_write(self):
+        assert_well_typed(
+            CELL +
+            "(RHandle<r> h) {"
+            "  Cell<r> a = new Cell<r>;"
+            "  Cell<r> b = new Cell<r>;"
+            "  a.next = b;"
+            "  Cell<r> c = a.next;"
+            "  a.v = 3;"
+            "  int x = a.v;"
+            "}")
+
+    def test_field_write_wrong_owner_rejected(self):
+        assert_rejected(
+            CELL +
+            "(RHandle<r1> h1) { (RHandle<r2> h2) {"
+            "  Cell<r1> outer = new Cell<r1>;"
+            "  Cell<r2> inner = new Cell<r2>;"
+            "  outer.next = inner;"    # would dangle when r2 dies
+            "} }",
+            rule="SUBTYPE")
+
+    def test_reverse_direction_is_fine(self):
+        assert_well_typed(
+            CELL + PAIR +
+            "(RHandle<r1> h1) { (RHandle<r2> h2) {"
+            "  Pair<r2, r1> p = new Pair<r2, r1>;"
+            "  Cell<r1> longlived = new Cell<r1>;"
+            "  p.item = longlived;"    # inner region points outward: safe
+            "} }")
+
+    def test_unknown_field(self):
+        assert_rejected(CELL + "(RHandle<r> h) {"
+                        " Cell<r> c = new Cell<r>; c.nope = 3; }",
+                        fragment="nope")
+
+    def test_field_on_scalar_rejected(self):
+        assert_rejected("{ int x = 3; int y = x.v; }",
+                        fragment="non-object")
+
+    def test_encapsulation_this_owned_field(self):
+        # property O3: a this-owned field is inaccessible from outside
+        assert_rejected(
+            "class Inner<Owner o> { int x; }\n"
+            "class Outer<Owner o> { Inner<this> guts = null; }\n"
+            "(RHandle<r> h) {"
+            "  Outer<r> a = new Outer<r>;"
+            "  Inner<r> stolen = a.guts;"
+            "}",
+            rule="EXPR REF READ", fragment="encapsulated")
+
+    def test_this_owned_field_usable_internally(self):
+        assert_well_typed(
+            "class Inner<Owner o> { int x; }\n"
+            "class Outer<Owner o> {"
+            "  Inner<this> guts = null;"
+            "  void setup() { guts = new Inner<this>; }"
+            "  int peek() { if (guts == null) { return 0; }"
+            "               return guts.x; }"
+            "}")
+
+    def test_unqualified_field_access_resolves_to_this(self):
+        assert_well_typed(
+            CELL +
+            "class M<Owner o> {"
+            "  int counter;"
+            "  void bump() { counter = counter + 1; }"
+            "}")
+
+
+class TestStatics:
+    def test_static_scalar(self):
+        assert_well_typed(
+            "class C<Owner o> { static int n; }\n"
+            "{ C.n = 3; print(C.n); }")
+
+    def test_static_reference_must_be_immortal_or_heap(self):
+        assert_rejected(
+            "class D<Owner o> { int x; }\n"
+            "class C<Owner o> { static D<o> bad; }",
+            rule="STATIC FIELD")
+
+    def test_static_immortal_reference(self):
+        assert_well_typed(
+            "class D<Owner o> { int x; }\n"
+            "class C<Owner o> { static D<immortal> shared; }\n"
+            "{ C.shared = new D<immortal>; }")
+
+    def test_static_access_requires_effect(self):
+        assert_rejected(
+            "class D<Owner o> { int x; }\n"
+            "class C<Owner o> {"
+            "  static D<immortal> shared;"
+            "  void touch() accesses o { D<immortal> d = C.shared; }"
+            "}",
+            rule="EXPR REF READ")
+
+    def test_unknown_static(self):
+        assert_rejected(
+            "class C<Owner o> { int x; }\n{ int y = C.nope; }",
+            fragment="nope")
+
+
+class TestInvocation:
+    BASE = (CELL +
+            "class Util<Owner o> {"
+            "  Cell<o> mk() { return new Cell<o>; }"
+            "  int take(Cell<o> c) { return c.v; }"
+            "  Cell<p> relay<Owner p>(Cell<p> c) { return c; }"
+            "}\n")
+
+    def test_simple_call(self):
+        assert_well_typed(
+            self.BASE +
+            "(RHandle<r> h) {"
+            "  Util<r> u = new Util<r>;"
+            "  Cell<r> c = u.mk();"
+            "  int x = u.take(c);"
+            "}")
+
+    def test_wrong_argument_owner(self):
+        assert_rejected(
+            self.BASE +
+            "(RHandle<r1> h1) { (RHandle<r2> h2) {"
+            "  Util<r1> u = new Util<r1>;"
+            "  Cell<r2> c = new Cell<r2>;"
+            "  int x = u.take(c);"
+            "} }",
+            rule="SUBTYPE")
+
+    def test_method_owner_arguments(self):
+        assert_well_typed(
+            self.BASE +
+            "(RHandle<r1> h1) { (RHandle<r2> h2) {"
+            "  Util<r2> u = new Util<r2>;"
+            "  Cell<r1> c = new Cell<r1>;"
+            "  Cell<r1> back = u.relay<r1>(c);"
+            "} }")
+
+    def test_missing_owner_arguments_inferred(self):
+        # inference supplies <r1>
+        assert_well_typed(
+            self.BASE +
+            "(RHandle<r1> h1) {"
+            "  Util<r1> u = new Util<r1>;"
+            "  Cell<r1> c = new Cell<r1>;"
+            "  Cell<r1> back = u.relay(c);"
+            "}")
+
+    def test_unknown_method(self):
+        assert_rejected(self.BASE +
+                        "(RHandle<r> h) {"
+                        " Util<r> u = new Util<r>; u.nope(); }",
+                        rule="EXPR INVOKE")
+
+    def test_wrong_arity(self):
+        assert_rejected(self.BASE +
+                        "(RHandle<r> h) {"
+                        " Util<r> u = new Util<r>; u.mk(1); }",
+                        rule="EXPR INVOKE")
+
+    def test_method_where_clause_enforced(self):
+        src = (CELL +
+               "class W<Owner o> {"
+               "  void need<Owner p>() where p owns o { }"
+               "}\n"
+               "(RHandle<r1> h1) {"
+               "  W<r1> w = new W<r1>;"
+               "  w.need<heap>();"
+               "}")
+        assert_rejected(src, rule="EXPR INVOKE", fragment="not satisfied")
+
+    def test_effects_propagate_to_callers(self):
+        # callee accesses heap; caller's effects must cover it
+        src = (CELL +
+               "class A<Owner o> {"
+               "  void deep() accesses heap {"
+               "    Cell<heap> c = new Cell<heap>;"
+               "  }"
+               "}\n"
+               "class B<Owner o> {"
+               "  void shallow(A<o> a) accesses o { a.deep(); }"
+               "}")
+        assert_rejected(src, rule="EXPR INVOKE")
+
+    def test_effects_propagate_ok_when_declared(self):
+        assert_well_typed(
+            CELL +
+            "class A<Owner o> {"
+            "  void deep() accesses heap {"
+            "    Cell<heap> c = new Cell<heap>;"
+            "  }"
+            "}\n"
+            "class B<Owner o> {"
+            "  void shallow(A<o> a) accesses o, heap { a.deep(); }"
+            "}")
+
+
+class TestSubtypingAndInheritance:
+    HIERARCHY = (
+        "class Animal<Owner o> { int legs; }\n"
+        "class Dog<Owner o> extends Animal<o> { int tail; }\n")
+
+    def test_subclass_assignable(self):
+        assert_well_typed(
+            self.HIERARCHY +
+            "(RHandle<r> h) { Animal<r> a = new Dog<r>; }")
+
+    def test_superclass_not_assignable_to_subclass(self):
+        assert_rejected(
+            self.HIERARCHY +
+            "(RHandle<r> h) { Dog<r> d = new Animal<r>; }",
+            rule="SUBTYPE")
+
+    def test_owner_args_invariant(self):
+        assert_rejected(
+            self.HIERARCHY +
+            "(RHandle<r> h) { Animal<heap> a = new Dog<r>; }",
+            rule="SUBTYPE")
+
+    def test_inherited_field_access(self):
+        assert_well_typed(
+            self.HIERARCHY +
+            "(RHandle<r> h) { Dog<r> d = new Dog<r>; d.legs = 4; }")
+
+    def test_inherited_field_owner_substitution(self):
+        src = ("class Holder<Owner o, Owner p> { Cell<p> held; }\n"
+               + CELL +
+               "class Sub<Owner q> extends Holder<q, heap> { }\n"
+               "(RHandle<r> h) {"
+               "  Sub<r> s = new Sub<r>;"
+               "  Cell<heap> c = s.held;"
+               "}")
+        assert_well_typed(src)
+
+    def test_null_assignable_everywhere(self):
+        assert_well_typed(
+            self.HIERARCHY +
+            "(RHandle<r> h) { Dog<r> d = null; Animal<r> a = null; }")
+
+
+class TestStatementsAndScalars:
+    def test_condition_must_be_boolean(self):
+        assert_rejected("{ if (3) { } }", fragment="condition")
+        assert_rejected("{ while (1.5) { } }", fragment="condition")
+
+    def test_arithmetic_typing(self):
+        assert_well_typed(
+            "{ int a = 1 + 2 * 3 % 4 - 5 / 2;"
+            "  float f = 1.5 * 2.0 - 0.5 / 2.0;"
+            "  boolean b = a < 3 && !(f >= 2.0) || a == 1; }")
+
+    def test_no_implicit_int_float_mixing(self):
+        assert_rejected("{ float f = 1 + 2.0; }")
+        assert_rejected("{ int x = 3 * 1.5; }")
+
+    def test_float_modulo_rejected(self):
+        assert_rejected("{ float f = 3.0 % 2.0; }")
+
+    def test_explicit_conversions(self):
+        assert_well_typed("{ float f = itof(3); int i = ftoi(2.5); }")
+
+    def test_return_type_checked(self):
+        assert_rejected(
+            "class C<Owner o> { int m() { return true; } }",
+            rule="SUBTYPE")
+        assert_rejected(
+            "class C<Owner o> { void m() { return 3; } }")
+        assert_rejected(
+            "class C<Owner o> { int m() { return; } }")
+
+    def test_duplicate_local_rejected(self):
+        assert_rejected("{ int x = 1; int x = 2; }",
+                        fragment="already defined")
+
+    def test_unknown_variable(self):
+        assert_rejected("{ int x = y; }", fragment="unknown variable")
+
+    def test_void_variable_rejected(self):
+        assert_rejected("{ void v = null; }")
+
+    def test_reference_equality(self):
+        assert_well_typed(
+            CELL +
+            "(RHandle<r> h) {"
+            "  Cell<r> a = new Cell<r>;"
+            "  boolean same = a == a;"
+            "  boolean n = a != null;"
+            "}")
+
+    def test_builtin_arg_types(self):
+        assert_rejected("{ sqrt(3); }")          # int, wants float
+        assert_rejected("{ io(1.5); }")          # float, wants int
+        assert_rejected("{ check(1); }")         # int, wants boolean
+        assert_rejected(CELL + "(RHandle<r> h) {"
+                        " Cell<r> c = new Cell<r>; print(c); }")
+
+
+class TestRulePinning:
+    """Direct pins for judgment names not hit elsewhere by name."""
+
+    def test_expr_let_requires_owners_without_inference(self):
+        from repro import analyze
+        analyzed = analyze(
+            CELL + "(RHandle<r> h) { Cell c = null; }", infer=False)
+        assert "EXPR LET" in analyzed.error_rules()
+
+    def test_expr_ref_write_effect_violation(self):
+        assert_rejected(
+            CELL +
+            "class M<Owner o> {"
+            "  void scribble(Cell<heap> c, Cell<heap> d)"
+            "      accesses o {"
+            "    c.next = d;"
+            "  }"
+            "}",
+            rule="EXPR REF WRITE")

@@ -1,0 +1,257 @@
+"""Typechecker tests: regions, subregions, portals, policies
+(Sections 2.2 / 2.3)."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+from conftest import assert_rejected, assert_well_typed  # noqa: E402
+
+KINDS = """
+regionKind Buf extends SharedRegion {
+    Frame<this> f;
+    Sub : LT(512) NoRT work;
+    Sub : VT NoRT scratch;
+    Sub : LT(256) RT rtwork;
+}
+regionKind Sub extends SharedRegion { }
+class Frame<Owner o> { int data; }
+"""
+
+
+class TestRegionCreation:
+    def test_plain_local_region(self):
+        assert_well_typed("{ (RHandle<r> h) { int x = 1; } }")
+
+    def test_nested_regions_outlives(self):
+        assert_well_typed(
+            "class Cell<Owner o> { Cell<o> next; }\n"
+            "(RHandle<r1> h1) { (RHandle<r2> h2) {"
+            "  Cell<r1> outer = new Cell<r1>;"
+            "} }")
+
+    def test_region_creation_needs_heap_effect(self):
+        assert_rejected(
+            "class M<Owner o> {"
+            "  void go() accesses o { (RHandle<r> h) { int x = 1; } }"
+            "}",
+            rule="EXPR REGION")
+
+    def test_region_creation_with_heap_effect(self):
+        assert_well_typed(
+            "class M<Owner o> {"
+            "  void go() accesses heap { (RHandle<r> h) { int x = 1; } }"
+            "}")
+
+    def test_shared_region_with_kind(self):
+        assert_well_typed(KINDS + "(RHandle<Buf r> h) { int x = 1; }")
+
+    def test_lt_policy_on_creation(self):
+        assert_well_typed(KINDS +
+                          "(RHandle<Buf : LT(4096) r> h) { int x = 1; }")
+
+    def test_unknown_kind(self):
+        assert_rejected("(RHandle<Nope r> h) { }", rule="OKIND")
+
+    def test_cannot_create_non_creatable_kind(self):
+        assert_rejected("(RHandle<GCRegion r> h) { }",
+                        rule="EXPR REGION")
+
+    def test_region_name_shadowing_rejected(self):
+        assert_rejected(
+            "{ (RHandle<r> h1) { (RHandle<r> h2) { } } }",
+            fragment="shadows")
+
+    def test_handle_has_handle_type(self):
+        # the handle can be passed where an RHandle is expected
+        assert_well_typed(
+            "class M<Owner o> {"
+            "  void use<Region r>(RHandle<r> h) accesses r { }"
+            "}\n"
+            "(RHandle<r1> h1) {"
+            "  M<r1> m = new M<r1>;"
+            "  m.use<r1>(h1);"
+            "}")
+
+
+class TestPortals:
+    def test_portal_read_write(self):
+        assert_well_typed(KINDS +
+                          "(RHandle<Buf r> h) {"
+                          "  Frame<r> fr = new Frame<r>;"
+                          "  h.f = fr;"
+                          "  Frame<r> back = h.f;"
+                          "  h.f = null;"
+                          "}")
+
+    def test_portal_type_substitutes_this_with_region(self):
+        # the portal declared Frame<this> becomes Frame<r>
+        assert_rejected(
+            KINDS +
+            "(RHandle<Buf r> h) { (RHandle<Buf r2> h2) {"
+            "  Frame<r2> fr = new Frame<r2>;"
+            "  h.f = fr;"   # Frame<r2> is not Frame<r>
+            "} }",
+            rule="SUBTYPE")
+
+    def test_unknown_portal(self):
+        assert_rejected(KINDS + "(RHandle<Buf r> h) { h.nope = null; }",
+                        rule="EXPR GET REGION FIELD")
+
+    def test_local_region_has_no_portals(self):
+        assert_rejected("(RHandle<r> h) { h.f = null; }",
+                        rule="EXPR GET REGION FIELD")
+
+    def test_inherited_portals(self):
+        src = """
+regionKind Base<Owner o> extends SharedRegion { Frame<o> slot; }
+regionKind Derived<Owner o> extends Base<o> { }
+class Frame<Owner o> { int data; }
+(RHandle<Derived<heap> r> h) {
+    Frame<heap> fr = new Frame<heap>;
+    h.slot = fr;
+}
+"""
+        assert_well_typed(src)
+
+
+class TestSubregions:
+    def test_subregion_entry(self):
+        assert_well_typed(KINDS +
+                          "(RHandle<Buf r> h) {"
+                          "  (RHandle<Sub r2> h2 = h.work) { int x = 1; }"
+                          "}")
+
+    def test_fresh_subregion_entry(self):
+        assert_well_typed(KINDS +
+                          "(RHandle<Buf r> h) {"
+                          "  (RHandle<Sub r2> h2 = new h.work) {"
+                          "    int x = 1;"
+                          "  }"
+                          "}")
+
+    def test_unknown_subregion(self):
+        assert_rejected(KINDS +
+                        "(RHandle<Buf r> h) {"
+                        "  (RHandle<Sub r2> h2 = h.nope) { }"
+                        "}",
+                        rule="EXPR SUBREGION")
+
+    def test_wrong_kind_annotation(self):
+        assert_rejected(KINDS +
+                        "(RHandle<Buf r> h) {"
+                        "  (RHandle<Buf r2> h2 = h.work) { }"
+                        "}",
+                        rule="EXPR SUBREGION")
+
+    def test_parent_outlives_subregion(self):
+        # a subregion object may point at a parent-region object...
+        assert_well_typed(
+            KINDS +
+            "class Link<Owner a, Owner b> { Frame<b> to; }\n"
+            "(RHandle<Buf r> h) {"
+            "  Frame<r> parentObj = new Frame<r>;"
+            "  (RHandle<Sub r2> h2 = h.work) {"
+            "    Link<r2, r> link = new Link<r2, r>;"
+            "    link.to = parentObj;"
+            "  }"
+            "}")
+
+    def test_subregion_does_not_outlive_parent(self):
+        # ...but not the reverse
+        assert_rejected(
+            KINDS +
+            "class Link<Owner a, Owner b> { Frame<b> to; }\n"
+            "(RHandle<Buf r> h) {"
+            "  (RHandle<Sub r2> h2 = h.work) {"
+            "    Link<r, r2> bad = null;"
+            "  }"
+            "}",
+            rule="TYPE C")
+
+    def test_entering_subregion_of_plain_handle_rejected(self):
+        assert_rejected(
+            "(RHandle<r> h) { (RHandle<Sub r2> h2 = h.work) { } }")
+
+
+class TestRealtimeRules:
+    def test_rt_subregion_needs_rt_effect(self):
+        assert_rejected(
+            KINDS +
+            "class M<Buf r> {"
+            "  void go(RHandle<r> h) accesses r {"
+            "    (RHandle<Sub r2> h2 = h.rtwork) { }"
+            "  }"
+            "}",
+            rule="EXPR SUBREGION", fragment="RT effect")
+
+    def test_rt_subregion_with_rt_effect(self):
+        assert_well_typed(
+            KINDS +
+            "class M<Buf r> {"
+            "  void go(RHandle<r> h) accesses r, RT {"
+            "    (RHandle<Sub r2> h2 = h.rtwork) { int x = 1; }"
+            "  }"
+            "}")
+
+    def test_main_cannot_enter_rt_subregion(self):
+        # the initial expression runs on a regular thread
+        assert_rejected(
+            KINDS +
+            "(RHandle<Buf r> h) {"
+            "  (RHandle<Sub r2> h2 = h.rtwork) { }"
+            "}",
+            rule="EXPR SUBREGION")
+
+    def test_nort_subregion_needs_heap_effect(self):
+        assert_rejected(
+            KINDS +
+            "class M<Buf r> {"
+            "  void go(RHandle<r> h) accesses r {"
+            "    (RHandle<Sub r2> h2 = h.work) { }"
+            "  }"
+            "}",
+            rule="EXPR SUBREGION")
+
+    def test_rt_entry_of_existing_lt_needs_no_heap(self):
+        # "a method that does not contain the heap region in its effects
+        # clause can still enter an existing LT subregion"
+        assert_well_typed(
+            KINDS +
+            "class M<Buf r> {"
+            "  void go(RHandle<r> h) accesses r, RT {"
+            "    (RHandle<Sub r2> h2 = h.rtwork) { int x = 1; }"
+            "  }"
+            "}")
+
+    def test_fresh_rt_subregion_needs_heap(self):
+        # `new` re-creates the subregion: allocation
+        assert_rejected(
+            KINDS +
+            "class M<Buf r> {"
+            "  void go(RHandle<r> h) accesses r, RT {"
+            "    (RHandle<Sub r2> h2 = new h.rtwork) { }"
+            "  }"
+            "}",
+            rule="EXPR SUBREGION")
+
+
+class TestRegionKindDeclarations:
+    def test_subregion_kind_must_be_shared(self):
+        assert_rejected(
+            "regionKind K extends SharedRegion { LocalRegion : VT NoRT s; }",
+            rule="REGION KIND DEF")
+
+    def test_portal_type_checked(self):
+        assert_rejected(
+            "regionKind K extends SharedRegion { Nope<this> f; }",
+            rule="TYPE C")
+
+    def test_parameterized_kind_args_checked(self):
+        assert_rejected(
+            "regionKind K<Region r> extends SharedRegion { }\n"
+            "class C<Owner o> { }\n"
+            "class M<Owner o> {"
+            "  void go<K<o> r2>() { }"   # o is not a region
+            "}",
+            rule="USER DECLARED SHARED REGION")

@@ -1,0 +1,80 @@
+"""Tests for user-defined defaults (Section 2.5: "Our system also
+supports user-defined defaults to cover specific patterns")."""
+
+from repro import analyze, parse_program, pretty_program
+from repro.core.inference import (DefaultPolicy, PAPER_DEFAULTS,
+                                  apply_defaults_and_infer)
+
+CELL = "class Cell<Owner o> { int v; }\n"
+
+
+def inferred(source: str, policy: DefaultPolicy) -> str:
+    analyzed = analyze(source, defaults=policy)
+    return pretty_program(analyzed.program), analyzed
+
+
+class TestCustomDefaults:
+    def test_signature_owner_override(self):
+        text, analyzed = inferred(
+            CELL + "class M<Owner o> { Cell id(Cell c) { return c; } }",
+            DefaultPolicy(signature_owner="heap"))
+        assert "Cell<heap> id(Cell<heap> c)" in text
+        assert analyzed.well_typed
+
+    def test_unconstrained_local_override(self):
+        text, analyzed = inferred(
+            CELL + "{ Cell loner = new Cell; print(loner != null); }",
+            DefaultPolicy(unconstrained_local="immortal"))
+        assert "Cell<immortal> loner = new Cell<immortal>;" in text
+        assert analyzed.well_typed
+
+    def test_instance_field_owner_override(self):
+        text, analyzed = inferred(
+            CELL + "class Holder<Owner o> { Cell kept; }",
+            DefaultPolicy(instance_field_owner="immortal"))
+        assert "Cell<immortal> kept;" in text
+        assert analyzed.well_typed
+
+    def test_static_field_owner_override(self):
+        text, analyzed = inferred(
+            CELL + "class Registry<Owner o> { static Cell root; }",
+            DefaultPolicy(static_field_owner="heap"))
+        assert "static Cell<heap> root;" in text
+        assert analyzed.well_typed
+
+    def test_effects_without_initial_region(self):
+        text, _analyzed = inferred(
+            CELL + "class M<Owner o> { void nop() { } }",
+            DefaultPolicy(effects_include_initial_region=False))
+        assert "accesses o\n" in text or "accesses o " in text
+        assert "initialRegion" not in text.split("accesses", 1)[1] \
+            .split("\n", 1)[0]
+
+    def test_paper_defaults_are_the_default(self):
+        baseline = analyze(CELL + "class M<Owner o> { Cell mk() "
+                           "{ return null; } }")
+        explicit = analyze(CELL + "class M<Owner o> { Cell mk() "
+                           "{ return null; } }",
+                           defaults=PAPER_DEFAULTS)
+        assert pretty_program(baseline.program) \
+            == pretty_program(explicit.program)
+
+    def test_policy_is_frozen(self):
+        import dataclasses
+        import pytest
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            PAPER_DEFAULTS.signature_owner = "heap"
+
+
+class TestInferenceIdempotence:
+    def test_running_inference_twice_is_stable(self):
+        source = (CELL +
+                  "class M<Owner o> {"
+                  "  Cell held;"
+                  "  void go() { Cell c = new Cell; held = c; }"
+                  "}\n"
+                  "(RHandle<r> h) { M<r> m = new M<r>; m.go(); }")
+        once = apply_defaults_and_infer(parse_program(source))
+        text_once = pretty_program(once)
+        twice = apply_defaults_and_infer(parse_program(text_once))
+        assert pretty_program(twice) == text_once

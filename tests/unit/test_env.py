@@ -1,0 +1,225 @@
+"""Unit tests for the typing environment: the ≽/≽o closure, handle
+availability ([AV ...]), region-kind inference ([RKIND ...]), and effects
+subsumption."""
+
+import pytest
+
+from repro.core.env import Env
+from repro.core.kinds import (K_GC_REGION, K_IMMORTAL, K_LOCAL_REGION,
+                              K_OBJ_OWNER, K_OWNER, K_REGION,
+                              K_SHARED_REGION, Kind)
+from repro.core.owners import (HEAP, IMMORTAL, INITIAL_REGION, Owner,
+                               RT_EFFECT, THIS)
+from repro.core.program import Constraint, build_program_info
+from repro.core.types import ClassType
+from repro.errors import OwnershipTypeError
+from repro.lang import parse_program
+
+
+@pytest.fixture
+def info():
+    return build_program_info(parse_program("class C<Owner a, Owner b> { }"))
+
+
+@pytest.fixture
+def env(info):
+    return Env.initial(info)
+
+
+A, B, R1, R2 = Owner("a"), Owner("b"), Owner("r1"), Owner("r2")
+
+
+class TestKinds:
+    def test_special_owner_kinds(self, env):
+        assert env.kind_of(HEAP) == K_GC_REGION
+        assert env.kind_of(IMMORTAL) == K_IMMORTAL
+        assert env.kind_of(INITIAL_REGION) == K_REGION
+
+    def test_unknown_owner_raises(self, env):
+        with pytest.raises(OwnershipTypeError):
+            env.kind_of(Owner("nope"))
+
+    def test_this_outside_class_raises(self, env):
+        with pytest.raises(OwnershipTypeError):
+            env.kind_of(THIS)
+
+    def test_this_inside_class_is_object(self, env):
+        bound = env.with_owner("a", K_OWNER).with_owner("b", K_OWNER)
+        bound = bound.with_this(ClassType("C", (A, B)))
+        assert bound.kind_of(THIS) == K_OBJ_OWNER
+
+    def test_rt_is_not_an_owner(self, env):
+        with pytest.raises(OwnershipTypeError):
+            env.kind_of(RT_EFFECT)
+
+    def test_owner_shadowing_rejected(self, env):
+        bound = env.with_owner("a", K_OWNER)
+        with pytest.raises(OwnershipTypeError):
+            bound.with_owner("a", K_REGION)
+        with pytest.raises(OwnershipTypeError):
+            env.with_owner("heap", K_REGION)
+
+    def test_regions_in_scope(self, env):
+        bound = env.with_owner("r1", K_LOCAL_REGION)
+        bound = bound.with_owner("a", K_OWNER)
+        names = {o.name for o in bound.regions_in_scope()}
+        assert names == {"heap", "immortal", "initialRegion", "r1"}
+
+
+class TestOutlives:
+    def test_reflexive(self, env):
+        bound = env.with_owner("a", K_OWNER)
+        assert bound.outlives(A, A)
+
+    def test_heap_and_immortal_outlive_everything(self, env):
+        bound = env.with_owner("r1", K_LOCAL_REGION)
+        assert bound.outlives(HEAP, R1)
+        assert bound.outlives(IMMORTAL, R1)
+        assert not bound.outlives(R1, HEAP)
+
+    def test_declared_edge(self, env):
+        bound = (env.with_owner("r1", K_LOCAL_REGION)
+                 .with_owner("r2", K_LOCAL_REGION)
+                 .with_outlives(R1, R2))
+        assert bound.outlives(R1, R2)
+        assert not bound.outlives(R2, R1)
+
+    def test_transitive(self, env):
+        r3 = Owner("r3")
+        bound = (env.with_owner("r1", K_LOCAL_REGION)
+                 .with_owner("r2", K_LOCAL_REGION)
+                 .with_owner("r3", K_LOCAL_REGION)
+                 .with_outlives(R1, R2).with_outlives(R2, r3))
+        assert bound.outlives(R1, r3)
+
+    def test_owns_implies_outlives(self, env):
+        bound = (env.with_owner("a", K_OWNER).with_owner("b", K_OWNER)
+                 .with_owns(A, B))
+        assert bound.outlives(A, B)
+
+    def test_this_type_gives_first_owner_edges(self, env):
+        bound = env.with_owner("a", K_OWNER).with_owner("b", K_OWNER)
+        bound = bound.with_this(ClassType("C", (A, B)))
+        # a owns this  =>  a outlives this; b ≽ a  =>  b ≽ this
+        assert bound.owns(A, THIS)
+        assert bound.outlives(A, THIS)
+        assert bound.outlives(B, THIS)
+
+
+class TestOwns:
+    def test_reflexive(self, env):
+        assert env.owns(A, A)
+
+    def test_transitive_chain(self, env):
+        c = Owner("c")
+        bound = (env.with_owns(A, B).with_owns(B, c))
+        assert bound.owns(A, c)
+        assert not bound.owns(c, A)
+
+    def test_constraint_entailment(self, env):
+        bound = env.with_constraint(Constraint("owns", A, B))
+        assert bound.entails(Constraint("owns", A, B))
+        assert bound.entails(Constraint("outlives", A, B))
+        assert not bound.entails(Constraint("owns", B, A))
+
+
+class TestHandleAvailability:
+    def test_heap_immortal_always_available(self, env):
+        assert env.av_rh(HEAP)
+        assert env.av_rh(IMMORTAL)
+
+    def test_this_available_inside_class(self, env):
+        bound = env.with_owner("a", K_OWNER)
+        bound = bound.with_this(ClassType("C", (A, A)))
+        assert bound.av_rh(THIS)
+
+    def test_explicit_handle(self, env):
+        bound = env.with_owner("r1", K_LOCAL_REGION).with_handle(R1)
+        assert bound.av_rh(R1)
+
+    def test_unavailable_without_handle(self, env):
+        bound = env.with_owner("r1", K_LOCAL_REGION)
+        assert not bound.av_rh(R1)
+
+    def test_propagates_down_ownership(self, env):
+        # [AV TRANS2]: this's handle reaches objects this owns
+        bound = env.with_owner("a", K_OWNER).with_owner("b", K_OWNER)
+        bound = bound.with_this(ClassType("C", (A, A)))
+        bound = bound.with_owns(THIS, B)
+        assert bound.av_rh(B)
+
+    def test_propagates_up_ownership(self, env):
+        # [AV TRANS1]: an owner lives in the same region as what it owns
+        bound = (env.with_owner("r1", K_LOCAL_REGION)
+                 .with_owner("a", K_OWNER)
+                 .with_handle(R1).with_owns(R1, A))
+        assert bound.av_rh(A)
+
+    def test_initial_region_handle_via_with_handle(self, env):
+        bound = env.with_handle(INITIAL_REGION)
+        assert bound.av_rh(INITIAL_REGION)
+        assert not env.av_rh(INITIAL_REGION)
+
+
+class TestRKind:
+    def test_region_owner_is_its_own_kind(self, env):
+        bound = env.with_owner("r1", K_LOCAL_REGION)
+        assert bound.rkind_of(R1) == K_LOCAL_REGION
+
+    def test_specials(self, env):
+        assert env.rkind_of(HEAP) == K_GC_REGION
+        assert env.rkind_of(IMMORTAL) == K_IMMORTAL
+
+    def test_object_owner_follows_ownership_upward(self, env):
+        bound = (env.with_owner("r1", K_SHARED_REGION)
+                 .with_owner("a", K_OWNER).with_owns(R1, A))
+        assert bound.rkind_of(A) == K_SHARED_REGION
+
+    def test_this_region_comes_from_first_owner(self, env):
+        bound = env.with_owner("r1", K_SHARED_REGION)
+        bound = bound.with_this(ClassType("C", (R1, R1)))
+        assert bound.rkind_of(THIS) == K_SHARED_REGION
+
+    def test_unknown_returns_none(self, env):
+        bound = env.with_owner("a", K_OWNER)
+        assert bound.rkind_of(A) is None
+
+
+class TestEffects:
+    def test_world_covers_everything(self, env):
+        # the initial expression is typed with `world` effects; the
+        # regular-thread/RT separation is enforced by the checker's RT
+        # membership rules, not by coverage
+        bound = env.with_owner("r1", K_LOCAL_REGION)
+        assert bound.effect_covers(None, R1)
+        assert bound.effect_covers(None, HEAP)
+        assert bound.effect_covers(None, RT_EFFECT)
+
+    def test_direct_membership(self, env):
+        bound = env.with_owner("r1", K_LOCAL_REGION)
+        assert bound.effect_covers(frozenset({R1}), R1)
+        assert not bound.effect_covers(frozenset(), R1)
+
+    def test_coverage_via_outlives(self, env):
+        bound = (env.with_owner("r1", K_LOCAL_REGION)
+                 .with_owner("r2", K_LOCAL_REGION)
+                 .with_outlives(R1, R2))
+        assert bound.effect_covers(frozenset({R1}), R2)
+        assert not bound.effect_covers(frozenset({R2}), R1)
+
+    def test_rt_only_covered_by_rt(self, env):
+        assert env.effect_covers(frozenset({RT_EFFECT}), RT_EFFECT)
+        assert not env.effect_covers(frozenset({HEAP, IMMORTAL}),
+                                     RT_EFFECT)
+
+    def test_rt_does_not_cover_owners(self, env):
+        bound = env.with_owner("r1", K_LOCAL_REGION)
+        assert not bound.effect_covers(frozenset({RT_EFFECT}), R1)
+
+    def test_subsume_set(self, env):
+        bound = (env.with_owner("r1", K_LOCAL_REGION)
+                 .with_owner("r2", K_LOCAL_REGION)
+                 .with_outlives(R1, R2))
+        assert bound.effects_subsume(frozenset({R1, RT_EFFECT}),
+                                     [R2, RT_EFFECT])
+        assert not bound.effects_subsume(frozenset({R2}), [R1, R2])

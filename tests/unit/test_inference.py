@@ -1,0 +1,197 @@
+"""Tests for Section 2.5 — defaults and intra-procedural inference."""
+
+import sys
+from pathlib import Path
+
+from repro.core import analyze
+from repro.lang import parse_program, pretty_program
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+from conftest import assert_rejected, assert_well_typed  # noqa: E402
+
+
+def inferred_text(source: str) -> str:
+    analyzed = analyze(source)
+    assert not analyzed.errors, [str(e) for e in analyzed.errors]
+    return pretty_program(analyzed.program)
+
+
+class TestDefaults:
+    def test_unannotated_class_gets_owner_formal(self):
+        text = inferred_text("class C { int x; }")
+        assert "class C<Owner __owner>" in text
+
+    def test_instance_field_defaults_to_owner_of_this(self):
+        text = inferred_text(
+            "class Cell<Owner o> { Cell peer; }")
+        assert "Cell<o> peer;" in text
+
+    def test_static_field_defaults_to_immortal(self):
+        text = inferred_text(
+            "class D<Owner o> { int x; }\n"
+            "class C<Owner o> { static D shared; }")
+        assert "static D<immortal> shared;" in text
+
+    def test_method_signature_defaults_to_initial_region(self):
+        text = inferred_text(
+            "class D<Owner o> { int x; }\n"
+            "class C<Owner o> { D make() { return null; } }")
+        assert "D<initialRegion> make()" in text
+
+    def test_default_effects_clause(self):
+        text = inferred_text(
+            "class C<Owner a, Owner b> {"
+            "  void m<Owner p>() { }"
+            "}")
+        assert "accesses a, b, p, initialRegion" in text
+
+    def test_explicit_effects_kept(self):
+        text = inferred_text(
+            "class C<Owner o> { void m() accesses heap { } }")
+        assert "accesses heap" in text
+
+    def test_unannotated_extends_instantiated_with_owner(self):
+        text = inferred_text(
+            "class A { int x; }\nclass B extends A { }")
+        assert "class B<Owner __owner> extends A<__owner>" in text
+
+    def test_portal_field_defaults_to_this(self):
+        text = inferred_text(
+            "regionKind K extends SharedRegion { Cell slot; }\n"
+            "class Cell<Owner o> { int v; }")
+        assert "Cell<this> slot;" in text
+
+
+class TestUnification:
+    def test_local_inferred_from_new(self):
+        text = inferred_text(
+            "class Cell<Owner o> { int v; }\n"
+            "(RHandle<r> h) {"
+            "  Cell<r> anchor = new Cell<r>;"
+            "  Cell other = new Cell;"
+            "  other = anchor;"
+            "}")
+        assert "Cell<r> other = new Cell<r>;" in text
+
+    def test_local_inferred_through_field(self):
+        text = inferred_text(
+            "class Cell<Owner o> { Cell<o> next; }\n"
+            "(RHandle<r> h) {"
+            "  Cell<r> head = new Cell<r>;"
+            "  Cell second = new Cell;"
+            "  second.next = head;"
+            "}")
+        assert "Cell<r> second = new Cell<r>;" in text
+
+    def test_inference_through_method_args(self):
+        text = inferred_text(
+            "class Cell<Owner o> { int v; }\n"
+            "class Sink<Owner o> { void take(Cell<o> c) { } }\n"
+            "(RHandle<r> h) {"
+            "  Sink<r> sink = new Sink<r>;"
+            "  Cell fresh = new Cell;"
+            "  sink.take(fresh);"
+            "}")
+        assert "Cell<r> fresh = new Cell<r>;" in text
+
+    def test_inference_through_method_return(self):
+        text = inferred_text(
+            "class Cell<Owner o> { int v; }\n"
+            "class Maker<Owner o> { Cell<o> make() { return null; } }\n"
+            "(RHandle<r> h) {"
+            "  Maker<r> maker = new Maker<r>;"
+            "  Cell got = maker.make();"
+            "}")
+        assert "Cell<r> got" in text
+
+    def test_unconstrained_defaults_to_initial_region(self):
+        text = inferred_text(
+            "class Cell<Owner o> { int v; }\n"
+            "{ Cell loner = new Cell; }")
+        assert "Cell<initialRegion> loner = new Cell<initialRegion>;" \
+            in text
+
+    def test_tstack_example_inference(self):
+        # the paper's example with the push body unannotated
+        text = inferred_text(
+            "class T<Owner o> { int x; }\n"
+            "class TStack<Owner stackOwner, Owner TOwner> {"
+            "  TNode<this, TOwner> head = null;"
+            "  void push(T<TOwner> value) {"
+            "    TNode newNode = new TNode;"
+            "    newNode.init(value, head);"
+            "    head = newNode;"
+            "  }"
+            "}\n"
+            "class TNode<Owner nodeOwner, Owner TOwner> {"
+            "  T<TOwner> value;"
+            "  TNode<nodeOwner, TOwner> next;"
+            "  void init(T<TOwner> v, TNode<nodeOwner, TOwner> n) {"
+            "    this.value = v;"
+            "    this.next = n;"
+            "  }"
+            "}")
+        assert "TNode<this, TOwner> newNode = new TNode<this, TOwner>;" \
+            in text
+
+    def test_method_owner_args_inferred(self):
+        text = inferred_text(
+            "class Cell<Owner o> { int v; }\n"
+            "class Id<Owner o> {"
+            "  Cell<p> pass<Owner p>(Cell<p> c) accesses p { return c; }"
+            "}\n"
+            "(RHandle<r> h) {"
+            "  Id<r> id = new Id<r>;"
+            "  Cell<r> c = new Cell<r>;"
+            "  Cell back = id.pass(c);"
+            "}")
+        assert "id.pass<r>(c)" in text
+
+    def test_conflicting_concrete_owners_rejected_by_checker(self):
+        # inference leaves the clash; the checker reports it
+        assert_rejected(
+            "class Cell<Owner o> { Cell<o> next; }\n"
+            "(RHandle<r1> h1) { (RHandle<r2> h2) {"
+            "  Cell<r1> a = new Cell<r1>;"
+            "  Cell<r2> b = new Cell<r2>;"
+            "  a.next = b;"
+            "} }",
+            rule="SUBTYPE")
+
+    def test_inference_inside_subregions(self):
+        assert_well_typed(
+            "regionKind Buf extends SharedRegion { Cell<this> slot; }\n"
+            "class Cell<Owner o> { int v; }\n"
+            "(RHandle<Buf r> h) {"
+            "  Cell fresh = new Cell;"
+            "  h.slot = fresh;"
+            "}")
+
+
+class TestSeparateCompilation:
+    def test_initial_region_default_renames_to_call_site_region(self):
+        # an unannotated parameter defaults to Cell<initialRegion>, which
+        # renames to the *caller's current region*; calling inside the
+        # region block therefore works ...
+        assert_well_typed(
+            "class Cell<Owner o> { int v; }\n"
+            "class Sink<Owner o> { void take(Cell c) { } }\n"
+            "(RHandle<r> h) {"
+            "  Sink<r> sink = new Sink<r>;"
+            "  Cell<r> mine = new Cell<r>;"
+            "  sink.take(mine);"
+            "}")
+
+    def test_inference_is_intra_procedural(self):
+        # ... but a method body cannot influence another method's
+        # signature (separate compilation): at main's top level the
+        # current region is the heap, so an immortal argument is rejected
+        assert_rejected(
+            "class Cell<Owner o> { int v; }\n"
+            "class Sink<Owner o> { void take(Cell c) { } }\n"
+            "{"
+            "  Sink<immortal> sink = new Sink<immortal>;"
+            "  Cell<immortal> mine = new Cell<immortal>;"
+            "  sink.take(mine);"
+            "}",
+            rule="SUBTYPE")

@@ -1,0 +1,260 @@
+"""Unit tests for the interpreter: semantics of the core language on the
+simulated platform."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro import RunOptions, analyze, run_source
+from repro.errors import (InterpreterError, OutOfRegionMemoryError,
+                          SimulatedNullPointerError)
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+from conftest import assert_well_typed, run_both_modes  # noqa: E402
+
+
+def run(source: str, **options):
+    return run_source(assert_well_typed(source), RunOptions(**options))
+
+
+def output_of(source: str, **options):
+    return run(source, **options).output
+
+
+class TestScalars:
+    def test_integer_arithmetic(self):
+        assert output_of("{ print(7 + 3 * 2 - 1); }") == ["12"]
+
+    def test_java_division_truncates_toward_zero(self):
+        assert output_of("{ print(-7 / 2); print(7 / 2); }") == ["-3", "3"]
+
+    def test_java_modulo_sign(self):
+        assert output_of("{ print(-7 % 3); print(7 % -3); }") == ["-1", "1"]
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(InterpreterError):
+            run("{ int z = 0; print(1 / z); }")
+
+    def test_float_math(self):
+        assert output_of("{ print(1.5 * 2.0); }") == ["3"]
+        assert output_of("{ print(sqrt(9.0)); }") == ["3"]
+
+    def test_conversions(self):
+        assert output_of("{ print(ftoi(3.9)); print(itof(2)); }") \
+            == ["3", "2"]
+
+    def test_booleans_and_short_circuit(self):
+        # `1/z` on the right of && must not evaluate when left is false
+        assert output_of(
+            "{ int z = 0; boolean ok = false && 1 / z == 1;"
+            "  print(ok); }") == ["false"]
+        assert output_of(
+            "{ int z = 0; boolean ok = true || 1 / z == 1;"
+            "  print(ok); }") == ["true"]
+
+    def test_comparisons(self):
+        assert output_of("{ print(3 < 4); print(4 <= 3);"
+                         "  print(3 == 3); print(3 != 3); }") \
+            == ["true", "false", "true", "false"]
+
+    def test_unary(self):
+        assert output_of("{ print(-(3)); print(!true); }") \
+            == ["-3", "false"]
+
+    def test_check_builtin(self):
+        with pytest.raises(InterpreterError):
+            run("{ check(1 == 2); }")
+
+
+class TestControlFlow:
+    def test_if_else(self):
+        assert output_of(
+            "{ int x = 3;"
+            "  if (x > 2) { print(1); } else { print(2); } }") == ["1"]
+
+    def test_while_loop(self):
+        assert output_of(
+            "{ int i = 0; int acc = 0;"
+            "  while (i < 5) { acc = acc + i; i = i + 1; }"
+            "  print(acc); }") == ["10"]
+
+    def test_early_return(self):
+        assert output_of(
+            "class C<Owner o> {"
+            "  int f(int x) { if (x > 0) { return 1; } return 2; }"
+            "}\n"
+            "{ C<heap> c = new C<heap>; print(c.f(5)); print(c.f(-5)); }"
+        ) == ["1", "2"]
+
+    def test_return_unwinds_region(self):
+        # returning from inside a region block must still delete it
+        result = run(
+            "class C<Owner o> {"
+            "  int f() accesses heap {"
+            "    (RHandle<r> h) { return 7; }"
+            "    return 0;"
+            "  }"
+            "}\n"
+            "{ C<heap> c = new C<heap>; print(c.f()); }")
+        assert result.output == ["7"]
+        assert result.stats.regions_created == 1
+
+    def test_missing_return_yields_default(self):
+        assert output_of(
+            "class C<Owner o> { int f() { } }\n"
+            "{ C<heap> c = new C<heap>; print(c.f()); }") == ["0"]
+
+
+class TestObjects:
+    def test_fields_zero_initialized(self):
+        assert output_of(
+            "class C<Owner o> { int i; float f; boolean b; C<o> r; }\n"
+            "{ C<heap> c = new C<heap>;"
+            "  print(c.i); print(c.f); print(c.b); print(c.r == null); }"
+        ) == ["0", "0", "false", "true"]
+
+    def test_literal_field_initializers(self):
+        assert output_of(
+            "class C<Owner o> { int x = 42; boolean b = true; }\n"
+            "{ C<heap> c = new C<heap>; print(c.x); print(c.b); }") \
+            == ["42", "true"]
+
+    def test_null_dereference(self):
+        with pytest.raises(SimulatedNullPointerError):
+            run("class C<Owner o> { int x; }\n"
+                "{ C<heap> c = null; print(c.x); }")
+
+    def test_dynamic_dispatch(self):
+        assert output_of(
+            "class A<Owner o> { int tag() { return 1; } }\n"
+            "class B<Owner o> extends A<o> { int tag() { return 2; } }\n"
+            "{ A<heap> x = new B<heap>; print(x.tag()); }") == ["2"]
+
+    def test_inherited_method_runs_with_translated_owners(self):
+        assert output_of(
+            "class Cell<Owner o> { int v; }\n"
+            "class Base<Owner a> {"
+            "  Cell<a> make() { return new Cell<a>; }"
+            "}\n"
+            "class Derived<Owner b> extends Base<b> { }\n"
+            "(RHandle<r> h) {"
+            "  Derived<r> d = new Derived<r>;"
+            "  Cell<r> c = d.make();"
+            "  print(c != null);"
+            "}") == ["true"]
+
+    def test_statics(self):
+        assert output_of(
+            "class C<Owner o> {"
+            "  static int count;"
+            "  void bump() accesses o { C.count = C.count + 1; }"
+            "}\n"
+            "{ C<heap> a = new C<heap>;"
+            "  a.bump(); a.bump(); print(C.count); }") == ["2"]
+
+    def test_reference_identity(self):
+        assert output_of(
+            "class C<Owner o> { int x; }\n"
+            "{ C<heap> a = new C<heap>; C<heap> b = new C<heap>;"
+            "  C<heap> c = a;"
+            "  print(a == b); print(a == c); }") == ["false", "true"]
+
+
+class TestArrays:
+    def test_int_array(self):
+        assert output_of(
+            "{ IntArray<heap> a = new IntArray<heap>(3);"
+            "  a.set(0, 7); a.set(2, 9);"
+            "  print(a.get(0) + a.get(1) + a.get(2));"
+            "  print(a.length()); }") == ["16", "3"]
+
+    def test_float_array(self):
+        assert output_of(
+            "{ FloatArray<heap> a = new FloatArray<heap>(2);"
+            "  a.set(0, 1.5); print(a.get(0) * 2.0); }") == ["3"]
+
+    def test_bounds_checked(self):
+        with pytest.raises(InterpreterError):
+            run("{ IntArray<heap> a = new IntArray<heap>(2);"
+                "  a.set(5, 1); }")
+        with pytest.raises(InterpreterError):
+            run("{ IntArray<heap> a = new IntArray<heap>(2);"
+                "  print(a.get(-1)); }")
+
+    def test_negative_length(self):
+        with pytest.raises(InterpreterError):
+            run("{ IntArray<heap> a = new IntArray<heap>(0 - 1); }")
+
+
+class TestRegionsAtRuntime:
+    def test_region_deleted_on_exit(self):
+        result = run(
+            "class C<Owner o> { int x; }\n"
+            "{ (RHandle<r> h) { C<r> c = new C<r>; } print(0); }")
+        assert result.stats.regions_created == 1
+        assert result.stats.objects_freed == 1
+
+    def test_lt_region_overflow(self):
+        with pytest.raises(OutOfRegionMemoryError):
+            run("class C<Owner o> { int a; int b; int c; int d; }\n"
+                "{ (RHandle<LocalRegion : LT(48) r> h) {"
+                "    C<r> one = new C<r>;"
+                "    C<r> two = new C<r>;"
+                "} }")
+
+    def test_allocation_follows_owner_chain(self):
+        # an object owned by another object lands in its owner's region
+        result = run(
+            "class Inner<Owner o> { int v; }\n"
+            "class Outer<Owner o> {"
+            "  Inner<this> guts;"
+            "  void fill() { guts = new Inner<this>; }"
+            "}\n"
+            "(RHandle<r> h) {"
+            "  Outer<r> out = new Outer<r>;"
+            "  out.fill();"
+            "  print(1);"
+            "}")
+        assert result.output == ["1"]
+        # both objects died with the region
+        assert result.stats.objects_freed == 2
+
+    def test_cycles_count_moves_with_checks(self):
+        dyn, sta = run_both_modes(
+            "class C<Owner o> { C<o> f; }\n"
+            "(RHandle<r> h) {"
+            "  C<r> a = new C<r>; C<r> b = new C<r>;"
+            "  int i = 0;"
+            "  while (i < 10) { a.f = b; i = i + 1; }"
+            "}")
+        assert dyn.cycles > sta.cycles
+        assert dyn.stats.assignment_checks == 10
+        assert sta.stats.assignment_checks == 0
+
+    def test_io_builtin_charges_cost(self):
+        cheap = run("{ io(10); }")
+        pricey = run("{ io(10000); }")
+        assert pricey.cycles - cheap.cycles >= 9000
+
+
+class TestCallStack:
+    RECURSIVE = """
+class Rec<Owner o> {
+    int down(int n) {
+        if (n == 0) { return 0; }
+        return 1 + this.down(n - 1);
+    }
+}
+{ Rec<heap> r = new Rec<heap>; print(r.down(%d)); }
+"""
+
+    def test_moderate_recursion_works(self):
+        assert output_of(self.RECURSIVE % 60) == ["60"]
+
+    def test_stack_overflow_is_a_simulated_error(self):
+        # deep recursion must surface as the platform's stack-overflow
+        # error, never as a host RecursionError
+        with pytest.raises(InterpreterError) as exc:
+            run(self.RECURSIVE % 5000)
+        assert "stack overflow" in str(exc.value)

@@ -1,0 +1,141 @@
+"""Unit tests for the owner-kind lattice (Figure 4) and subkinding."""
+
+import pytest
+
+from repro.core.kinds import (BUILTIN_KINDS, K_GC_REGION, K_IMMORTAL,
+                              K_LOCAL_REGION, K_NO_GC_REGION, K_OBJ_OWNER,
+                              K_OWNER, K_REGION, K_SHARED_REGION, Kind,
+                              KindTable)
+from repro.core.owners import Owner
+
+
+@pytest.fixture
+def table():
+    return KindTable()
+
+
+@pytest.fixture
+def user_table():
+    """BufferRegion <: SharedRegion, BufferSub <: BufferRegion, and a
+    parameterized kind P<o> <: SharedRegion."""
+    t = KindTable()
+    t.supers["BufferRegion"] = ((), K_SHARED_REGION)
+    t.supers["BufferSub"] = ((), Kind("BufferRegion"))
+    t.supers["P"] = (("o",), K_SHARED_REGION)
+    return t
+
+
+class TestBuiltinLattice:
+    def test_reflexivity(self, table):
+        for name in BUILTIN_KINDS:
+            k = Kind(name)
+            assert table.is_subkind(k, k)
+
+    def test_figure4_direct_edges(self, table):
+        assert table.is_subkind(K_OBJ_OWNER, K_OWNER)
+        assert table.is_subkind(K_REGION, K_OWNER)
+        assert table.is_subkind(K_GC_REGION, K_REGION)
+        assert table.is_subkind(K_NO_GC_REGION, K_REGION)
+        assert table.is_subkind(K_LOCAL_REGION, K_NO_GC_REGION)
+        assert table.is_subkind(K_SHARED_REGION, K_NO_GC_REGION)
+
+    def test_transitivity(self, table):
+        assert table.is_subkind(K_LOCAL_REGION, K_OWNER)
+        assert table.is_subkind(K_SHARED_REGION, K_REGION)
+        assert table.is_subkind(K_GC_REGION, K_OWNER)
+
+    def test_non_edges(self, table):
+        assert not table.is_subkind(K_OWNER, K_OBJ_OWNER)
+        assert not table.is_subkind(K_REGION, K_OBJ_OWNER)
+        assert not table.is_subkind(K_OBJ_OWNER, K_REGION)
+        assert not table.is_subkind(K_GC_REGION, K_NO_GC_REGION)
+        assert not table.is_subkind(K_LOCAL_REGION, K_SHARED_REGION)
+        assert not table.is_subkind(K_SHARED_REGION, K_LOCAL_REGION)
+
+    def test_siblings_are_unrelated(self, table):
+        assert not table.is_subkind(K_GC_REGION, K_LOCAL_REGION)
+        assert not table.is_subkind(K_LOCAL_REGION, K_GC_REGION)
+
+
+class TestLTRefinement:
+    def test_delete_lt(self, table):
+        # [DELETE LT]: rkind:LT <= rkind
+        assert table.is_subkind(K_SHARED_REGION.with_lt(), K_SHARED_REGION)
+
+    def test_add_lt(self, table):
+        # [ADD LT]: k1 <= k2 => k1:LT <= k2:LT
+        assert table.is_subkind(K_LOCAL_REGION.with_lt(),
+                                K_NO_GC_REGION.with_lt())
+
+    def test_unrefined_is_not_subkind_of_refined(self, table):
+        assert not table.is_subkind(K_SHARED_REGION,
+                                    K_SHARED_REGION.with_lt())
+
+    def test_immortal_kind_is_lt_shared(self, table):
+        assert K_IMMORTAL == K_SHARED_REGION.with_lt()
+        assert table.is_subkind(K_IMMORTAL, K_SHARED_REGION)
+
+
+class TestUserKinds:
+    def test_user_kind_below_shared(self, user_table):
+        assert user_table.is_subkind(Kind("BufferRegion"), K_SHARED_REGION)
+        assert user_table.is_subkind(Kind("BufferRegion"), K_REGION)
+
+    def test_two_level_user_chain(self, user_table):
+        assert user_table.is_subkind(Kind("BufferSub"),
+                                     Kind("BufferRegion"))
+        assert user_table.is_subkind(Kind("BufferSub"), K_SHARED_REGION)
+
+    def test_user_kind_not_local(self, user_table):
+        assert not user_table.is_subkind(Kind("BufferRegion"),
+                                         K_LOCAL_REGION)
+
+    def test_parameterized_kind_substitutes_args(self, user_table):
+        k = Kind("P", (Owner("x"),))
+        sup = user_table.direct_super(k)
+        assert sup == K_SHARED_REGION
+
+    def test_parameterized_kinds_with_different_args_differ(self,
+                                                            user_table):
+        a = Kind("P", (Owner("x"),))
+        b = Kind("P", (Owner("y"),))
+        assert not user_table.is_subkind(a, b)
+        assert user_table.is_subkind(a, a)
+
+    def test_lt_refined_user_kind(self, user_table):
+        assert user_table.is_subkind(Kind("BufferSub", lt=True),
+                                     K_SHARED_REGION.with_lt())
+
+    def test_is_region_kind(self, user_table):
+        assert user_table.is_region_kind(Kind("BufferRegion"))
+        assert user_table.is_region_kind(K_GC_REGION)
+        assert not user_table.is_region_kind(K_OBJ_OWNER)
+        assert not user_table.is_region_kind(K_OWNER)
+
+    def test_is_shared_kind(self, user_table):
+        assert user_table.is_shared_kind(Kind("BufferSub"))
+        assert not user_table.is_shared_kind(K_LOCAL_REGION)
+
+    def test_lineage(self, user_table):
+        names = [k.name for k in user_table.lineage(Kind("BufferSub"))]
+        assert names == ["BufferSub", "BufferRegion", "SharedRegion",
+                         "NoGCRegion", "Region", "Owner"]
+
+
+class TestKindValue:
+    def test_substitute(self):
+        k = Kind("P", (Owner("a"), Owner("b")))
+        out = k.substitute({Owner("a"): Owner("x")})
+        assert out.args == (Owner("x"), Owner("b"))
+
+    def test_substitute_no_args_is_identity(self):
+        assert K_REGION.substitute({Owner("a"): Owner("x")}) is K_REGION
+
+    def test_str(self):
+        assert str(Kind("P", (Owner("a"),), lt=True)) == "P<a>:LT"
+        assert str(K_REGION) == "Region"
+
+    def test_strip_and_with_lt(self):
+        k = K_SHARED_REGION.with_lt()
+        assert k.lt
+        assert not k.strip_lt().lt

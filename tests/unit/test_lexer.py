@@ -1,0 +1,159 @@
+"""Unit tests for the lexer."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import TokenKind
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)][:-1]  # drop EOF
+
+
+def texts(text):
+    return [t.text for t in tokenize(text)][:-1]
+
+
+class TestBasicTokens:
+    def test_empty_input_yields_only_eof(self):
+        toks = tokenize("")
+        assert len(toks) == 1
+        assert toks[0].kind is TokenKind.EOF
+
+    def test_identifier(self):
+        assert kinds("foo") == [TokenKind.IDENT]
+
+    def test_identifier_with_underscore_and_digits(self):
+        assert texts("_foo9 bar_2") == ["_foo9", "bar_2"]
+
+    def test_int_literal(self):
+        toks = tokenize("42")
+        assert toks[0].kind is TokenKind.INT_LIT
+        assert toks[0].text == "42"
+
+    def test_float_literal(self):
+        assert kinds("3.25") == [TokenKind.FLOAT_LIT]
+
+    def test_float_with_exponent(self):
+        assert kinds("1.5e3 2e10 7.0E-2") == [TokenKind.FLOAT_LIT] * 3
+
+    def test_int_then_dot_is_not_float_without_digit(self):
+        # `x.fd` style: 3.foo lexes as INT DOT IDENT
+        assert kinds("3.foo") == [TokenKind.INT_LIT, TokenKind.DOT,
+                                  TokenKind.IDENT]
+
+    def test_keywords(self):
+        assert kinds("class extends where owns outlives") == [
+            TokenKind.CLASS, TokenKind.EXTENDS, TokenKind.WHERE,
+            TokenKind.OWNS, TokenKind.OUTLIVES]
+
+    def test_region_keywords(self):
+        assert kinds("regionKind RHandle heap immortal initialRegion") == [
+            TokenKind.REGION_KIND, TokenKind.RHANDLE, TokenKind.HEAP,
+            TokenKind.IMMORTAL, TokenKind.INITIAL_REGION]
+
+    def test_rt_and_fork(self):
+        assert kinds("RT fork LT VT NoRT") == [
+            TokenKind.RT, TokenKind.FORK, TokenKind.LT, TokenKind.VT,
+            TokenKind.NORT]
+
+    def test_builtin_kind_names_are_identifiers(self):
+        # Owner/Region/... are resolved contextually, not reserved
+        assert kinds("Owner Region LocalRegion SharedRegion") == [
+            TokenKind.IDENT] * 4
+
+
+class TestOperators:
+    def test_two_char_operators(self):
+        assert kinds("== != <= >= && ||") == [
+            TokenKind.EQ, TokenKind.NE, TokenKind.LE, TokenKind.GE,
+            TokenKind.AND_AND, TokenKind.OR_OR]
+
+    def test_single_char_operators(self):
+        assert kinds("+ - * / % ! = < >") == [
+            TokenKind.PLUS, TokenKind.MINUS, TokenKind.STAR,
+            TokenKind.SLASH, TokenKind.PERCENT, TokenKind.BANG,
+            TokenKind.ASSIGN, TokenKind.LANGLE, TokenKind.RANGLE]
+
+    def test_punctuation(self):
+        assert kinds("( ) { } , ; . :") == [
+            TokenKind.LPAREN, TokenKind.RPAREN, TokenKind.LBRACE,
+            TokenKind.RBRACE, TokenKind.COMMA, TokenKind.SEMI,
+            TokenKind.DOT, TokenKind.COLON]
+
+    def test_adjacent_angle_brackets(self):
+        assert kinds("a<b<c") == [TokenKind.IDENT, TokenKind.LANGLE,
+                                  TokenKind.IDENT, TokenKind.LANGLE,
+                                  TokenKind.IDENT]
+
+
+class TestTrivia:
+    def test_line_comment(self):
+        assert kinds("a // comment here\n b") == [TokenKind.IDENT,
+                                                  TokenKind.IDENT]
+
+    def test_block_comment(self):
+        assert kinds("a /* x\ny */ b") == [TokenKind.IDENT,
+                                           TokenKind.IDENT]
+
+    def test_nested_like_block_comment_terminates_at_first_close(self):
+        assert texts("a /* /* */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(LexError):
+            tokenize("a /* never closed")
+
+    def test_whitespace_variants(self):
+        assert kinds("a\tb\r\nc") == [TokenKind.IDENT] * 3
+
+
+class TestPositions:
+    def test_line_and_column_tracking(self):
+        toks = tokenize("ab\n  cd")
+        assert toks[0].span.start.line == 1
+        assert toks[0].span.start.column == 1
+        assert toks[1].span.start.line == 2
+        assert toks[1].span.start.column == 3
+
+    def test_filename_in_span(self):
+        toks = tokenize("x", filename="prog.rtj")
+        assert toks[0].span.filename == "prog.rtj"
+
+
+class TestErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(LexError) as exc:
+            tokenize("a $ b")
+        assert "$" in str(exc.value)
+
+    def test_lone_ampersand(self):
+        with pytest.raises(LexError):
+            tokenize("a & b")
+
+    def test_lone_pipe(self):
+        with pytest.raises(LexError):
+            tokenize("a | b")
+
+
+class TestFuzzRegressions:
+    """Bugs found by the property fuzzer, pinned."""
+
+    def test_unicode_superscript_digit_is_not_a_number(self):
+        # '¹'.isdigit() is True but int('¹') raises; it must lex as part
+        # of a word, never as an INT_LIT
+        toks = tokenize("x¹")
+        assert toks[0].kind is TokenKind.IDENT
+
+    def test_lone_unicode_digit_raises_lex_error(self):
+        with pytest.raises(LexError):
+            tokenize("٠")  # ARABIC-INDIC DIGIT ZERO, not alnum-start
+
+    def test_number_at_end_of_input(self):
+        toks = tokenize("42")
+        assert toks[0].kind is TokenKind.INT_LIT
+        toks = tokenize("1.5")
+        assert toks[0].kind is TokenKind.FLOAT_LIT
+        toks = tokenize("1e")  # not an exponent: INT then IDENT
+        assert [t.kind for t in toks[:-1]] == [TokenKind.INT_LIT,
+                                               TokenKind.IDENT]

@@ -1,0 +1,143 @@
+"""Unit tests for the pretty printer, the analyze API, and the runtime
+value helpers."""
+
+import pytest
+
+from repro import (OwnershipTypeError, analyze, parse_program,
+                   pretty_program, typecheck_source)
+from repro.core.api import AnalyzedProgram
+from repro.interp.values import format_value, region_of_owner
+from repro.rtsj.objects import ObjRef
+from repro.rtsj.regions import RegionManager
+
+
+class TestPrettyPrinter:
+    def test_expression_parenthesization_preserves_meaning(self):
+        source = "{ int x = 1 + 2 * 3 - 4 / 2; print(x); }"
+        text = pretty_program(parse_program(source))
+        assert "((1 + (2 * 3)) - (4 / 2))" in text
+
+    def test_floats_keep_decimal_point(self):
+        text = pretty_program(parse_program("{ float f = 2.0; }"))
+        assert "2.0" in text
+
+    def test_region_kind_members(self):
+        src = ("regionKind K extends SharedRegion {"
+               " Sub : LT(64) RT s; }\n"
+               "regionKind Sub extends SharedRegion { }")
+        text = pretty_program(parse_program(src))
+        assert "Sub : LT(64) RT s;" in text
+
+    def test_else_if_chain(self):
+        src = "{ if (true) { } else if (false) { } else { } }"
+        text = pretty_program(parse_program(src))
+        reparsed = pretty_program(parse_program(text))
+        assert text == reparsed
+
+    def test_subregion_statement(self):
+        src = ("regionKind K extends SharedRegion { Sub s; }\n"
+               "regionKind Sub extends SharedRegion { }\n"
+               "(RHandle<K r> h) {"
+               " (RHandle<Sub r2> h2 = new h.s) { } }")
+        text = pretty_program(parse_program(src))
+        assert "= new h.s)" in text
+
+    def test_unary_and_logical(self):
+        text = pretty_program(parse_program(
+            "{ boolean b = !(true && false) || true; }"))
+        assert "((!(true && false)) || true)" in text
+
+
+class TestAnalyzeApi:
+    GOOD = "class C<Owner o> { int v; }\n{ C<heap> c = new C<heap>; }"
+    BAD = "class C<Owner o> { int v; }\n{ C<zap> c = null; }"
+
+    def test_analyze_well_typed(self):
+        analyzed = analyze(self.GOOD)
+        assert isinstance(analyzed, AnalyzedProgram)
+        assert analyzed.well_typed
+        assert analyzed.require_well_typed() is analyzed
+
+    def test_analyze_collects_errors(self):
+        analyzed = analyze(self.BAD)
+        assert not analyzed.well_typed
+        with pytest.raises(OwnershipTypeError):
+            analyzed.require_well_typed()
+
+    def test_typecheck_source_shorthand(self):
+        assert typecheck_source(self.GOOD) == []
+        assert typecheck_source(self.BAD)
+
+    def test_error_rules_lists_judgments(self):
+        analyzed = analyze(self.BAD)
+        assert analyzed.error_rules()
+
+    def test_analyze_without_inference(self):
+        # the raw program has no effects clauses; checking without the
+        # defaults pass must fail with the METHOD rule
+        source = "class C<Owner o> { void m() { } }"
+        analyzed = analyze(source, infer=False)
+        assert "METHOD" in analyzed.error_rules()
+
+    def test_analyze_accepts_parsed_program(self):
+        program = parse_program(self.GOOD)
+        analyzed = analyze(program)
+        assert analyzed.well_typed
+
+    def test_filename_in_diagnostics(self):
+        analyzed = analyze(self.BAD, filename="prog.rtj")
+        assert "prog.rtj" in str(analyzed.errors[0])
+
+
+class TestValueHelpers:
+    def test_format_scalars(self):
+        assert format_value(None) == "null"
+        assert format_value(True) == "true"
+        assert format_value(False) == "false"
+        assert format_value(42) == "42"
+        assert format_value(1.5) == "1.5"
+        assert format_value(0.1 + 0.2) == "0.3"  # 6 significant digits
+
+    def test_region_of_owner(self):
+        mgr = RegionManager()
+        area = mgr.create("r", "K", "VT", 0, set())
+        assert region_of_owner(area) is area
+        obj = ObjRef("C", (area,), ("f",), area)
+        assert region_of_owner(obj) is area
+        with pytest.raises(TypeError):
+            region_of_owner(42)
+
+
+class TestMachineExtras:
+    def test_ownership_graph_include_dead(self):
+        from repro import RunOptions
+        from repro.interp.machine import Machine
+        source = ("class C<Owner o> { int v; }\n"
+                  "(RHandle<r> h) { C<r> c = new C<r>; }")
+        machine = Machine(analyze(source).require_well_typed(),
+                          RunOptions())
+        machine.run()
+        live_only = machine.ownership_graph()
+        with_dead = machine.ownership_graph(include_dead=True)
+        assert len(with_dead.labels) > len(live_only.labels)
+        assert any(label == "r" for label in with_dead.labels.values())
+
+    def test_statics_initialized_before_main(self):
+        from repro import RunOptions, run_source
+        source = ("class C<Owner o> {"
+                  "  static int a = 7;"
+                  "  static boolean b;"
+                  "  static float f;"
+                  "}\n"
+                  "{ print(C.a); print(C.b); print(C.f); }")
+        result = run_source(analyze(source).require_well_typed(),
+                            RunOptions())
+        assert result.output == ["7", "false", "0"]
+
+    def test_stats_summary_keys(self):
+        from repro import RunOptions, run_source
+        result = run_source(analyze("{ print(1); }"), RunOptions())
+        summary = result.stats.summary()
+        assert summary["cycles"] == result.cycles
+        assert "assignment_checks" in summary
+        assert "gc_runs" in summary

@@ -1,0 +1,147 @@
+"""Unit tests for the semantic program tables: member lookup with
+inheritance substitution ([DECLARED/INHERITED CLASS MEMBER], region
+members), builtins, and subtyping plumbing."""
+
+from repro.core.kinds import Kind
+from repro.core.owners import Owner
+from repro.core.program import build_program_info
+from repro.core.types import ClassType, INT
+from repro.lang import parse_program
+
+
+def info_of(source: str):
+    return build_program_info(parse_program(source))
+
+
+class TestClassMemberLookup:
+    SOURCE = """
+class Cell<Owner o> { int v; }
+class Base<Owner a, Owner b> {
+    Cell<b> held;
+    Cell<b> get() { return held; }
+    int id(int x) { return x; }
+}
+class Mid<Owner p> extends Base<p, heap> { int extra; }
+class Leaf<Owner q> extends Mid<q> { }
+"""
+
+    def test_declared_field(self):
+        info = info_of(self.SOURCE)
+        fi = info.lookup_field("Base", "held")
+        assert fi.type == ClassType("Cell", (Owner("b"),))
+
+    def test_inherited_field_single_hop(self):
+        info = info_of(self.SOURCE)
+        fi = info.lookup_field("Mid", "held")
+        # b was instantiated with heap
+        assert fi.type == ClassType("Cell", (Owner("heap"),))
+
+    def test_inherited_field_two_hops(self):
+        info = info_of(self.SOURCE)
+        fi = info.lookup_field("Leaf", "held")
+        assert fi.type == ClassType("Cell", (Owner("heap"),))
+
+    def test_own_field_not_substituted(self):
+        info = info_of(self.SOURCE)
+        fi = info.lookup_field("Mid", "extra")
+        assert fi.type == INT
+
+    def test_missing_field(self):
+        info = info_of(self.SOURCE)
+        assert info.lookup_field("Leaf", "nope") is None
+
+    def test_inherited_method_return_substituted(self):
+        info = info_of(self.SOURCE)
+        mi = info.lookup_method("Leaf", "get")
+        assert mi.return_type == ClassType("Cell", (Owner("heap"),))
+
+    def test_scalar_method_unchanged(self):
+        info = info_of(self.SOURCE)
+        mi = info.lookup_method("Leaf", "id")
+        assert mi.return_type == INT
+        assert mi.params[0][0] == INT
+
+    def test_superclass_of_chain(self):
+        info = info_of(self.SOURCE)
+        leaf = ClassType("Leaf", (Owner("r"),))
+        mid = info.superclass_of(leaf)
+        assert mid == ClassType("Mid", (Owner("r"),))
+        base = info.superclass_of(mid)
+        assert base == ClassType("Base", (Owner("r"), Owner("heap")))
+
+    def test_everything_roots_at_object(self):
+        info = info_of(self.SOURCE)
+        cell = ClassType("Cell", (Owner("x"),))
+        assert info.superclass_of(cell) is None or \
+            info.superclass_of(cell).name == "Object"
+
+
+class TestBuiltins:
+    def test_builtin_classes_present(self):
+        info = info_of("class C<Owner o> { }")
+        for name in ("Object", "IntArray", "FloatArray"):
+            assert name in info.classes
+            assert info.classes[name].builtin
+
+    def test_array_methods(self):
+        info = info_of("class C<Owner o> { }")
+        get = info.lookup_method("IntArray", "get")
+        assert get.native == "IntArray.get"
+        assert get.return_type == INT
+        assert info.lookup_method("FloatArray", "length") is not None
+
+    def test_array_ctor_params(self):
+        info = info_of("class C<Owner o> { }")
+        assert info.classes["IntArray"].ctor_params == (INT,)
+
+
+class TestRegionKindMembers:
+    SOURCE = """
+regionKind Base<Owner o> extends SharedRegion {
+    Cell<o> slot;
+    Sub : LT(128) RT work;
+}
+regionKind Derived<Owner p> extends Base<p> {
+    Cell<this> local;
+}
+regionKind Sub extends SharedRegion { }
+class Cell<Owner o> { int v; }
+"""
+
+    def test_declared_portal(self):
+        info = info_of(self.SOURCE)
+        portal = info.lookup_portal(Kind("Base", (Owner("heap"),)),
+                                    "slot")
+        assert portal.type == ClassType("Cell", (Owner("heap"),))
+
+    def test_inherited_portal_substituted(self):
+        info = info_of(self.SOURCE)
+        portal = info.lookup_portal(Kind("Derived", (Owner("r"),)),
+                                    "slot")
+        assert portal.type == ClassType("Cell", (Owner("r"),))
+
+    def test_this_typed_portal(self):
+        info = info_of(self.SOURCE)
+        portal = info.lookup_portal(Kind("Derived", (Owner("r"),)),
+                                    "local")
+        assert portal.type == ClassType("Cell", (Owner("this"),))
+
+    def test_inherited_subregion(self):
+        info = info_of(self.SOURCE)
+        sub = info.lookup_subregion(Kind("Derived", (Owner("r"),)),
+                                    "work")
+        assert sub is not None
+        assert sub.policy.kind == "LT"
+        assert sub.policy.size == 128
+        assert sub.realtime
+
+    def test_all_members_aggregation(self):
+        info = info_of(self.SOURCE)
+        derived = Kind("Derived", (Owner("r"),))
+        assert set(info.all_portals(derived)) == {"slot", "local"}
+        assert set(info.all_subregions(derived)) == {"work"}
+
+    def test_kind_table_wired(self):
+        info = info_of(self.SOURCE)
+        assert info.kind_table.is_subkind(
+            Kind("Derived", (Owner("x"),)), Kind("SharedRegion"))

@@ -1,0 +1,182 @@
+"""Unit tests for the simulated memory areas (LT/VT policies, the flush
+rule, the runtime outlives relation)."""
+
+import pytest
+
+from repro.errors import OutOfRegionMemoryError
+from repro.rtsj.objects import ObjRef, make_array
+from repro.rtsj.regions import LT, VT, MemoryArea, RegionManager
+
+
+def fresh_obj(area, fields=("a", "b")):
+    return ObjRef("C", (area,), fields, area)
+
+
+@pytest.fixture
+def mgr():
+    return RegionManager()
+
+
+class TestAllocation:
+    def test_lt_budget_respected(self, mgr):
+        area = mgr.create("r", "LocalRegion", LT, lt_budget=100,
+                          ancestors=set())
+        obj = fresh_obj(area)           # 16 + 2*8 = 32 bytes
+        area.allocate(obj)
+        assert area.bytes_used == 32
+
+    def test_lt_overflow_raises(self, mgr):
+        area = mgr.create("r", "LocalRegion", LT, lt_budget=40,
+                          ancestors=set())
+        area.allocate(fresh_obj(area))
+        with pytest.raises(OutOfRegionMemoryError):
+            area.allocate(fresh_obj(area))
+
+    def test_vt_grows_in_chunks(self, mgr):
+        area = mgr.create("r", "LocalRegion", VT, lt_budget=0,
+                          ancestors=set())
+        chunks = area.allocate(fresh_obj(area))
+        assert chunks == 1              # first chunk acquired
+        chunks = area.allocate(fresh_obj(area))
+        assert chunks == 0              # fits in the same chunk
+        big = ObjRef("Big", (area,), tuple(f"f{i}" for i in range(600)),
+                     area)
+        assert area.allocate(big) >= 1  # spills into fresh chunks
+
+    def test_allocation_in_dead_region_raises(self, mgr):
+        area = mgr.create("r", "LocalRegion", VT, 0, set())
+        area.destroy()
+        with pytest.raises(OutOfRegionMemoryError):
+            area.allocate(fresh_obj(area))
+
+    def test_array_bytes(self, mgr):
+        area = mgr.create("r", "LocalRegion", VT, 0, set())
+        arr = make_array("IntArray", (area,), area, 10)
+        assert arr.size_bytes == 16 + 80
+
+    def test_peak_bytes_tracked(self, mgr):
+        area = mgr.create("r", "LocalRegion", LT, 1000, set())
+        area.allocate(fresh_obj(area))
+        area.allocate(fresh_obj(area))
+        peak = area.peak_bytes
+        area.flush()
+        assert area.peak_bytes == peak
+        assert area.bytes_used == 0
+
+
+class TestFlush:
+    def test_flush_invalidates_objects(self, mgr):
+        area = mgr.create("r", "LocalRegion", LT, 100, set())
+        obj = fresh_obj(area)
+        area.allocate(obj)
+        assert obj.alive
+        area.flush()
+        assert not obj.alive
+
+    def test_lt_flush_keeps_budget(self, mgr):
+        # "flushing the region simply resets a pointer, and, importantly,
+        # does not free the memory allocated for the region"
+        area = mgr.create("r", "K", LT, 64, set())
+        area.allocate(fresh_obj(area))
+        area.flush()
+        assert area.lt_budget == 64
+        area.allocate(fresh_obj(area))  # reusable without allocation
+        assert area.bytes_used == 32
+
+    def test_vt_flush_returns_chunks(self, mgr):
+        area = mgr.create("r", "K", VT, 0, set())
+        area.allocate(fresh_obj(area))
+        assert area.chunks >= 1
+        area.flush()
+        assert area.chunks == 0
+
+    def test_destroy_kills_region(self, mgr):
+        area = mgr.create("r", "K", VT, 0, set())
+        obj = fresh_obj(area)
+        area.allocate(obj)
+        freed = area.destroy()
+        assert freed == 1
+        assert not area.live
+        assert not obj.alive
+
+
+class TestFlushRule:
+    """Section 2.2: flush when counter == 0, portals null, subregions
+    flushed."""
+
+    def test_fresh_area_can_flush(self, mgr):
+        area = mgr.create("r", "K", LT, 64, set())
+        assert area.can_flush()
+
+    def test_positive_count_blocks_flush(self, mgr):
+        area = mgr.create("r", "K", LT, 64, set())
+        area.thread_count = 1
+        assert not area.can_flush()
+
+    def test_nonnull_portal_blocks_flush(self, mgr):
+        area = mgr.create("r", "K", LT, 100, set())
+        area.portals = {"f": None}
+        obj = fresh_obj(area)
+        area.allocate(obj)
+        area.portals["f"] = obj
+        assert not area.can_flush()
+        area.portals["f"] = None
+        assert area.can_flush()
+
+    def test_unflushed_subregion_blocks_flush(self, mgr):
+        parent = mgr.create("p", "K", VT, 0, set())
+        child = mgr.create("p.c", "K2", LT, 100, set(), parent=parent)
+        parent.subregions = {"c": child}
+        child.allocate(fresh_obj(child))
+        assert not parent.can_flush()
+        child.flush()
+        assert parent.can_flush()
+
+
+class TestRuntimeOutlives:
+    def test_heap_immortal_outlive_all(self, mgr):
+        area = mgr.create("r", "K", VT, 0, set())
+        assert mgr.heap.outlives(area)
+        assert mgr.immortal.outlives(area)
+        assert not area.outlives(mgr.heap)
+
+    def test_creation_ancestry(self, mgr):
+        outer = mgr.create("outer", "K", VT, 0, set())
+        inner = mgr.create("inner", "K", VT, 0,
+                           outer.ancestor_ids | {outer.area_id})
+        assert outer.outlives(inner)
+        assert not inner.outlives(outer)
+
+    def test_subregion_parent_outlives(self, mgr):
+        parent = mgr.create("p", "K", VT, 0, set())
+        child = mgr.create("p.c", "K2", VT, 0, set(), parent=parent)
+        assert parent.outlives(child)
+        assert not child.outlives(parent)
+
+    def test_reflexive(self, mgr):
+        area = mgr.create("r", "K", VT, 0, set())
+        assert area.outlives(area)
+
+    def test_siblings_unrelated(self, mgr):
+        a = mgr.create("a", "K", VT, 0, set())
+        b = mgr.create("b", "K", VT, 0, set())
+        assert not a.outlives(b)
+        assert not b.outlives(a)
+
+    def test_ancestry_distance(self, mgr):
+        outer = mgr.create("outer", "K", VT, 0, set())
+        inner = mgr.create("inner", "K", VT, 0,
+                           outer.ancestor_ids | {outer.area_id})
+        assert inner.ancestry_distance(inner) == 0
+        assert outer.ancestry_distance(inner) >= 1
+        assert mgr.heap.ancestry_distance(inner) >= 1
+
+    def test_generation_distinguishes_incarnations(self, mgr):
+        area = mgr.create("r", "K", LT, 100, set())
+        obj = fresh_obj(area)
+        area.allocate(obj)
+        area.flush()
+        newer = fresh_obj(area)
+        area.allocate(newer)
+        assert not obj.alive
+        assert newer.alive

@@ -1,0 +1,76 @@
+"""Unit tests for the Figure 6 relation graph structure."""
+
+from repro.core.relations import RelationGraph, to_networkx
+
+
+def sample_graph() -> RelationGraph:
+    g = RelationGraph()
+    g.add_node("r1", "r1", "region")
+    g.add_node("r2", "r2", "region")
+    g.add_node("s", "s (TStack)", "object")
+    g.add_node("n1", "n1 (TNode)", "object")
+    g.add_node("n2", "n2 (TNode)", "object")
+    g.add_owns("r2", "s")
+    g.add_owns("s", "n1")
+    g.add_owns("s", "n2")
+    g.add_outlives("r1", "r2")
+    return g
+
+
+class TestStructure:
+    def test_owner_of(self):
+        g = sample_graph()
+        assert g.owner_of("n1") == "s"
+        assert g.owner_of("s") == "r2"
+
+    def test_owned_by(self):
+        g = sample_graph()
+        assert sorted(g.owned_by("s")) == ["n1", "n2"]
+        assert g.owned_by("n1") == []
+
+    def test_region_of_walks_to_the_root(self):
+        g = sample_graph()
+        assert g.region_of("n1") == "r2"
+        assert g.region_of("s") == "r2"
+        assert g.region_of("r1") == "r1"
+
+    def test_is_forest_true(self):
+        assert sample_graph().is_forest()
+
+    def test_two_owners_break_the_forest(self):
+        g = sample_graph()
+        g.add_owns("r1", "n1")  # n1 now has two owners
+        assert not g.is_forest()
+
+    def test_ownership_cycle_breaks_the_forest(self):
+        g = RelationGraph()
+        g.add_node("a", "a", "object")
+        g.add_node("b", "b", "object")
+        g.add_owns("a", "b")
+        g.add_owns("b", "a")
+        assert not g.is_forest()
+
+    def test_outlives_closure_is_transitive(self):
+        g = sample_graph()
+        g.add_node("r3", "r3", "region")
+        g.add_outlives("r2", "r3")
+        closure = g.outlives_closure()
+        assert ("r1", "r3") in closure
+        assert ("r1", "r2") in closure
+        assert ("r3", "r1") not in closure
+
+
+class TestRendering:
+    def test_dot_output(self):
+        dot = sample_graph().to_dot()
+        assert dot.startswith("digraph")
+        assert '"r2" -> "s";' in dot
+        assert "[style=dashed]" in dot
+        assert "shape=box" in dot and "shape=ellipse" in dot
+
+    def test_networkx_export(self):
+        g = to_networkx(sample_graph())
+        assert g.number_of_nodes() == 5
+        relations = {data["relation"]
+                     for _u, _v, data in g.edges(data=True)}
+        assert relations == {"owns", "outlives"}

@@ -1,0 +1,50 @@
+"""Meta-tests: the rule-name audit trail stays intact.
+
+Every judgment name the checker can emit must (a) be documented in
+docs/RULES.md and (b) be referenced by at least one test, so a new rule
+cannot land without a pinning test and documentation.
+"""
+
+import re
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent.parent
+CHECKER = REPO / "src" / "repro" / "core" / "checker.py"
+RULES_DOC = REPO / "docs" / "RULES.md"
+TESTS_DIR = REPO / "tests"
+
+
+def emitted_rules():
+    text = CHECKER.read_text()
+    return sorted(set(re.findall(r'rule="([^"]+)"', text)))
+
+
+def test_checker_emits_rules():
+    rules = emitted_rules()
+    assert len(rules) >= 12
+    assert "EXPR NEW" in rules
+    assert "TYPE C" in rules
+
+
+def test_every_rule_documented():
+    doc = RULES_DOC.read_text()
+    missing = [rule for rule in emitted_rules()
+               if rule not in doc and rule != "OWNER"]
+    assert not missing, f"rules missing from docs/RULES.md: {missing}"
+
+
+def test_every_rule_referenced_by_a_test():
+    corpus = "\n".join(p.read_text() for p in TESTS_DIR.rglob("test_*.py")
+                       if p.name != "test_rule_coverage.py")
+    missing = [rule for rule in emitted_rules() if rule not in corpus]
+    # OWNER is a span-carrying wrapper around env lookups; SUBTYPE and
+    # the rest must all be pinned
+    allowed_unpinned = {"OWNER"}
+    missing = [rule for rule in missing if rule not in allowed_unpinned]
+    assert not missing, f"rules with no pinning test: {missing}"
+
+
+def test_documented_deviations_section_exists():
+    doc = RULES_DOC.read_text()
+    assert "Documented deviations" in doc
+    assert "heap-only-by-heap" in doc

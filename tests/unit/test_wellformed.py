@@ -1,0 +1,181 @@
+"""Tests for the Figure 15 well-formedness predicates."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+from conftest import assert_rejected, assert_well_typed  # noqa: E402
+
+
+class TestWFClasses:
+    def test_duplicate_class(self):
+        assert_rejected(
+            "class C<Owner o> { } class C<Owner o> { }",
+            fragment="defined twice")
+
+    def test_class_hierarchy_cycle(self):
+        assert_rejected(
+            "class A<Owner o> extends B<o> { }"
+            "class B<Owner o> extends A<o> { }",
+            fragment="cycle")
+
+    def test_self_extension_cycle(self):
+        assert_rejected("class A<Owner o> extends A<o> { }",
+                        fragment="cycle")
+
+    def test_unknown_superclass(self):
+        assert_rejected("class A<Owner o> extends Nope<o> { }",
+                        fragment="unknown class")
+
+    def test_superclass_arity(self):
+        assert_rejected(
+            "class A<Owner o, Owner p> { }"
+            "class B<Owner o> extends A<o> { }",
+            fragment="expected 2")
+
+    def test_duplicate_formals(self):
+        assert_rejected("class A<Owner o, Owner o> { }",
+                        fragment="duplicate owner formals")
+
+    def test_builtin_class_redefinition(self):
+        assert_rejected("class Object<Owner o> { }",
+                        fragment="built-in")
+        assert_rejected("class IntArray<Owner o> { }",
+                        fragment="built-in")
+
+
+class TestWFRegionKinds:
+    def test_duplicate_kind(self):
+        assert_rejected(
+            "regionKind K extends SharedRegion { }"
+            "regionKind K extends SharedRegion { }",
+            fragment="defined twice")
+
+    def test_kind_cycle(self):
+        assert_rejected(
+            "regionKind A extends B { } regionKind B extends A { }",
+            fragment="cycle")
+
+    def test_kind_must_reach_shared_region(self):
+        assert_rejected("regionKind K extends LocalRegion { }",
+                        fragment="SharedRegion")
+
+    def test_unknown_superkind(self):
+        assert_rejected("regionKind K extends Zap { }",
+                        fragment="unknown kind")
+
+    def test_builtin_kind_redefinition(self):
+        assert_rejected("regionKind SharedRegion extends SharedRegion { }",
+                        fragment="built-in")
+
+    def test_infinite_subregions_rejected(self):
+        # "Our system checks that a region has a finite number of
+        # transitive subregions"
+        assert_rejected(
+            "regionKind A extends SharedRegion { B : VT NoRT b; }"
+            "regionKind B extends SharedRegion { A : VT NoRT a; }",
+            fragment="infinite")
+
+    def test_self_subregion_rejected(self):
+        assert_rejected(
+            "regionKind A extends SharedRegion { A : VT NoRT a; }",
+            fragment="infinite")
+
+    def test_finite_subregion_dag_ok(self):
+        assert_well_typed(
+            "regionKind A extends SharedRegion {"
+            "  B : VT NoRT left; B : VT NoRT right;"
+            "}"
+            "regionKind B extends SharedRegion { C : LT(64) NoRT c; }"
+            "regionKind C extends SharedRegion { }")
+
+
+class TestMembersOnce:
+    def test_duplicate_field(self):
+        assert_rejected("class C<Owner o> { int x; int x; }",
+                        fragment="field twice")
+
+    def test_duplicate_method(self):
+        assert_rejected(
+            "class C<Owner o> { void m() { } void m() { } }",
+            fragment="method twice")
+
+    def test_field_shadowing_rejected(self):
+        assert_rejected(
+            "class A<Owner o> { int x; }"
+            "class B<Owner o> extends A<o> { int x; }",
+            fragment="shadows")
+
+    def test_duplicate_region_member(self):
+        assert_rejected(
+            "regionKind K extends SharedRegion { int x; int x; }",
+            fragment="member twice")
+
+
+class TestInheritanceOK:
+    def test_superclass_constraints_must_be_repeated(self):
+        assert_rejected(
+            "class A<Owner a, Owner b> where a owns b { }"
+            "class B<Owner a, Owner b> extends A<a, b> { }",
+            fragment="repeat the inherited constraint")
+
+    def test_superclass_constraints_repeated_ok(self):
+        assert_well_typed(
+            "class A<Owner a, Owner b> where a owns b { }"
+            "class B<Owner a, Owner b> extends A<a, b>"
+            "  where a owns b { }")
+
+    def test_override_changes_param_type(self):
+        assert_rejected(
+            "class Cell<Owner o> { }"
+            "class A<Owner o> { void m(int x) { } }"
+            "class B<Owner o> extends A<o> { void m(Cell<o> x) { } }",
+            fragment="changes the type of a parameter")
+
+    def test_override_changes_param_count(self):
+        assert_rejected(
+            "class A<Owner o> { void m(int x) { } }"
+            "class B<Owner o> extends A<o> { void m() { } }",
+            fragment="different number of parameters")
+
+    def test_override_covariant_return_ok(self):
+        assert_well_typed(
+            "class Animal<Owner o> { }"
+            "class Dog<Owner o> extends Animal<o> { }"
+            "class A<Owner o> {"
+            "  Animal<o> get() { return null; }"
+            "}"
+            "class B<Owner o> extends A<o> {"
+            "  Dog<o> get() { return null; }"
+            "}")
+
+    def test_override_incompatible_return(self):
+        assert_rejected(
+            "class A<Owner o> { int m() { return 1; } }"
+            "class B<Owner o> extends A<o> {"
+            "  boolean m() { return true; }"
+            "}",
+            fragment="return type")
+
+    def test_override_cannot_widen_effects(self):
+        assert_rejected(
+            "class A<Owner o> { void m() accesses o { } }"
+            "class B<Owner o> extends A<o> {"
+            "  void m() accesses o, heap { }"
+            "}",
+            fragment="effect")
+
+    def test_override_narrower_effects_ok(self):
+        assert_well_typed(
+            "class A<Owner o> { void m() accesses o, heap { } }"
+            "class B<Owner o> extends A<o> { void m() accesses o { } }")
+
+    def test_override_with_renamed_formals(self):
+        assert_well_typed(
+            "class Cell<Owner o> { }"
+            "class A<Owner o> {"
+            "  void m<Owner p>(Cell<p> c) accesses o, p { }"
+            "}"
+            "class B<Owner o> extends A<o> {"
+            "  void m<Owner q>(Cell<q> c) accesses o, q { }"
+            "}")
