@@ -5,9 +5,14 @@ Commands
 
 ``check``      typecheck a core-language program and report diagnostics
 ``run``        typecheck and execute on the simulated RTSJ platform
+``profile``    run and report per-category / per-region / per-site cycles
 ``translate``  emit the Section 2.6 pseudo-RTSJ-Java erasure
 ``infer``      print the program after Section 2.5 defaults + inference
 ``graph``      run and emit the Figure 6 ownership graph as Graphviz dot
+
+Inputs are core-language source files; a ``.py`` driver script (like the
+ones under ``examples/``) is also accepted — the embedded ``PROGRAM``
+string literal is extracted and used as the program.
 
 Exit status is 0 on success, 1 on type errors, 2 on runtime failures.
 """
@@ -15,6 +20,8 @@ Exit status is 0 on success, 1 on type errors, 2 on runtime failures.
 from __future__ import annotations
 
 import argparse
+import json
+import re
 import sys
 from typing import List, Optional
 
@@ -24,16 +31,26 @@ from .interp.machine import Machine, RunOptions
 from .interp.translate import translate as run_translate
 from .lang import pretty_program
 
+_EMBEDDED_PROGRAM = re.compile(r'^PROGRAM\s*=\s*r?"""(.*?)"""',
+                               re.S | re.M)
+
 
 def _read(path: str) -> str:
     if path == "-":
         return sys.stdin.read()
     with open(path, "r", encoding="utf-8") as handle:
-        return handle.read()
+        text = handle.read()
+    if path.endswith(".py"):
+        # a Python driver script (examples/*.py): run the embedded
+        # core-language program it carries
+        match = _EMBEDDED_PROGRAM.search(text)
+        if match:
+            return match.group(1)
+    return text
 
 
-def _analyze_or_report(source: str, path: str):
-    analyzed = analyze(source, filename=path)
+def _analyze_or_report(source: str, path: str, tracer=None):
+    analyzed = analyze(source, filename=path, tracer=tracer)
     for err in analyzed.errors:
         print(f"error: {err}", file=sys.stderr)
     return analyzed
@@ -52,26 +69,66 @@ def cmd_check(args) -> int:
 
 
 def cmd_run(args) -> int:
-    analyzed = _analyze_or_report(_read(args.file), args.file)
+    from .obs import MetricsRegistry, Tracer, write_metrics, write_trace
+    tracing = bool(args.trace_out)
+    tracer = Tracer(detailed=tracing)
+    metrics = MetricsRegistry()
+    analyzed = _analyze_or_report(_read(args.file), args.file,
+                                  tracer=tracer if tracing else None)
     if analyzed.errors:
         return 1
     options = RunOptions(checks_enabled=args.dynamic_checks,
-                         validate=not args.no_validate)
+                         validate=not args.no_validate,
+                         tracer=tracer, metrics=metrics)
     machine = Machine(analyzed, options)
+    failure: Optional[ReproError] = None
     try:
         result = machine.run()
     except ReproError as err:
-        print(f"runtime error: {err}", file=sys.stderr)
+        failure = err
+    finally:
+        # a crashed run is when the trace is most valuable: export
+        # whatever was recorded up to the failure
+        if args.trace_out:
+            write_trace(machine.stats.tracer, args.trace_out)
+        if args.metrics_out:
+            write_metrics(machine.stats.metrics, args.metrics_out)
+    if failure is not None:
+        print(f"runtime error: {failure}", file=sys.stderr)
         return 2
     for line in result.output:
         print(line)
+    mode = "dynamic" if args.dynamic_checks else "static"
     if args.stats:
-        mode = "dynamic" if args.dynamic_checks else "static"
         print(f"--- {mode}-checks run: {result.cycles} cycles, "
               f"{result.stats.assignment_checks} assignment checks, "
               f"{result.stats.gc_runs} GCs, "
               f"{result.stats.regions_created} regions",
               file=sys.stderr)
+    if args.stats_json:
+        payload = {"mode": mode}
+        payload.update(result.stats.summary())
+        print(json.dumps(payload, sort_keys=True))
+    return 0
+
+
+def cmd_profile(args) -> int:
+    from .obs import build_report
+    analyzed = _analyze_or_report(_read(args.file), args.file)
+    if analyzed.errors:
+        return 1
+    options = RunOptions(checks_enabled=not args.static_checks)
+    machine = Machine(analyzed, options)
+    try:
+        machine.run()
+    except ReproError as err:
+        print(f"runtime error: {err}", file=sys.stderr)
+        return 2
+    report = build_report(machine.stats, machine.regions.areas)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.format(top=args.top))
     return 0
 
 
@@ -170,7 +227,30 @@ def build_parser() -> argparse.ArgumentParser:
                        help="skip free check validation")
     p_run.add_argument("--stats", action="store_true",
                        help="print cycle/check statistics to stderr")
+    p_run.add_argument("--stats-json", action="store_true",
+                       help="print the machine-readable run summary as "
+                            "one JSON object on stdout")
+    p_run.add_argument("--trace-out", metavar="FILE",
+                       help="write a JSON Lines trace of all events "
+                            "(enables detailed tracing: region "
+                            "enter/exit spans, allocations, checks)")
+    p_run.add_argument("--metrics-out", metavar="FILE",
+                       help="write end-of-run metrics in Prometheus "
+                            "text format")
     p_run.set_defaults(func=cmd_run)
+
+    p_prof = sub.add_parser(
+        "profile", help="run and report where the cycles went")
+    p_prof.add_argument("file")
+    p_prof.add_argument("--static-checks", action="store_true",
+                        help="profile the statically-checked build "
+                             "(dynamic checks are on by default, so "
+                             "their cost is visible)")
+    p_prof.add_argument("--top", type=int, default=10,
+                        help="call sites to list (default 10)")
+    p_prof.add_argument("--json", action="store_true",
+                        help="emit the profile as JSON")
+    p_prof.set_defaults(func=cmd_profile)
 
     p_tr = sub.add_parser("translate",
                           help="emit the pseudo-RTSJ-Java erasure")

@@ -49,13 +49,27 @@ class AnalyzedProgram:
 def analyze(source: Union[str, ast.Program],
             filename: str = "<input>",
             infer: bool = True,
-            defaults: Optional[DefaultPolicy] = None) -> AnalyzedProgram:
+            defaults: Optional[DefaultPolicy] = None,
+            tracer=None) -> AnalyzedProgram:
     """Parse (if needed), apply Section 2.5 defaults/inference, and
     typecheck.  Never raises for *type* errors — inspect ``.errors`` or
     call :meth:`AnalyzedProgram.require_well_typed`; lex/parse errors do
-    raise."""
+    raise.  ``tracer`` (a :class:`repro.obs.Tracer`) records per-phase
+    wall times as ``checker-phase`` events."""
+    import time
+
+    def phase(name: str, started: float) -> float:
+        now = time.perf_counter()
+        if tracer is not None:
+            tracer.emit("checker-phase", name, cycle=0,
+                        thread="<checker>",
+                        attrs={"seconds": now - started})
+        return now
+
+    mark = time.perf_counter()
     if isinstance(source, str):
         program = parse_program(source, filename)
+        mark = phase("parse", mark)
     else:
         program = source
     try:
@@ -64,7 +78,9 @@ def analyze(source: Union[str, ast.Program],
                 program = apply_defaults_and_infer(program, defaults)
             else:
                 program = apply_defaults_and_infer(program)
+            mark = phase("infer", mark)
         info = build_program_info(program)
+        phase("tables", mark)
     except OwnershipTypeError as err:
         # structural errors surfaced while building the tables (e.g.
         # redefining a built-in class) are reported like any other
@@ -72,7 +88,9 @@ def analyze(source: Union[str, ast.Program],
         from ..core.kinds import KindTable
         empty = ProgramInfo({}, {}, program, KindTable())
         return AnalyzedProgram(program, empty, [err])
-    errors = Checker(info).check()
+    checker = Checker(info)
+    checker.tracer = tracer
+    errors = checker.check()
     return AnalyzedProgram(program, info, errors)
 
 

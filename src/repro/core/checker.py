@@ -64,6 +64,24 @@ class Checker:
         #: successful [EXPR NEW]; the Section 2.6 translator uses it to
         #: derive allocation strategies from the av-RH derivation
         self.new_site_hook = None
+        #: wall-clock seconds per checking phase, filled by check();
+        #: emitted as ``checker-phase`` trace events when a tracer is
+        #: attached (the ``repro run --trace-out`` path)
+        self.phase_seconds: Dict[str, float] = {}
+        self.tracer = None
+
+    def _end_phase(self, name: str, started: float) -> float:
+        """Record one phase's wall time; returns a fresh start mark."""
+        import time
+        now = time.perf_counter()
+        self.phase_seconds[name] = (self.phase_seconds.get(name, 0.0)
+                                    + now - started)
+        if self.tracer is not None:
+            self.tracer.emit("checker-phase", name, cycle=0,
+                             thread="<checker>",
+                             attrs={"seconds": now - started,
+                                    "errors": len(self.errors)})
+        return now
 
     # ------------------------------------------------------------------
     # entry point — [PROG]
@@ -71,23 +89,30 @@ class Checker:
 
     def check(self) -> List[OwnershipTypeError]:
         """Check the whole program; returns the collected errors (empty
-        means well-typed)."""
+        means well-typed).  Each phase's wall time lands in
+        ``phase_seconds``."""
+        import time
         from .wellformed import check_wellformed
+        mark = time.perf_counter()
         try:
             check_wellformed(self.program)
         except OwnershipTypeError as err:
             self.errors.append(err)
+            self._end_phase("wellformed", mark)
             return self.errors
+        mark = self._end_phase("wellformed", mark)
 
         for info in self.program.region_kinds.values():
             try:
                 self._check_region_kind(info)
             except OwnershipTypeError as err:
                 self.errors.append(err)
+        mark = self._end_phase("region-kinds", mark)
         for info in self.program.classes.values():
             if info.builtin:
                 continue
             self._check_class(info)
+        mark = self._end_phase("classes", mark)
         main = self.program.ast_program.main
         if main is not None:
             env = Env.initial(self.program)
@@ -100,6 +125,7 @@ class Checker:
                 self.check_block(env, main, None, HEAP)
             except OwnershipTypeError as err:
                 self.errors.append(err)
+            self._end_phase("main-block", mark)
         return self.errors
 
     # ------------------------------------------------------------------

@@ -272,14 +272,14 @@ class Interpreter:
             target = self._static_target(stmt.target, frame)
             if target is not None:
                 yield from self._static_write(target, stmt.field_name,
-                                              value, thread)
+                                              value, thread, stmt.span)
             else:
                 recv = yield from self.eval_expr(stmt.target, frame,
                                                  region, thread)
                 if isinstance(recv, RegionHandle):
                     yield from self._portal_write(recv.area,
                                                   stmt.field_name, value,
-                                                  thread)
+                                                  thread, stmt.span)
                 else:
                     yield from self._field_write(recv, stmt.field_name,
                                                  value, thread, stmt.span)
@@ -337,11 +337,14 @@ class Interpreter:
             raise InterpreterError(
                 f"{obj!r} has no field '{field_name}'")
         old = obj.fields[field_name]
+        line = span.start.line
         cycles = self.cost.op_field_write
         if isinstance(value, ObjRef):
-            cycles += self.checks.assignment_cost(obj.area, value)
+            cycles += self.checks.assignment_cost(obj.area, value,
+                                                  line, thread.name)
         if isinstance(value, ObjRef) or isinstance(old, ObjRef):
-            cycles += self.checks.read_cost(thread.realtime, value, old)
+            cycles += self.checks.read_cost(thread.realtime, value, old,
+                                            line, thread.name)
         yield cycles
         obj.fields[field_name] = value
 
@@ -353,56 +356,67 @@ class Interpreter:
         value = obj.fields[field_name]
         cycles = self.cost.op_field_read
         if isinstance(value, ObjRef):
-            cycles += self.checks.read_cost(thread.realtime, value)
+            cycles += self.checks.read_cost(thread.realtime, value,
+                                            line=span.start.line,
+                                            thread=thread.name)
         yield cycles
         return value
 
     def _static_write(self, class_name: str, field_name: str, value: Any,
-                      thread: SimThread):
+                      thread: SimThread, span):
         key = (class_name, field_name)
         old = self.machine.statics.get(key)
+        line = span.start.line
         cycles = self.cost.op_field_write
         if isinstance(value, ObjRef):
             # statics conceptually live in immortal memory
             cycles += self.checks.assignment_cost(
-                self.machine.regions.immortal, value)
+                self.machine.regions.immortal, value, line, thread.name)
         if isinstance(value, ObjRef) or isinstance(old, ObjRef):
-            cycles += self.checks.read_cost(thread.realtime, value, old)
+            cycles += self.checks.read_cost(thread.realtime, value, old,
+                                            line, thread.name)
         yield cycles
         self.machine.statics[key] = value
 
     def _static_read(self, class_name: str, field_name: str,
-                     thread: SimThread):
+                     thread: SimThread, span):
         value = self.machine.statics.get((class_name, field_name))
         cycles = self.cost.op_field_read
         if isinstance(value, ObjRef):
-            cycles += self.checks.read_cost(thread.realtime, value)
+            cycles += self.checks.read_cost(thread.realtime, value,
+                                            line=span.start.line,
+                                            thread=thread.name)
         yield cycles
         return value
 
     def _portal_write(self, area: MemoryArea, field_name: str, value: Any,
-                      thread: SimThread):
+                      thread: SimThread, span):
         if field_name not in area.portals:
             raise InterpreterError(
                 f"region '{area.name}' has no portal '{field_name}'")
         old = area.portals[field_name]
+        line = span.start.line
         cycles = self.cost.portal_write
         if isinstance(value, ObjRef):
-            cycles += self.checks.assignment_cost(area, value)
+            cycles += self.checks.assignment_cost(area, value, line,
+                                                  thread.name)
         if isinstance(value, ObjRef) or isinstance(old, ObjRef):
-            cycles += self.checks.read_cost(thread.realtime, value, old)
+            cycles += self.checks.read_cost(thread.realtime, value, old,
+                                            line, thread.name)
         yield cycles
         area.portals[field_name] = value
 
     def _portal_read(self, area: MemoryArea, field_name: str,
-                     thread: SimThread):
+                     thread: SimThread, span):
         if field_name not in area.portals:
             raise InterpreterError(
                 f"region '{area.name}' has no portal '{field_name}'")
         value = area.portals[field_name]
         cycles = self.cost.portal_read
         if isinstance(value, ObjRef):
-            cycles += self.checks.read_cost(thread.realtime, value)
+            cycles += self.checks.read_cost(thread.realtime, value,
+                                            line=span.start.line,
+                                            thread=thread.name)
         yield cycles
         return value
 
@@ -436,7 +450,11 @@ class Interpreter:
                                            ancestors, parent,
                                            realtime_only)
         self.stats.regions_created += 1
-        self.stats.event("region-created", f"{name} ({policy})")
+        self.stats.tracer.emit(
+            "region-created", f"{name} ({policy})",
+            cycle=self.stats.cycles, thread=thread.name,
+            attrs={"region": name, "policy": policy, "kind": kind_name,
+                   "lt_budget": budget})
         cycles = self.cost.region_create
         if policy == LT:
             cycles += self.cost.lt_prealloc_per_byte * budget
@@ -473,6 +491,7 @@ class Interpreter:
         area, cycles = self._create_area(stmt.region_name, kind_name,
                                          policy, budget, ancestors, None,
                                          False, thread)
+        self.stats.region_cycles += cycles
         yield cycles
         saved_owner = frame.owners.get(stmt.region_name)
         saved_var = frame.vars.get(stmt.handle_name)
@@ -481,12 +500,20 @@ class Interpreter:
         if shared:
             area.thread_count = 1
             thread.shared_stack.append(area)
+        self.stats.tracer.begin("region-enter", area.name,
+                                cycle=self.stats.cycles,
+                                thread=thread.name,
+                                attrs={"scoped": True})
         try:
             yield from self.exec_block(stmt.body, frame, area, thread)
         finally:
             # charged directly: yielding inside a finally would break
             # generator close semantics
             self.machine.charge_direct(thread, self.cost.region_exit)
+            self.stats.region_cycles += self.cost.region_exit
+            self.stats.tracer.end("region-exit", area.name,
+                                  cycle=self.stats.cycles,
+                                  thread=thread.name)
             if shared:
                 from ..rtsj.regions import release_shared
                 thread.shared_stack.remove(area)
@@ -494,7 +521,8 @@ class Interpreter:
             else:
                 self.stats.objects_freed += area.destroy()
             if not area.live:
-                self.stats.event("region-destroyed", area.name)
+                self.stats.event("region-destroyed", area.name,
+                                 thread=thread.name)
             _restore(frame.owners, stmt.region_name, saved_owner)
             _restore(frame.vars, stmt.handle_name, saved_var)
 
@@ -526,6 +554,7 @@ class Interpreter:
                 policy, sub.policy.size, set(), parent, sub.realtime,
                 thread)
             parent.subregions[stmt.subregion_name] = slot
+            self.stats.region_cycles += cycles
             yield cycles
         if self.checks.enabled or self.checks.validate:
             if thread.realtime and not slot.realtime_only:
@@ -537,9 +566,14 @@ class Interpreter:
                     "regular thread entered RT subregion "
                     f"'{slot.name}'")
         yield self.cost.region_enter
+        self.stats.region_cycles += self.cost.region_enter
         self.stats.region_enters += 1
         slot.thread_count += 1
         thread.shared_stack.append(slot)
+        self.stats.tracer.begin("region-enter", slot.name,
+                                cycle=self.stats.cycles,
+                                thread=thread.name,
+                                attrs={"scoped": False})
         saved_owner = frame.owners.get(stmt.region_name)
         saved_var = frame.vars.get(stmt.handle_name)
         frame.owners[stmt.region_name] = slot
@@ -548,13 +582,18 @@ class Interpreter:
             yield from self.exec_block(stmt.body, frame, slot, thread)
         finally:
             self.machine.charge_direct(thread, self.cost.region_exit)
+            self.stats.region_cycles += self.cost.region_exit
+            self.stats.tracer.end("region-exit", slot.name,
+                                  cycle=self.stats.cycles,
+                                  thread=thread.name)
             from ..rtsj.regions import release_shared
             thread.shared_stack.remove(slot)
             before = slot.generation
             self.stats.objects_freed += release_shared(slot)
             if slot.generation != before:
                 self.stats.region_flushes += 1
-                self.stats.event("region-flushed", slot.name)
+                self.stats.event("region-flushed", slot.name,
+                                 thread=thread.name)
             _restore(frame.owners, stmt.region_name, saved_owner)
             _restore(frame.vars, stmt.handle_name, saved_var)
 
@@ -579,6 +618,7 @@ class Interpreter:
                         "RT fork passed a heap reference "
                         f"{value!r} to a no-heap real-time thread")
         yield self.cost.thread_spawn
+        self.stats.thread_cycles += self.cost.thread_spawn
         name = f"{'rt-' if stmt.realtime else ''}thread-" \
                f"{len(self.machine.scheduler.threads)}"
         child = SimThread(name=name, coroutine=iter(()),
@@ -590,8 +630,12 @@ class Interpreter:
         for area in thread.shared_stack:
             area.thread_count += 1
             child.shared_stack.append(area)
-        self.stats.event("thread-spawned",
-                         f"{name}{' (realtime)' if stmt.realtime else ''}")
+        self.stats.tracer.emit(
+            "thread-spawned",
+            f"{name}{' (realtime)' if stmt.realtime else ''}",
+            cycle=self.stats.cycles, thread=thread.name,
+            attrs={"child": name, "realtime": stmt.realtime,
+                   "method": call.method_name})
         self.machine.scheduler.spawn(child)
 
     # ------------------------------------------------------------------
@@ -633,13 +677,13 @@ class Interpreter:
             static = self._static_target(expr.target, frame)
             if static is not None:
                 result = yield from self._static_read(
-                    static, expr.field_name, thread)
+                    static, expr.field_name, thread, expr.span)
                 return result
             recv = yield from self.eval_expr(expr.target, frame, region,
                                              thread)
             if isinstance(recv, RegionHandle):
                 result = yield from self._portal_read(
-                    recv.area, expr.field_name, thread)
+                    recv.area, expr.field_name, thread, expr.span)
                 return result
             result = yield from self._field_read(recv, expr.field_name,
                                                  thread, expr.span)
@@ -704,6 +748,15 @@ class Interpreter:
                                              target.bytes_used)
         self.stats.allocations += 1
         self.stats.bytes_allocated += obj.size_bytes
+        self.stats.alloc_cycles += cycles
+        self.stats.profile.record_alloc(expr.span.start.line,
+                                        target.name, obj.size_bytes)
+        self.stats.tracer.emit_detail(
+            "alloc", f"{expr.class_name} -> {target.name}",
+            cycle=self.stats.cycles, thread=thread.name,
+            attrs={"bytes": obj.size_bytes, "policy": target.policy,
+                   "region": target.name, "line": expr.span.start.line,
+                   "fresh_chunks": fresh_chunks})
         # pin before yielding the allocation cost: a GC at this very
         # preemption point must see the newborn object
         frame.temps.append(obj)
@@ -789,9 +842,12 @@ class Interpreter:
             return None
         if name == "io":
             # simulated network/disk operation: dominates server loops
-            yield self.cost.op_builtin + max(int(args[0]), 0)
+            cycles = self.cost.op_builtin + max(int(args[0]), 0)
+            self.stats.io_cycles += cycles
+            yield cycles
             return int(args[0])
         if name == "yieldnow":
+            self.stats.thread_cycles += self.cost.thread_yield
             yield self.cost.thread_yield
             yield YIELD
             return None

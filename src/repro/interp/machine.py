@@ -22,6 +22,7 @@ from typing import Any, Dict, List, Optional, Tuple, Union
 from ..core.api import AnalyzedProgram, analyze
 from ..core.relations import RelationGraph
 from ..errors import OwnershipTypeError
+from ..obs import MetricsRegistry, Tracer
 from ..rtsj.checks import CheckEngine
 from ..rtsj.gc import GarbageCollector
 from ..rtsj.objects import ArrayStorage, ObjRef
@@ -45,6 +46,14 @@ class RunOptions:
     quantum: int = 2000
     #: runaway-guard on the global clock
     max_cycles: int = 2_000_000_000
+    #: observability: pass a pre-built tracer/registry to share them
+    #: with the caller (the CLI does, to export after the run); None
+    #: means the machine builds its own
+    tracer: Optional[Tracer] = None
+    metrics: Optional[MetricsRegistry] = None
+    #: record high-volume trace events (region enter/exit spans,
+    #: allocations, individual checks); implied by ``--trace-out``
+    trace_detail: bool = False
 
 
 @dataclass
@@ -66,7 +75,12 @@ class Machine:
         self.analyzed = analyzed
         self.options = options or RunOptions()
         self.cost_model = self.options.cost_model
-        self.stats = Stats()
+        tracer = self.options.tracer or Tracer()
+        if self.options.trace_detail:
+            tracer.detailed = True
+        self.stats = Stats(
+            tracer=tracer,
+            metrics=self.options.metrics or MetricsRegistry())
         self.regions = RegionManager()
         self.checks = CheckEngine(self.cost_model, self.stats,
                                   enabled=self.options.checks_enabled,
@@ -130,8 +144,43 @@ class Machine:
         main_thread = SimThread(name="main", coroutine=iter(()))
         main_thread.coroutine = self.interpreter.main_coroutine(main_thread)
         self.scheduler.spawn(main_thread)
-        self.scheduler.run()
+        try:
+            self.scheduler.run()
+        finally:
+            # publish end-of-run gauges even when the run failed: the
+            # trace/metrics files are most valuable for a crashed run
+            self.finalize_metrics()
         return RunResult(self.output, self.stats, self.options)
+
+    def finalize_metrics(self) -> None:
+        """Mirror the flat counters and per-region/per-thread state into
+        the metrics registry (histograms are maintained live)."""
+        stats, registry = self.stats, self.stats.metrics
+        self.regions.export_metrics(registry)
+        for name, value in stats.summary().items():
+            if name == "cycles_by_thread":
+                gauge = registry.gauge(
+                    "repro_thread_cycles",
+                    "simulated cycles consumed per thread")
+                for thread_name, cycles in value.items():
+                    gauge.labels(thread=thread_name).set(cycles)
+            else:
+                registry.gauge(f"repro_run_{name}",
+                               f"final value of the '{name}' run "
+                               "counter").set(value)
+        for name in ("alloc_cycles", "region_cycles", "thread_cycles",
+                     "io_cycles"):
+            registry.gauge(f"repro_run_{name}",
+                           f"final value of the '{name}' run "
+                           "counter").set(getattr(stats, name))
+        latency = registry.gauge(
+            "repro_thread_max_dispatch_latency_cycles",
+            "worst-case dispatch latency observed per thread")
+        for thread in self.scheduler.threads:
+            latency.labels(
+                thread=thread.name,
+                realtime="true" if thread.realtime else "false",
+            ).set(thread.max_dispatch_latency)
 
     # ------------------------------------------------------------------
     # Figure 6: ownership / outlives graph extraction

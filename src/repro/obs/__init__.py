@@ -1,0 +1,31 @@
+"""Observability for the simulated RTSJ platform.
+
+Four pieces, all independent of the runtime packages (``repro.rtsj``
+imports *us*, never the reverse):
+
+* :mod:`repro.obs.events` — the structured event bus (:class:`Tracer`,
+  :class:`TraceEvent`) that replaced the flat ``Stats.events`` tuples;
+* :mod:`repro.obs.metrics` — counters / gauges / histograms in a
+  :class:`MetricsRegistry`;
+* :mod:`repro.obs.exporters` — JSON Lines traces and Prometheus text;
+* :mod:`repro.obs.profile` — per-region / per-call-site / per-category
+  cycle attribution behind ``repro profile``.
+
+See ``docs/OBSERVABILITY.md`` for the event schema and metric names.
+"""
+
+from .events import BEGIN, END, INSTANT, TraceEvent, Tracer
+from .exporters import (to_prometheus, trace_lines, write_metrics,
+                        write_trace)
+from .metrics import (Counter, DEFAULT_CYCLE_BUCKETS, Gauge, Histogram,
+                      MetricsRegistry)
+from .profile import (CATEGORIES, ProfileCollector, ProfileReport,
+                      build_report)
+
+__all__ = [
+    "Tracer", "TraceEvent", "INSTANT", "BEGIN", "END",
+    "MetricsRegistry", "Counter", "Gauge", "Histogram",
+    "DEFAULT_CYCLE_BUCKETS",
+    "trace_lines", "write_trace", "to_prometheus", "write_metrics",
+    "ProfileCollector", "ProfileReport", "build_report", "CATEGORIES",
+]

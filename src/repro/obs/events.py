@@ -1,0 +1,135 @@
+"""Structured event bus: typed trace records with span semantics.
+
+The simulator used to keep a flat list of ``(cycle, kind, subject)``
+tuples on :class:`~repro.rtsj.stats.Stats`.  This module replaces that
+with :class:`TraceEvent` records — each carries its simulated-cycle
+timestamp, the emitting thread, a *phase* marking it as an instant event
+or the begin/end of a span, and free-form attributes — while
+``Stats.events`` survives as a read-only compatibility shim derived from
+the same records.
+
+Two emission channels keep tracing cheap enough to leave on:
+
+* :meth:`Tracer.emit` — low-volume lifecycle events (region created /
+  destroyed / flushed, thread spawn / finish, GC runs, checker phases).
+  Always recorded, exactly like the old ``Stats.event``.
+* :meth:`Tracer.emit_detail` — high-volume events (region enter/exit
+  spans, allocations, individual dynamic checks).  Recorded only when
+  ``tracer.detailed`` is set (the ``repro run --trace-out`` path), so
+  benchmarks that execute millions of checks pay nothing by default.
+
+Span conventions: a span is a ``begin`` event and a later ``end`` event
+with the same *kind pair* and subject, emitted by the same thread.
+Because simulated execution is stack-structured per thread, spans from
+one thread always nest properly; the JSON Lines exporter preserves
+emission order so consumers can replay them with a per-thread stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+#: phase markers (Chrome-trace inspired): instant, span begin, span end
+INSTANT, BEGIN, END = "i", "B", "E"
+
+
+@dataclass
+class TraceEvent:
+    """One structured trace record."""
+
+    __slots__ = ("cycle", "kind", "subject", "thread", "phase", "attrs")
+
+    cycle: int
+    kind: str
+    subject: str
+    thread: str
+    phase: str
+    attrs: Optional[Dict[str, Any]]
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"cycle": self.cycle, "kind": self.kind,
+                               "ph": self.phase, "subject": self.subject,
+                               "thread": self.thread}
+        if self.attrs:
+            out["attrs"] = self.attrs
+        return out
+
+
+class Tracer:
+    """The event bus one simulated run writes to.
+
+    ``records`` is append-only and time-ordered (the simulated clock
+    never goes backwards).  ``max_records`` is a runaway guard: past it,
+    further records are counted in ``dropped`` instead of stored.
+    """
+
+    def __init__(self, detailed: bool = False,
+                 max_records: int = 1_000_000) -> None:
+        self.records: List[TraceEvent] = []
+        self.detailed = detailed
+        self.max_records = max_records
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+
+    def _record(self, cycle: int, kind: str, subject: str, thread: str,
+                phase: str, attrs: Optional[Dict[str, Any]]) -> None:
+        if len(self.records) >= self.max_records:
+            self.dropped += 1
+            return
+        self.records.append(
+            TraceEvent(cycle, kind, subject, thread, phase, attrs))
+
+    def emit(self, kind: str, subject: str, cycle: int = 0,
+             thread: str = "main", phase: str = INSTANT,
+             attrs: Optional[Dict[str, Any]] = None) -> None:
+        """Record one low-volume lifecycle event (always on)."""
+        self._record(cycle, kind, subject, thread, phase, attrs)
+
+    def emit_detail(self, kind: str, subject: str, cycle: int = 0,
+                    thread: str = "main", phase: str = INSTANT,
+                    attrs: Optional[Dict[str, Any]] = None) -> None:
+        """Record one high-volume event — only when ``detailed``."""
+        if self.detailed:
+            self._record(cycle, kind, subject, thread, phase, attrs)
+
+    def begin(self, kind: str, subject: str, cycle: int = 0,
+              thread: str = "main",
+              attrs: Optional[Dict[str, Any]] = None) -> None:
+        self.emit_detail(kind, subject, cycle, thread, BEGIN, attrs)
+
+    def end(self, kind: str, subject: str, cycle: int = 0,
+            thread: str = "main",
+            attrs: Optional[Dict[str, Any]] = None) -> None:
+        self.emit_detail(kind, subject, cycle, thread, END, attrs)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def legacy_events(self) -> List[Tuple[int, str, str]]:
+        """The old ``Stats.events`` view: ``(cycle, kind, subject)``."""
+        return [(e.cycle, e.kind, e.subject) for e in self.records]
+
+    def kinds(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for e in self.records:
+            out[e.kind] = out.get(e.kind, 0) + 1
+        return out
+
+    def spans_balanced(self) -> bool:
+        """True when every thread's begin/end events nest like a stack
+        (the invariant the integration tests assert on trace files)."""
+        stacks: Dict[str, List[Tuple[str, str]]] = {}
+        for e in self.records:
+            stack = stacks.setdefault(e.thread, [])
+            if e.phase == BEGIN:
+                stack.append((e.kind, e.subject))
+            elif e.phase == END:
+                if not stack:
+                    return False
+                kind, subject = stack.pop()
+                if subject != e.subject:
+                    return False
+        return all(not stack for stack in stacks.values())

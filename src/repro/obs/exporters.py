@@ -1,0 +1,114 @@
+"""Exporters: JSON Lines traces and Prometheus text metrics.
+
+Two on-disk formats, both line-oriented and tool-friendly:
+
+* **JSON Lines trace** — one JSON object per :class:`TraceEvent`, in
+  emission order (which is simulated-time order).  Consumers rebuild
+  span nesting with a per-thread stack over the ``ph`` field
+  (``"B"``/``"E"``; ``"i"`` is an instant).  See
+  ``docs/OBSERVABILITY.md`` for the schema.
+* **Prometheus text exposition** — the ``# HELP`` / ``# TYPE`` /
+  sample-line format, suitable for ``promtool check metrics`` or a
+  file-based scrape.  Histograms render cumulative ``_bucket`` series
+  plus ``_sum`` and ``_count``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterator, Union
+
+from .events import Tracer
+from .metrics import MetricsRegistry, _HistogramChild
+
+
+# ---------------------------------------------------------------------------
+# JSON Lines traces
+# ---------------------------------------------------------------------------
+
+def trace_lines(tracer: Tracer) -> Iterator[str]:
+    """The trace as JSON Lines (no trailing newlines)."""
+    for event in tracer.records:
+        yield json.dumps(event.to_dict(), sort_keys=True)
+    if tracer.dropped:
+        yield json.dumps({"kind": "trace-truncated", "ph": "i",
+                          "cycle": -1, "thread": "<tracer>",
+                          "subject": f"{tracer.dropped} events dropped",
+                          "attrs": {"dropped": tracer.dropped}},
+                         sort_keys=True)
+
+
+def write_trace(tracer: Tracer, dest: Union[str, IO[str]]) -> int:
+    """Write the JSONL trace to a path or open file; returns the number
+    of lines written."""
+    if isinstance(dest, str):
+        with open(dest, "w", encoding="utf-8") as handle:
+            return write_trace(tracer, handle)
+    n = 0
+    for line in trace_lines(tracer):
+        dest.write(line + "\n")
+        n += 1
+    return n
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text format
+# ---------------------------------------------------------------------------
+
+def _escape_label_value(value: str) -> str:
+    return (value.replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _format_labels(labels: dict, extra: dict = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    body = ",".join(f'{k}="{_escape_label_value(str(v))}"'
+                    for k, v in sorted(merged.items()))
+    return "{" + body + "}"
+
+
+def _format_number(value) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """Render the whole registry in Prometheus text exposition format."""
+    lines = []
+    for inst in registry.instruments():
+        lines.append(f"# HELP {inst.name} {inst.help_text}")
+        lines.append(f"# TYPE {inst.name} {inst.metric_type}")
+        for key, child in inst.children():
+            labels = dict(key)
+            if isinstance(child, _HistogramChild):
+                cumulative = child.cumulative()
+                bounds = [str(b) for b in child.bounds] + ["+Inf"]
+                for bound, count in zip(bounds, cumulative):
+                    suffix = _format_labels(labels, {"le": bound})
+                    lines.append(
+                        f"{inst.name}_bucket{suffix} {count}")
+                lines.append(f"{inst.name}_sum{_format_labels(labels)} "
+                             f"{_format_number(child.sum)}")
+                lines.append(f"{inst.name}_count{_format_labels(labels)} "
+                             f"{child.count}")
+            else:
+                lines.append(f"{inst.name}{_format_labels(labels)} "
+                             f"{_format_number(child.value)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_metrics(registry: MetricsRegistry,
+                  dest: Union[str, IO[str]]) -> None:
+    """Write the Prometheus rendering to a path or open file."""
+    if isinstance(dest, str):
+        with open(dest, "w", encoding="utf-8") as handle:
+            handle.write(to_prometheus(registry))
+    else:
+        dest.write(to_prometheus(registry))

@@ -1,0 +1,263 @@
+"""Metrics registry: counters, gauges, and histograms with labels.
+
+A deliberately small re-implementation of the Prometheus client data
+model, sized for the simulator: every instrument lives in a
+:class:`MetricsRegistry`, supports optional label sets via
+:meth:`Instrument.labels`, and renders to both the Prometheus text
+exposition format and a plain JSON-able dict (see
+:mod:`repro.obs.exporters`).
+
+Conventions:
+
+* metric names are ``repro_*`` and use base units in the name
+  (``_cycles``, ``_bytes``) — the simulated clock has no seconds;
+* histograms store non-cumulative per-bucket counts internally and
+  cumulate only at export time, so ``observe`` is O(#buckets) worst
+  case with a tiny constant;
+* ``registry.counter/gauge/histogram`` are get-or-create: calling twice
+  with the same name returns the same instrument, so independent
+  subsystems (checks, GC, scheduler) can grab handles without plumbing.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, str]) -> LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Instrument:
+    """Common base: a named metric family with labeled children."""
+
+    metric_type = "untyped"
+
+    def __init__(self, name: str, help_text: str = "") -> None:
+        self.name = name
+        self.help_text = help_text
+        self._children: Dict[LabelKey, Any] = {}
+
+    def labels(self, **labels: Any):
+        """The child instrument for one label set (created on demand)."""
+        key = _label_key({k: str(v) for k, v in labels.items()})
+        child = self._children.get(key)
+        if child is None:
+            child = self._make_child()
+            self._children[key] = child
+        return child
+
+    def _default(self):
+        return self.labels()
+
+    def _make_child(self):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def children(self) -> Iterable[Tuple[LabelKey, Any]]:
+        if not self._children:
+            # a registered-but-never-touched instrument still exports
+            # one zero-valued unlabeled series (Prometheus convention)
+            self._default()
+        return sorted(self._children.items())
+
+
+class _CounterChild:
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters can only increase")
+        self.value += amount
+
+
+class Counter(Instrument):
+    metric_type = "counter"
+
+    def _make_child(self) -> _CounterChild:
+        return _CounterChild()
+
+    def inc(self, amount: int = 1) -> None:
+        self._default().inc(amount)
+
+    @property
+    def value(self):
+        return self._default().value
+
+
+class _GaugeChild:
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def set(self, value) -> None:
+        self.value = value
+
+    def inc(self, amount=1) -> None:
+        self.value += amount
+
+    def set_max(self, value) -> None:
+        """Watermark update: keep the largest value seen."""
+        if value > self.value:
+            self.value = value
+
+
+class Gauge(Instrument):
+    metric_type = "gauge"
+
+    def _make_child(self) -> _GaugeChild:
+        return _GaugeChild()
+
+    def set(self, value) -> None:
+        self._default().set(value)
+
+    def set_max(self, value) -> None:
+        self._default().set_max(value)
+
+    @property
+    def value(self):
+        return self._default().value
+
+
+#: default histogram buckets for cycle costs (checks, pauses): powers
+#: of two up to 64Ki cycles — GC pauses land in the tail buckets
+DEFAULT_CYCLE_BUCKETS: Tuple[int, ...] = (
+    4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096, 16384, 65536)
+
+
+class _HistogramChild:
+    __slots__ = ("bounds", "counts", "sum", "count")
+
+    def __init__(self, bounds: Sequence[float]) -> None:
+        self.bounds = tuple(bounds)
+        # one slot per finite bucket plus the +Inf overflow slot
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.sum = 0
+        self.count = 0
+
+    def observe(self, value) -> None:
+        self.sum += value
+        self.count += 1
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    def cumulative(self) -> List[int]:
+        """Prometheus-style cumulative bucket counts (ends at count)."""
+        out, running = [], 0
+        for c in self.counts:
+            running += c
+            out.append(running)
+        return out
+
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Upper-bound estimate of the q-quantile from bucket counts."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q} outside [0, 1]")
+        if not self.count:
+            return 0.0
+        target = q * self.count
+        running = 0
+        for i, c in enumerate(self.counts):
+            running += c
+            if running >= target:
+                if i < len(self.bounds):
+                    return float(self.bounds[i])
+                break
+        # overflow bucket: all we know is it exceeds the last bound
+        return float(self.bounds[-1]) if self.bounds else float(self.sum)
+
+
+class Histogram(Instrument):
+    metric_type = "histogram"
+
+    def __init__(self, name: str, help_text: str = "",
+                 buckets: Sequence[float] = DEFAULT_CYCLE_BUCKETS) -> None:
+        super().__init__(name, help_text)
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError("histogram buckets must be ascending and "
+                             "non-empty")
+        self.bounds = tuple(buckets)
+
+    def _make_child(self) -> _HistogramChild:
+        return _HistogramChild(self.bounds)
+
+    def observe(self, value) -> None:
+        self._default().observe(value)
+
+    @property
+    def count(self) -> int:
+        return self._default().count
+
+    @property
+    def sum(self):
+        return self._default().sum
+
+
+class MetricsRegistry:
+    """All instruments of one simulated run, keyed by metric name."""
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, Instrument] = {}
+
+    def _get_or_create(self, cls, name: str, help_text: str,
+                       **kwargs) -> Instrument:
+        existing = self._instruments.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise ValueError(
+                    f"metric '{name}' already registered as "
+                    f"{existing.metric_type}, not {cls.metric_type}")
+            return existing
+        instrument = cls(name, help_text, **kwargs)
+        self._instruments[name] = instrument
+        return instrument
+
+    def counter(self, name: str, help_text: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help_text)
+
+    def gauge(self, name: str, help_text: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help_text)
+
+    def histogram(self, name: str, help_text: str = "",
+                  buckets: Sequence[float] = DEFAULT_CYCLE_BUCKETS
+                  ) -> Histogram:
+        return self._get_or_create(Histogram, name, help_text,
+                                   buckets=buckets)
+
+    def get(self, name: str) -> Optional[Instrument]:
+        return self._instruments.get(name)
+
+    def instruments(self) -> List[Instrument]:
+        return [self._instruments[name]
+                for name in sorted(self._instruments)]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-able snapshot (used by tests and ``--stats-json``)."""
+        out: Dict[str, Any] = {}
+        for inst in self.instruments():
+            series = []
+            for key, child in inst.children():
+                labels = dict(key)
+                if isinstance(child, _HistogramChild):
+                    series.append({"labels": labels, "sum": child.sum,
+                                   "count": child.count,
+                                   "buckets": dict(zip(
+                                       [str(b) for b in child.bounds]
+                                       + ["+Inf"], child.cumulative()))})
+                else:
+                    series.append({"labels": labels,
+                                   "value": child.value})
+            out[inst.name] = {"type": inst.metric_type,
+                              "help": inst.help_text, "series": series}
+        return out

@@ -1,0 +1,202 @@
+"""Per-region and per-call-site profiles.
+
+The paper's evaluation question — *where do the cycles go?* — needs
+three attributions the flat counters cannot give:
+
+* **categories** — every simulated cycle binned into a named category
+  (compute, checks, alloc, region, thread, gc, io).  The interpreter
+  tracks the non-compute categories explicitly; ``compute`` is the
+  arithmetic/branch/call remainder, so attribution always covers 100%
+  of the clock.
+* **per-region** — allocation traffic and dynamic-check cycles charged
+  against the region the operation targeted, alongside the region's
+  live-bytes watermark.
+* **per-call-site** — allocation bytes and check cycles attributed to
+  the source line that executed them (the AST spans the interpreter
+  already threads for diagnostics), i.e. a flat line profiler for the
+  simulated program.
+
+``ProfileCollector`` is the always-on accumulation half (cheap dict
+updates); ``ProfileReport``/:func:`build_report` is the presentation
+half used by ``repro profile``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+#: the cycle categories, in report order; ``compute`` is the remainder
+CATEGORIES = ("compute", "checks", "alloc", "region", "thread", "gc",
+              "io")
+
+
+class ProfileCollector:
+    """Accumulates per-site and per-region attributions during a run."""
+
+    __slots__ = ("alloc_sites", "check_sites", "region_alloc",
+                 "region_check_cycles")
+
+    def __init__(self) -> None:
+        #: line -> [allocations, bytes]
+        self.alloc_sites: Dict[int, List[int]] = {}
+        #: line -> [checks, cycles]
+        self.check_sites: Dict[int, List[int]] = {}
+        #: region name -> [allocations, bytes]
+        self.region_alloc: Dict[str, List[int]] = {}
+        #: region name -> check cycles charged against stores into it
+        self.region_check_cycles: Dict[str, int] = {}
+
+    def record_alloc(self, line: int, region: str, nbytes: int) -> None:
+        site = self.alloc_sites.get(line)
+        if site is None:
+            self.alloc_sites[line] = [1, nbytes]
+        else:
+            site[0] += 1
+            site[1] += nbytes
+        per_region = self.region_alloc.get(region)
+        if per_region is None:
+            self.region_alloc[region] = [1, nbytes]
+        else:
+            per_region[0] += 1
+            per_region[1] += nbytes
+
+    def record_check(self, line: int, region: str, cycles: int) -> None:
+        site = self.check_sites.get(line)
+        if site is None:
+            self.check_sites[line] = [1, cycles]
+        else:
+            site[0] += 1
+            site[1] += cycles
+        self.region_check_cycles[region] = (
+            self.region_check_cycles.get(region, 0) + cycles)
+
+
+@dataclass
+class RegionProfile:
+    name: str
+    policy: str
+    kind_name: str
+    allocations: int
+    alloc_bytes: int
+    peak_bytes: int
+    check_cycles: int
+
+
+@dataclass
+class SiteProfile:
+    line: int
+    allocations: int
+    alloc_bytes: int
+    checks: int
+    check_cycles: int
+
+
+@dataclass
+class ProfileReport:
+    total_cycles: int
+    #: category -> cycles; keys are exactly :data:`CATEGORIES`
+    categories: Dict[str, int]
+    regions: List[RegionProfile]
+    sites: List[SiteProfile]
+    cycles_by_thread: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def attributed_cycles(self) -> int:
+        return sum(self.categories.values())
+
+    @property
+    def attributed_fraction(self) -> float:
+        if not self.total_cycles:
+            return 1.0
+        return self.attributed_cycles / self.total_cycles
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "total_cycles": self.total_cycles,
+            "attributed_fraction": self.attributed_fraction,
+            "categories": dict(self.categories),
+            "cycles_by_thread": dict(self.cycles_by_thread),
+            "regions": [vars(r).copy() for r in self.regions],
+            "sites": [vars(s).copy() for s in self.sites],
+        }
+
+    def format(self, top: int = 10) -> str:
+        lines = [f"total: {self.total_cycles} cycles "
+                 f"({self.attributed_fraction:.1%} attributed)", ""]
+        lines.append("cycles by category")
+        lines.append(f"  {'category':<10} {'cycles':>12} {'share':>7}")
+        for cat in CATEGORIES:
+            cycles = self.categories.get(cat, 0)
+            share = cycles / self.total_cycles if self.total_cycles else 0
+            lines.append(f"  {cat:<10} {cycles:>12} {share:>6.1%}")
+        if self.cycles_by_thread:
+            lines.append("")
+            lines.append("cycles by thread")
+            for name, cycles in sorted(self.cycles_by_thread.items(),
+                                       key=lambda kv: -kv[1]):
+                lines.append(f"  {name:<18} {cycles:>12}")
+        if self.regions:
+            lines.append("")
+            lines.append("per-region profile")
+            lines.append(f"  {'region':<22} {'policy':>6} {'allocs':>7} "
+                         f"{'bytes':>9} {'peak':>7} {'chk cyc':>9}")
+            for r in self.regions:
+                lines.append(
+                    f"  {r.name:<22} {r.policy:>6} {r.allocations:>7} "
+                    f"{r.alloc_bytes:>9} {r.peak_bytes:>7} "
+                    f"{r.check_cycles:>9}")
+        if self.sites:
+            lines.append("")
+            lines.append(f"hottest call sites (top {top})")
+            lines.append(f"  {'line':>5} {'allocs':>7} {'bytes':>9} "
+                         f"{'checks':>7} {'chk cyc':>9}")
+            for s in self.sites[:top]:
+                lines.append(f"  {s.line:>5} {s.allocations:>7} "
+                             f"{s.alloc_bytes:>9} {s.checks:>7} "
+                             f"{s.check_cycles:>9}")
+        return "\n".join(lines)
+
+
+def build_report(stats, areas=None) -> ProfileReport:
+    """Assemble a :class:`ProfileReport` from a finished run.
+
+    ``stats`` is a :class:`repro.rtsj.stats.Stats` (duck-typed — this
+    module stays independent of the runtime packages); ``areas`` is the
+    machine's region list, for watermarks and policies.
+    """
+    collector: ProfileCollector = stats.profile
+    explicit = {
+        "checks": stats.check_cycles,
+        "alloc": stats.alloc_cycles,
+        "region": stats.region_cycles,
+        "thread": stats.thread_cycles,
+        "gc": stats.gc_pause_cycles,
+        "io": stats.io_cycles,
+    }
+    compute = stats.cycles - sum(explicit.values())
+    categories = {"compute": max(compute, 0)}
+    categories.update(explicit)
+
+    regions: List[RegionProfile] = []
+    for area in (areas or []):
+        allocs, nbytes = collector.region_alloc.get(area.name, (0, 0))
+        check_cycles = collector.region_check_cycles.get(area.name, 0)
+        if not (allocs or check_cycles or area.peak_bytes):
+            continue  # never used; keep the report readable
+        regions.append(RegionProfile(
+            area.name, area.policy, area.kind_name, allocs, nbytes,
+            area.peak_bytes, check_cycles))
+    regions.sort(key=lambda r: (-r.alloc_bytes, r.name))
+
+    lines = sorted(set(collector.alloc_sites) | set(collector.check_sites))
+    sites: List[SiteProfile] = []
+    for line in lines:
+        allocs, nbytes = collector.alloc_sites.get(line, (0, 0))
+        checks, check_cycles = collector.check_sites.get(line, (0, 0))
+        sites.append(SiteProfile(line, allocs, nbytes, checks,
+                                 check_cycles))
+    sites.sort(key=lambda s: (-(s.alloc_bytes + s.check_cycles), s.line))
+
+    return ProfileReport(stats.cycles, categories, regions, sites,
+                         dict(stats.cycles_by_thread))

@@ -39,23 +39,47 @@ class CheckEngine:
         self.stats = stats
         self.enabled = enabled
         self.validate = validate
+        # live instruments: the per-check cost distribution is the core
+        # of the Figure 12 story, so it is histogrammed as it happens
+        metrics = stats.metrics
+        self._h_assign = metrics.histogram(
+            "repro_check_assign_cycles",
+            "cycle cost of individual RTSJ assignment checks")
+        self._h_depth = metrics.histogram(
+            "repro_check_ancestry_depth",
+            "scope-ancestry steps walked per assignment check",
+            buckets=(1, 2, 3, 4, 6, 8, 12, 16, 24, 32))
+        self._h_read = metrics.histogram(
+            "repro_check_read_cycles",
+            "cycle cost of individual no-heap read/overwrite checks")
 
     # ------------------------------------------------------------------
 
-    def assignment_cost(self, target_area: MemoryArea, value: Any) -> int:
+    def assignment_cost(self, target_area: MemoryArea, value: Any,
+                        line: int = 0, thread: str = "main") -> int:
         """Cycles charged for one RTSJ assignment check (0 when checks
         are compiled out).  Raises on violation when checking is on in
-        either mode."""
+        either mode.  ``line`` attributes the cost to the source line
+        executing the store (``repro profile``)."""
         if not (self.enabled or self.validate):
             return 0
         cycles = 0
         if self.enabled:
             self.stats.assignment_checks += 1
             cycles = self.cost.check_assign_base
+            depth = 0
             if isinstance(value, ObjRef):
-                cycles += (self.cost.check_assign_per_level
-                           * value.area.ancestry_distance(target_area))
+                depth = value.area.ancestry_distance(target_area)
+                cycles += self.cost.check_assign_per_level * depth
+                self._h_depth.observe(depth)
             self.stats.check_cycles += cycles
+            self._h_assign.observe(cycles)
+            self.stats.profile.record_check(line, target_area.name,
+                                            cycles)
+            self.stats.tracer.emit_detail(
+                "check-assign", target_area.name,
+                cycle=self.stats.cycles, thread=thread,
+                attrs={"cycles": cycles, "depth": depth, "line": line})
         if isinstance(value, ObjRef):
             if not value.area.outlives(target_area):
                 raise IllegalAssignmentError(
@@ -65,7 +89,8 @@ class CheckEngine:
         return cycles
 
     def read_cost(self, realtime: bool, value: Any,
-                  old_value: Any = None) -> int:
+                  old_value: Any = None, line: int = 0,
+                  thread: str = "main") -> int:
         """Cycles charged for the no-heap read/overwrite check on a
         reference touched by a real-time thread."""
         if not realtime or not (self.enabled or self.validate):
@@ -75,6 +100,11 @@ class CheckEngine:
             self.stats.read_checks += 1
             cycles = self.cost.check_read_base
             self.stats.check_cycles += cycles
+            self._h_read.observe(cycles)
+            self.stats.profile.record_check(line, "<read-check>", cycles)
+            self.stats.tracer.emit_detail(
+                "check-read", thread, cycle=self.stats.cycles,
+                thread=thread, attrs={"cycles": cycles, "line": line})
         for v in (value, old_value):
             if isinstance(v, ObjRef) and v.area.is_heap:
                 raise MemoryAccessError(

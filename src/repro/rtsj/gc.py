@@ -29,6 +29,14 @@ class GarbageCollector:
         self.cost = cost_model
         self.stats = stats
         self.trigger_bytes = trigger_bytes
+        self._h_pause = stats.metrics.histogram(
+            "repro_gc_pause_cycles",
+            "stop-the-world pause length per collection",
+            buckets=(1000, 2000, 4000, 8000, 16000, 32000, 64000,
+                     128000, 256000))
+        self._g_heap = stats.metrics.gauge(
+            "repro_heap_live_bytes", "heap bytes live after the last "
+            "collection")
 
     def should_collect(self) -> bool:
         return self.regions.heap.bytes_used >= self.trigger_bytes
@@ -72,7 +80,13 @@ class GarbageCollector:
         pause = (self.cost.gc_base
                  + self.cost.gc_per_live_object * len(live)
                  + self.cost.gc_per_dead_object * dead)
-        self.stats.event("gc", f"collected {dead}, live {len(live)}")
+        self.stats.tracer.emit(
+            "gc", f"collected {dead}, live {len(live)}",
+            cycle=self.stats.cycles, thread="<gc>",
+            attrs={"collected": dead, "live": len(live), "pause": pause,
+                   "heap_bytes": heap.bytes_used})
+        self._h_pause.observe(pause)
+        self._g_heap.set(heap.bytes_used)
         self.stats.gc_runs += 1
         self.stats.gc_pause_cycles += pause
         self.stats.objects_freed += dead

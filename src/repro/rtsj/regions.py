@@ -207,6 +207,36 @@ class RegionManager:
                                    IMMORTAL_POLICY)
         self.areas: List[MemoryArea] = [self.heap, self.immortal]
 
+    def export_metrics(self, registry) -> None:
+        """Publish per-region gauges into a
+        :class:`repro.obs.MetricsRegistry` (called at end of run; every
+        area ever created is reported, dead or alive)."""
+        peak = registry.gauge(
+            "repro_region_peak_bytes",
+            "live-bytes watermark per memory area")
+        used = registry.gauge(
+            "repro_region_bytes_used",
+            "bytes resident per memory area at end of run")
+        budget = registry.gauge(
+            "repro_region_lt_budget_bytes",
+            "declared LT preallocation budget per memory area")
+        chunks = registry.gauge(
+            "repro_region_vt_chunks",
+            "VT chunks held per memory area at end of run")
+        flushes = registry.gauge(
+            "repro_region_generation",
+            "times each area was flushed (generation counter)")
+        for area in self.areas:
+            labels = {"region": area.name, "policy": area.policy,
+                      "kind": area.kind_name}
+            peak.labels(**labels).set_max(area.peak_bytes)
+            used.labels(**labels).set(area.bytes_used)
+            if area.policy == LT:
+                budget.labels(**labels).set(area.lt_budget)
+            if area.policy == VT:
+                chunks.labels(**labels).set(area.chunks)
+            flushes.labels(**labels).set(area.generation)
+
     def create(self, name: str, kind_name: str, policy: str,
                lt_budget: int, ancestors: Set[int],
                parent: Optional[MemoryArea] = None,

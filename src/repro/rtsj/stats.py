@@ -18,7 +18,9 @@ The constants are deliberately round numbers in the ratio ballpark of a
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Any, Dict, List, Tuple
+
+from ..obs import MetricsRegistry, ProfileCollector, Tracer
 
 
 @dataclass(frozen=True)
@@ -72,7 +74,15 @@ class CostModel:
 
 @dataclass
 class Stats:
-    """Counters accumulated during one simulated run."""
+    """Counters accumulated during one simulated run.
+
+    Structured observability (the :mod:`repro.obs` subsystem) hangs off
+    this object: ``tracer`` is the event bus, ``metrics`` the registry
+    of counters/gauges/histograms, ``profile`` the per-site/per-region
+    attribution.  The historic ``Stats.events`` tuple list is now a
+    read-only view derived from ``tracer.records`` (deprecated — new
+    code should read the tracer directly).
+    """
 
     cycles: int = 0                       # global simulated clock
     cycles_by_thread: Dict[str, int] = field(default_factory=dict)
@@ -96,19 +106,35 @@ class Stats:
     threads_spawned: int = 0
     peak_heap_bytes: int = 0
 
-    #: timeline of notable events: (cycle, kind, subject) — region and
-    #: thread lifecycle, GC runs; rendered by repro.tools.timeline
-    events: List[Tuple[int, str, str]] = field(default_factory=list)
+    # cycle attribution by category (``repro profile``); the remainder
+    # of ``cycles`` not claimed below is plain compute
+    alloc_cycles: int = 0
+    region_cycles: int = 0
+    thread_cycles: int = 0
+    io_cycles: int = 0
 
-    def event(self, kind: str, subject: str) -> None:
-        self.events.append((self.cycles, kind, subject))
+    tracer: Tracer = field(default_factory=Tracer, repr=False)
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry,
+                                     repr=False)
+    profile: ProfileCollector = field(default_factory=ProfileCollector,
+                                      repr=False)
+
+    @property
+    def events(self) -> List[Tuple[int, str, str]]:
+        """Deprecated ``(cycle, kind, subject)`` view of the trace."""
+        return self.tracer.legacy_events()
+
+    def event(self, kind: str, subject: str,
+              thread: str = "main") -> None:
+        """Deprecated shim over :meth:`repro.obs.Tracer.emit`."""
+        self.tracer.emit(kind, subject, cycle=self.cycles, thread=thread)
 
     def charge(self, cycles: int, thread_name: str = "main") -> None:
         self.cycles += cycles
         self.cycles_by_thread[thread_name] = (
             self.cycles_by_thread.get(thread_name, 0) + cycles)
 
-    def summary(self) -> Dict[str, int]:
+    def summary(self) -> Dict[str, Any]:
         return {
             "cycles": self.cycles,
             "assignment_checks": self.assignment_checks,
@@ -116,9 +142,13 @@ class Stats:
             "check_cycles": self.check_cycles,
             "allocations": self.allocations,
             "bytes_allocated": self.bytes_allocated,
+            "objects_freed": self.objects_freed,
             "regions_created": self.regions_created,
+            "region_enters": self.region_enters,
             "region_flushes": self.region_flushes,
             "gc_runs": self.gc_runs,
             "gc_pause_cycles": self.gc_pause_cycles,
             "threads_spawned": self.threads_spawned,
+            "peak_heap_bytes": self.peak_heap_bytes,
+            "cycles_by_thread": dict(self.cycles_by_thread),
         }

@@ -59,6 +59,12 @@ class Scheduler:
         self.threads: List[SimThread] = []
         self.gc_hook = gc_hook  # returns pause cycles, or 0 if no GC ran
         self.failure: Optional[BaseException] = None
+        # dispatch latency (cycles a runnable thread waited for the
+        # CPU) — the metric the paper's real-time claims are about
+        self._h_latency = stats.metrics.histogram(
+            "repro_dispatch_latency_cycles",
+            "cycles a thread waited between time slices",
+            buckets=(100, 500, 1000, 2000, 5000, 10000, 50000, 200000))
 
     def spawn(self, thread: SimThread) -> None:
         thread.last_scheduled = self.stats.cycles
@@ -70,17 +76,25 @@ class Scheduler:
     def _finish(self, thread: SimThread) -> None:
         from .regions import release_shared
         thread.done = True
-        self.stats.event("thread-finished", thread.name)
+        self.stats.tracer.emit(
+            "thread-finished", thread.name, cycle=self.stats.cycles,
+            thread=thread.name,
+            attrs={"cycles": thread.cycles,
+                   "max_dispatch_latency": thread.max_dispatch_latency})
         # a terminating thread exits all its shared regions (Section 2.2)
         for area in reversed(thread.shared_stack):
             if release_shared(area) or not area.live:
-                self.stats.event("region-destroyed", area.name)
+                self.stats.event("region-destroyed", area.name,
+                                 thread=thread.name)
         thread.shared_stack.clear()
 
     def _run_slice(self, thread: SimThread) -> None:
         latency = self.stats.cycles - thread.last_scheduled
         thread.max_dispatch_latency = max(thread.max_dispatch_latency,
                                           latency)
+        self._h_latency.labels(
+            realtime="true" if thread.realtime else "false"
+        ).observe(latency)
         budget = self.quantum
         while budget > 0:
             try:

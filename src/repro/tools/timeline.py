@@ -1,11 +1,16 @@
 """Execution timeline: render the machine's event log as text.
 
-The simulator records region/thread lifecycle and GC events with their
-cycle timestamps (``Stats.events``).  This module renders them as an
-aligned text timeline — the quickest way to *see* the paper's memory
-model working: subregions flushing every iteration, scratch regions dying
-with their phase, the collector firing while the real-time thread's
-events continue undisturbed.
+The simulator records structured :class:`repro.obs.TraceEvent` records
+(region/thread lifecycle, GC, and — when detailed tracing is on —
+region enter/exit spans, allocations, and individual checks).  This
+module renders them as an aligned text timeline — the quickest way to
+*see* the paper's memory model working: subregions flushing every
+iteration, scratch regions dying with their phase, the collector firing
+while the real-time thread's events continue undisturbed.
+
+Marks and the legend both derive from the single :data:`MARKS` table,
+so adding an event kind in the obs layer means adding exactly one row
+here.
 """
 
 from __future__ import annotations
@@ -14,49 +19,73 @@ from typing import List, Optional, Tuple
 
 from ..rtsj.stats import Stats
 
-_MARKS = {
-    "region-created": "+",
-    "region-destroyed": "-",
-    "region-flushed": "~",
-    "thread-spawned": ">",
-    "thread-finished": "<",
-    "gc": "#",
+#: kind -> (mark, legend description).  The single source of truth for
+#: both the gutter marks and the rendered legend.
+MARKS = {
+    "region-created": ("+", "region created"),
+    "region-destroyed": ("-", "region destroyed"),
+    "region-flushed": ("~", "region flushed"),
+    "region-enter": ("[", "region entered"),
+    "region-exit": ("]", "region exited"),
+    "alloc": (".", "allocation"),
+    "check-assign": ("!", "assignment check"),
+    "check-read": ("?", "read check"),
+    "thread-spawned": (">", "thread spawned"),
+    "thread-finished": ("<", "thread finished"),
+    "gc": ("#", "gc run"),
+    "checker-phase": ("@", "checker phase"),
 }
+
+#: mark used for kinds missing from :data:`MARKS`
+UNKNOWN_MARK = "*"
+
+
+def _legend(kinds_present) -> str:
+    """Legend lines derived from :data:`MARKS`, restricted to the kinds
+    that actually occur (falling back to the full table when empty)."""
+    rows = [(mark, desc) for kind, (mark, desc) in MARKS.items()
+            if not kinds_present or kind in kinds_present]
+    if any(kind not in MARKS for kind in kinds_present):
+        rows.append((UNKNOWN_MARK, "other"))
+    if not rows:
+        rows = [(mark, desc) for mark, desc in MARKS.values()]
+    cells = [f"{mark} {desc:<18}" for mark, desc in rows]
+    lines = []
+    for i in range(0, len(cells), 3):
+        prefix = "legend: " if i == 0 else "        "
+        lines.append(prefix + " ".join(cells[i:i + 3]).rstrip())
+    return "\n".join(lines)
 
 
 def render_timeline(stats: Stats, width: int = 60,
                     kinds: Optional[List[str]] = None) -> str:
     """Aligned text rendering of the event log.
 
-    One line per event: cycle timestamp, a mark per event kind
-    (``+``/``-`` region created/destroyed, ``~`` flushed, ``>``/``<``
-    thread spawned/finished, ``#`` GC), positioned proportionally to time
-    along a ``width``-column gutter, followed by the description.
+    One line per event: cycle timestamp, the kind's mark positioned
+    proportionally to time along a ``width``-column gutter, then the
+    kind and subject.  ``kinds`` filters to a subset of event kinds.
     """
-    events = stats.events
+    events = stats.tracer.records
     if kinds is not None:
         wanted = set(kinds)
-        events = [e for e in events if e[1] in wanted]
+        events = [e for e in events if e.kind in wanted]
     if not events:
         return "(no events)"
-    horizon = max(stats.cycles, events[-1][0], 1)
+    horizon = max(stats.cycles, events[-1].cycle, 1)
     lines = []
-    for cycle, kind, subject in events:
-        column = min(int(cycle / horizon * (width - 1)), width - 1)
-        mark = _MARKS.get(kind, "?")
+    present = set()
+    for event in events:
+        present.add(event.kind)
+        column = min(int(event.cycle / horizon * (width - 1)), width - 1)
+        mark = MARKS.get(event.kind, (UNKNOWN_MARK, ""))[0]
         gutter = " " * column + mark + " " * (width - column - 1)
-        lines.append(f"{cycle:>10} |{gutter}| {kind:<17} {subject}")
-    legend = ("legend: + region created   - region destroyed   "
-              "~ region flushed\n"
-              "        > thread spawned   < thread finished    # gc run")
-    return "\n".join(lines) + "\n" + legend
+        lines.append(f"{event.cycle:>10} |{gutter}| {event.kind:<17} "
+                     f"{event.subject}")
+    return "\n".join(lines) + "\n" + _legend(present)
 
 
 def event_counts(stats: Stats) -> dict:
-    out: dict = {}
-    for _cycle, kind, _subject in stats.events:
-        out[kind] = out.get(kind, 0) + 1
-    return out
+    return stats.tracer.kinds()
 
 
 def events_between(stats: Stats, start: int,

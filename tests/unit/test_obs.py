@@ -1,0 +1,235 @@
+"""Unit tests for the observability layer: tracer semantics, metric
+instrument math, and exporter formats."""
+
+import json
+
+import pytest
+
+from repro.obs import (BEGIN, END, INSTANT, MetricsRegistry,
+                       ProfileCollector, Tracer, to_prometheus,
+                       trace_lines)
+from repro.obs.profile import build_report
+
+
+class TestTracer:
+    def test_emit_records_in_order(self):
+        tracer = Tracer()
+        tracer.emit("a", "x", cycle=1)
+        tracer.emit("b", "y", cycle=5, thread="t1")
+        assert [(e.cycle, e.kind, e.subject) for e in tracer.records] \
+            == [(1, "a", "x"), (5, "b", "y")]
+        assert tracer.records[1].thread == "t1"
+
+    def test_detail_gated_by_flag(self):
+        tracer = Tracer()
+        tracer.emit_detail("alloc", "x", cycle=1)
+        assert tracer.records == []
+        tracer.detailed = True
+        tracer.emit_detail("alloc", "x", cycle=1)
+        assert len(tracer.records) == 1
+
+    def test_legacy_events_view(self):
+        tracer = Tracer()
+        tracer.emit("gc", "collected 3", cycle=10)
+        assert tracer.legacy_events() == [(10, "gc", "collected 3")]
+
+    def test_max_records_drops_and_counts(self):
+        tracer = Tracer(max_records=2)
+        for i in range(5):
+            tracer.emit("k", str(i), cycle=i)
+        assert len(tracer.records) == 2
+        assert tracer.dropped == 3
+
+    def test_spans_balanced(self):
+        tracer = Tracer(detailed=True)
+        tracer.begin("region-enter", "r", cycle=1)
+        tracer.begin("region-enter", "r.b", cycle=2)
+        tracer.end("region-exit", "r.b", cycle=3)
+        tracer.end("region-exit", "r", cycle=4)
+        assert tracer.spans_balanced()
+
+    def test_spans_unbalanced_on_crossed_ends(self):
+        tracer = Tracer(detailed=True)
+        tracer.begin("region-enter", "a", cycle=1)
+        tracer.begin("region-enter", "b", cycle=2)
+        tracer.end("region-exit", "a", cycle=3)
+        assert not tracer.spans_balanced()
+
+    def test_spans_per_thread(self):
+        tracer = Tracer(detailed=True)
+        tracer.begin("region-enter", "a", cycle=1, thread="t1")
+        tracer.begin("region-enter", "b", cycle=2, thread="t2")
+        tracer.end("region-exit", "a", cycle=3, thread="t1")
+        tracer.end("region-exit", "b", cycle=4, thread="t2")
+        assert tracer.spans_balanced()
+
+    def test_trace_lines_are_json(self):
+        tracer = Tracer()
+        tracer.emit("gc", "run", cycle=7, attrs={"pause": 2000})
+        lines = list(trace_lines(tracer))
+        assert len(lines) == 1
+        record = json.loads(lines[0])
+        assert record == {"cycle": 7, "kind": "gc", "ph": INSTANT,
+                          "subject": "run", "thread": "main",
+                          "attrs": {"pause": 2000}}
+
+    def test_truncation_marker_line(self):
+        tracer = Tracer(max_records=1)
+        tracer.emit("a", "x")
+        tracer.emit("b", "y")
+        lines = [json.loads(l) for l in trace_lines(tracer)]
+        assert lines[-1]["kind"] == "trace-truncated"
+        assert lines[-1]["attrs"]["dropped"] == 1
+
+
+class TestCountersAndGauges:
+    def test_counter_inc_and_labels(self):
+        reg = MetricsRegistry()
+        c = reg.counter("repro_things_total", "things")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        c.labels(kind="a").inc(2)
+        c.labels(kind="a").inc(1)
+        assert c.labels(kind="a").value == 3
+        assert c.value == 5  # default series unaffected
+
+    def test_counter_rejects_negative(self):
+        c = MetricsRegistry().counter("c", "")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_gauge_set_and_watermark(self):
+        g = MetricsRegistry().gauge("g", "")
+        g.set(10)
+        g.set_max(5)
+        assert g.value == 10
+        g.set_max(25)
+        assert g.value == 25
+
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x", "") is reg.counter("x", "")
+
+    def test_type_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x", "")
+        with pytest.raises(ValueError):
+            reg.gauge("x", "")
+
+
+class TestHistogram:
+    def test_bucket_math(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h", "", buckets=(10, 20, 40))
+        for v in (5, 10, 11, 39, 100):
+            h.observe(v)
+        child = h.labels()
+        # non-cumulative: (<=10)=2, (<=20)=1, (<=40)=1, +Inf=1
+        assert child.counts == [2, 1, 1, 1]
+        assert child.cumulative() == [2, 3, 4, 5]
+        assert child.sum == 165
+        assert child.count == 5
+        assert child.mean() == pytest.approx(33.0)
+
+    def test_quantile_upper_bound(self):
+        h = MetricsRegistry().histogram("h", "", buckets=(10, 20, 40))
+        for v in (1, 2, 3, 15, 35):
+            h.observe(v)
+        assert h.labels().quantile(0.5) == 10.0
+        assert h.labels().quantile(1.0) == 40.0
+        assert h.labels().quantile(0.0) == 10.0
+
+    def test_rejects_unsorted_buckets(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().histogram("h", "", buckets=(5, 1))
+
+    def test_labeled_series_independent(self):
+        h = MetricsRegistry().histogram("h", "", buckets=(10,))
+        h.labels(thread="a").observe(3)
+        h.labels(thread="b").observe(30)
+        assert h.labels(thread="a").count == 1
+        assert h.labels(thread="a").counts == [1, 0]
+        assert h.labels(thread="b").counts == [0, 1]
+
+
+class TestPrometheusExport:
+    def test_counter_and_gauge_lines(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_allocs_total", "allocations").inc(3)
+        reg.gauge("repro_bytes", "bytes").labels(
+            region="r.b", policy="LT").set(24)
+        text = to_prometheus(reg)
+        assert "# HELP repro_allocs_total allocations" in text
+        assert "# TYPE repro_allocs_total counter" in text
+        assert "repro_allocs_total 3" in text.splitlines()
+        assert ('repro_bytes{policy="LT",region="r.b"} 24'
+                in text.splitlines())
+
+    def test_histogram_exposition(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("repro_cost", "cost", buckets=(10, 20))
+        for v in (5, 15, 99):
+            h.observe(v)
+        lines = to_prometheus(reg).splitlines()
+        assert "# TYPE repro_cost histogram" in lines
+        assert 'repro_cost_bucket{le="10"} 1' in lines
+        assert 'repro_cost_bucket{le="20"} 2' in lines
+        assert 'repro_cost_bucket{le="+Inf"} 3' in lines
+        assert "repro_cost_sum 119" in lines
+        assert "repro_cost_count 3" in lines
+
+    def test_registered_but_unobserved_exports_zero_series(self):
+        reg = MetricsRegistry()
+        reg.histogram("repro_idle", "never touched", buckets=(1,))
+        lines = to_prometheus(reg).splitlines()
+        assert 'repro_idle_bucket{le="+Inf"} 0' in lines
+        assert "repro_idle_count 0" in lines
+
+    def test_label_value_escaping(self):
+        reg = MetricsRegistry()
+        reg.gauge("g", "").labels(name='we"ird\\x').set(1)
+        text = to_prometheus(reg)
+        assert 'name="we\\"ird\\\\x"' in text
+
+    def test_to_dict_roundtrips_through_json(self):
+        reg = MetricsRegistry()
+        reg.counter("c", "help").inc(2)
+        reg.histogram("h", "", buckets=(10,)).observe(4)
+        snapshot = json.loads(json.dumps(reg.to_dict()))
+        assert snapshot["c"]["series"][0]["value"] == 2
+        assert snapshot["h"]["series"][0]["buckets"]["10"] == 1
+        assert snapshot["h"]["series"][0]["buckets"]["+Inf"] == 1
+
+
+class TestProfileCollector:
+    def test_alloc_and_check_accumulation(self):
+        p = ProfileCollector()
+        p.record_alloc(10, "r", 16)
+        p.record_alloc(10, "r", 24)
+        p.record_alloc(12, "heap", 16)
+        p.record_check(11, "r", 32)
+        p.record_check(11, "r", 36)
+        assert p.alloc_sites[10] == [2, 40]
+        assert p.alloc_sites[12] == [1, 16]
+        assert p.region_alloc["r"] == [2, 40]
+        assert p.check_sites[11] == [2, 68]
+        assert p.region_check_cycles["r"] == 68
+
+    def test_build_report_category_attribution(self):
+        class FakeStats:
+            cycles = 1000
+            check_cycles = 100
+            alloc_cycles = 200
+            region_cycles = 150
+            thread_cycles = 50
+            gc_pause_cycles = 300
+            io_cycles = 0
+            cycles_by_thread = {"main": 1000}
+            profile = ProfileCollector()
+
+        report = build_report(FakeStats())
+        assert report.total_cycles == 1000
+        assert report.categories["compute"] == 200
+        assert report.attributed_fraction == 1.0
+        assert "compute" in report.format()
