@@ -20,9 +20,13 @@ structures live in regions, not in the garbage-collected heap.
 from .suite import BENCHMARKS, Benchmark, get_benchmark
 from .overhead import AnnotationReport, count_annotations, figure11
 from .timing import CheckOverheadRow, figure12, measure_check_overhead
+from .wallclock import (compare, format_table, load_payload, measure,
+                        measure_benchmark, save_payload)
 
 __all__ = [
     "BENCHMARKS", "Benchmark", "get_benchmark",
     "AnnotationReport", "count_annotations", "figure11",
     "CheckOverheadRow", "figure12", "measure_check_overhead",
+    "measure", "measure_benchmark", "compare", "format_table",
+    "load_payload", "save_payload",
 ]

@@ -1,0 +1,199 @@
+"""Host wall-clock benchmark of the interpreter itself.
+
+The paper's Figure 12 numbers are *simulated* cycles — deterministic and
+host-independent (:mod:`repro.bench.timing`).  This module measures the
+orthogonal quantity: how fast the *host* interpreter executes those
+simulated cycles.  It exists so interpreter performance work (compiled
+dispatch, null instrumentation, inline caches — see
+``docs/PERFORMANCE.md``) is measured, committed, and guarded against
+regression in CI.
+
+``measure()`` runs each registry benchmark in both check modes with
+``RunOptions(instrument=False, validate=False)`` — null observability
+sinks, no soundness re-validation — so the wall time reflects the
+interpreter hot loop alone.  Results go into a JSON payload
+(``BENCH_interp.json`` at the repo root); ``compare()`` diffs two
+payloads and reports wall-clock regressions beyond a threshold, which is
+how the ``bench-smoke`` CI job fails a PR that slows the interpreter
+down.
+
+Determinism note: wall seconds vary with the host; simulated cycles must
+not.  ``compare()`` therefore treats a *cycle* difference as a hard
+error (the program or cost model changed), while *wall* differences are
+judged against the regression threshold.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import platform
+import time
+from typing import Any, Dict, Iterable, List, Optional
+
+from ..core.api import analyze
+from ..interp.machine import RunOptions, run_source
+from .suite import BENCHMARKS
+
+#: payload schema identifier (bump when the JSON layout changes)
+SCHEMA = "repro-bench-interp/1"
+
+#: mode name -> checks_enabled
+MODES = {"dynamic": True, "static": False}
+
+
+def _run_once(analyzed, enabled: bool):
+    options = RunOptions(checks_enabled=enabled, validate=False,
+                         instrument=False)
+    start = time.perf_counter()
+    result = run_source(analyzed, options)
+    elapsed = time.perf_counter() - start
+    return elapsed, result
+
+
+def measure_benchmark(name: str, fast: bool = True,
+                      repeats: int = 3) -> Dict[str, Any]:
+    """Measure one benchmark in both modes; wall time is the best of
+    ``repeats`` runs (min is the standard estimator for noisy timers —
+    noise is strictly additive)."""
+    bench = BENCHMARKS[name]
+    analyzed = analyze(bench.source(fast=fast))
+    if analyzed.errors:
+        raise analyzed.errors[0]
+    row: Dict[str, Any] = {}
+    for mode, enabled in MODES.items():
+        best = None
+        result = None
+        for _ in range(max(repeats, 1)):
+            elapsed, result = _run_once(analyzed, enabled)
+            best = elapsed if best is None else min(best, elapsed)
+        digest = hashlib.sha256(
+            "\n".join(result.output).encode()).hexdigest()
+        row[mode] = {
+            "wall_s": round(best, 6),
+            "cycles": result.stats.cycles,
+            "mcycles_per_s": round(result.stats.cycles / best / 1e6, 3)
+            if best else 0.0,
+            "output_sha256": digest,
+            "steps": result.stats.steps,
+        }
+    dyn, sta = row["dynamic"], row["static"]
+    row["cycle_overhead"] = (round(dyn["cycles"] / sta["cycles"], 4)
+                             if sta["cycles"] else 0.0)
+    row["wall_overhead"] = (round(dyn["wall_s"] / sta["wall_s"], 4)
+                            if sta["wall_s"] else 0.0)
+    return row
+
+
+def measure(names: Optional[Iterable[str]] = None, fast: bool = True,
+            repeats: int = 3) -> Dict[str, Any]:
+    """Run the (selected) benchmark registry and return the full
+    payload."""
+    selected = list(names) if names is not None else list(BENCHMARKS)
+    results = {name: measure_benchmark(name, fast=fast, repeats=repeats)
+               for name in selected}
+    total_wall = sum(row[mode]["wall_s"]
+                     for row in results.values() for mode in MODES)
+    total_cycles = sum(row[mode]["cycles"]
+                       for row in results.values() for mode in MODES)
+    return {
+        "schema": SCHEMA,
+        "fast": fast,
+        "repeats": repeats,
+        "python": platform.python_version(),
+        "benchmarks": results,
+        "totals": {
+            "wall_s": round(total_wall, 6),
+            "cycles": total_cycles,
+            "mcycles_per_s": round(total_cycles / total_wall / 1e6, 3)
+            if total_wall else 0.0,
+        },
+    }
+
+
+def compare(current: Dict[str, Any], baseline: Dict[str, Any],
+            threshold: float = 0.30) -> List[str]:
+    """Regression check: returns human-readable failure messages.
+
+    * wall-clock more than ``threshold`` (fractional) slower than the
+      baseline on any benchmark/mode → regression;
+    * different simulated cycle count → determinism break (always an
+      error, no threshold);
+    * missing benchmark in the current payload → error.
+
+    Benchmarks present only in the baseline's ``benchmarks`` section are
+    compared; extra current-side benchmarks are ignored, so a baseline
+    can be a subset.
+    """
+    failures: List[str] = []
+    base_rows = baseline.get("benchmarks", {})
+    cur_rows = current.get("benchmarks", {})
+    for name, base_row in base_rows.items():
+        cur_row = cur_rows.get(name)
+        if cur_row is None:
+            failures.append(f"{name}: missing from current results")
+            continue
+        for mode in MODES:
+            base_mode = base_row.get(mode)
+            cur_mode = cur_row.get(mode)
+            if not base_mode or not cur_mode:
+                continue
+            if base_mode.get("cycles") != cur_mode.get("cycles"):
+                failures.append(
+                    f"{name}/{mode}: simulated cycles changed "
+                    f"{base_mode.get('cycles')} -> "
+                    f"{cur_mode.get('cycles')} (determinism break)")
+            base_wall = base_mode.get("wall_s") or 0.0
+            cur_wall = cur_mode.get("wall_s") or 0.0
+            if base_wall and cur_wall > base_wall * (1.0 + threshold):
+                slow = (cur_wall / base_wall - 1.0) * 100.0
+                failures.append(
+                    f"{name}/{mode}: wall-clock regression "
+                    f"{base_wall:.6f}s -> {cur_wall:.6f}s "
+                    f"(+{slow:.0f}%, threshold "
+                    f"+{threshold * 100:.0f}%)")
+    return failures
+
+
+def format_table(payload: Dict[str, Any],
+                 baseline: Optional[Dict[str, Any]] = None) -> str:
+    """Aligned text rendering of a payload (optionally with speedup
+    columns against a baseline payload)."""
+    lines = []
+    header = (f"{'benchmark':<10} {'mode':<8} {'wall s':>10} "
+              f"{'Mcyc/s':>8} {'cycles':>10}")
+    if baseline is not None:
+        header += f" {'vs base':>8}"
+    lines.append(header)
+    base_rows = (baseline or {}).get("benchmarks", {})
+    for name, row in payload.get("benchmarks", {}).items():
+        for mode in MODES:
+            data = row[mode]
+            line = (f"{name:<10} {mode:<8} {data['wall_s']:>10.6f} "
+                    f"{data['mcycles_per_s']:>8.1f} "
+                    f"{data['cycles']:>10}")
+            base = base_rows.get(name, {}).get(mode)
+            if baseline is not None:
+                if base and base.get("wall_s") and data["wall_s"]:
+                    line += f" {base['wall_s'] / data['wall_s']:>7.2f}x"
+                else:
+                    line += f" {'-':>8}"
+            lines.append(line)
+    totals = payload.get("totals", {})
+    if totals:
+        lines.append(f"{'total':<10} {'':<8} "
+                     f"{totals['wall_s']:>10.6f} "
+                     f"{totals['mcycles_per_s']:>8.1f} "
+                     f"{totals['cycles']:>10}")
+    return "\n".join(lines)
+
+
+def load_payload(path: str) -> Dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def save_payload(payload: Dict[str, Any], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")

@@ -9,6 +9,7 @@ Commands
 ``translate``  emit the Section 2.6 pseudo-RTSJ-Java erasure
 ``infer``      print the program after Section 2.5 defaults + inference
 ``graph``      run and emit the Figure 6 ownership graph as Graphviz dot
+``bench``      wall-clock benchmark of the interpreter (regression gate)
 
 Inputs are core-language source files; a ``.py`` driver script (like the
 ones under ``examples/``) is also accepted — the embedded ``PROGRAM``
@@ -195,6 +196,53 @@ def cmd_advise(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    from .bench import wallclock
+    names = args.only or None
+    if names:
+        from .bench.suite import BENCHMARKS
+        unknown = [n for n in names if n not in BENCHMARKS]
+        if unknown:
+            print(f"error: unknown benchmark(s) {unknown}; known: "
+                  f"{sorted(BENCHMARKS)}", file=sys.stderr)
+            return 1
+    payload = wallclock.measure(names, fast=not args.full,
+                                repeats=args.repeats)
+    baseline = None
+    if args.compare:
+        baseline = wallclock.load_payload(args.compare)
+        # the committed payload may carry its own historical baseline
+        # section; regressions are judged against the payload itself
+    if args.merge_baseline:
+        # embed a prior payload as the "baseline" section so the
+        # committed artifact itself records the before/after story
+        payload["baseline"] = wallclock.load_payload(args.merge_baseline)
+        payload["baseline"].pop("baseline", None)
+    elif baseline is not None:
+        inherited = baseline.get("baseline")
+        if inherited:
+            payload["baseline"] = inherited
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(wallclock.format_table(
+            payload, payload.get("baseline") or baseline))
+    if args.out:
+        wallclock.save_payload(payload, args.out)
+        print(f"wrote {args.out}", file=sys.stderr)
+    if baseline is not None:
+        failures = wallclock.compare(payload, baseline,
+                                     threshold=args.threshold)
+        if failures:
+            for failure in failures:
+                print(f"regression: {failure}", file=sys.stderr)
+            return 3
+        print(f"no regression vs {args.compare} "
+              f"(threshold +{args.threshold * 100:.0f}%)",
+              file=sys.stderr)
+    return 0
+
+
 def cmd_graph(args) -> int:
     analyzed = _analyze_or_report(_read(args.file), args.file)
     if analyzed.errors:
@@ -285,6 +333,35 @@ def build_parser() -> argparse.ArgumentParser:
         "advise", help="profile a run and suggest LT region budgets")
     p_adv.add_argument("file")
     p_adv.set_defaults(func=cmd_advise)
+
+    p_bench = sub.add_parser(
+        "bench", help="wall-clock benchmark of the interpreter itself")
+    p_bench.add_argument("--full", action="store_true",
+                         help="use the full benchmark parameters "
+                              "(default: fast parameters)")
+    p_bench.add_argument("--repeats", type=int, default=3,
+                         help="timing repeats per benchmark/mode; the "
+                              "best run is reported (default 3)")
+    p_bench.add_argument("--only", nargs="+", metavar="NAME",
+                         help="run a subset of the registry")
+    p_bench.add_argument("--out", metavar="FILE",
+                         help="write the JSON payload (e.g. "
+                              "BENCH_interp.json)")
+    p_bench.add_argument("--compare", metavar="FILE",
+                         help="compare against a prior payload; exit 3 "
+                              "on wall-clock regression or simulated-"
+                              "cycle drift")
+    p_bench.add_argument("--threshold", type=float, default=0.30,
+                         help="fractional wall-clock regression allowed "
+                              "by --compare (default 0.30)")
+    p_bench.add_argument("--merge-baseline", metavar="FILE",
+                         help="embed FILE as the payload's 'baseline' "
+                              "section (records before/after in the "
+                              "committed artifact)")
+    p_bench.add_argument("--json", action="store_true",
+                         help="print the payload as JSON instead of a "
+                              "table")
+    p_bench.set_defaults(func=cmd_bench)
 
     p_graph = sub.add_parser("graph",
                              help="emit the ownership graph (dot)")

@@ -22,7 +22,7 @@ from typing import Any, Dict, List, Optional, Tuple, Union
 from ..core.api import AnalyzedProgram, analyze
 from ..core.relations import RelationGraph
 from ..errors import OwnershipTypeError
-from ..obs import MetricsRegistry, Tracer
+from ..obs import MetricsRegistry, ProfileCollector, Tracer
 from ..rtsj.checks import CheckEngine
 from ..rtsj.gc import GarbageCollector
 from ..rtsj.objects import ArrayStorage, ObjRef
@@ -54,6 +54,13 @@ class RunOptions:
     #: record high-volume trace events (region enter/exit spans,
     #: allocations, individual checks); implied by ``--trace-out``
     trace_detail: bool = False
+    #: False wires *null* observability sinks (tracer, metrics, profile)
+    #: into the run: no events recorded, no histogram samples, no
+    #: per-site attribution — the interpreter's instrumentation code
+    #: paths are compiled out.  Used by ``repro bench`` so wall-clock
+    #: measurements exclude observability overhead.  Explicitly passed
+    #: ``tracer``/``metrics`` objects take precedence.
+    instrument: bool = True
 
 
 @dataclass
@@ -75,12 +82,20 @@ class Machine:
         self.analyzed = analyzed
         self.options = options or RunOptions()
         self.cost_model = self.options.cost_model
-        tracer = self.options.tracer or Tracer()
+        if self.options.instrument:
+            tracer = self.options.tracer or Tracer()
+            metrics = self.options.metrics or MetricsRegistry()
+            profile = ProfileCollector()
+        else:
+            from ..obs import (NullMetricsRegistry, NullProfile,
+                               NullTracer)
+            tracer = self.options.tracer or NullTracer()
+            metrics = self.options.metrics or NullMetricsRegistry()
+            profile = NullProfile()
         if self.options.trace_detail:
             tracer.detailed = True
-        self.stats = Stats(
-            tracer=tracer,
-            metrics=self.options.metrics or MetricsRegistry())
+        self.stats = Stats(tracer=tracer, metrics=metrics,
+                           profile=profile)
         self.regions = RegionManager()
         self.checks = CheckEngine(self.cost_model, self.stats,
                                   enabled=self.options.checks_enabled,
@@ -156,6 +171,8 @@ class Machine:
         """Mirror the flat counters and per-region/per-thread state into
         the metrics registry (histograms are maintained live)."""
         stats, registry = self.stats, self.stats.metrics
+        if registry.null:
+            return  # uninstrumented run: nothing to publish into
         self.regions.export_metrics(registry)
         for name, value in stats.summary().items():
             if name == "cycles_by_thread":

@@ -14,18 +14,19 @@ imports *us*, never the reverse):
 See ``docs/OBSERVABILITY.md`` for the event schema and metric names.
 """
 
-from .events import BEGIN, END, INSTANT, TraceEvent, Tracer
+from .events import BEGIN, END, INSTANT, NullTracer, TraceEvent, Tracer
 from .exporters import (to_prometheus, trace_lines, write_metrics,
                         write_trace)
 from .metrics import (Counter, DEFAULT_CYCLE_BUCKETS, Gauge, Histogram,
-                      MetricsRegistry)
-from .profile import (CATEGORIES, ProfileCollector, ProfileReport,
-                      build_report)
+                      MetricsRegistry, NullMetricsRegistry)
+from .profile import (CATEGORIES, NullProfile, ProfileCollector,
+                      ProfileReport, build_report)
 
 __all__ = [
-    "Tracer", "TraceEvent", "INSTANT", "BEGIN", "END",
-    "MetricsRegistry", "Counter", "Gauge", "Histogram",
-    "DEFAULT_CYCLE_BUCKETS",
+    "Tracer", "TraceEvent", "NullTracer", "INSTANT", "BEGIN", "END",
+    "MetricsRegistry", "NullMetricsRegistry", "Counter", "Gauge",
+    "Histogram", "DEFAULT_CYCLE_BUCKETS",
     "trace_lines", "write_trace", "to_prometheus", "write_metrics",
-    "ProfileCollector", "ProfileReport", "build_report", "CATEGORIES",
+    "ProfileCollector", "NullProfile", "ProfileReport", "build_report",
+    "CATEGORIES",
 ]

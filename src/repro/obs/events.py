@@ -64,6 +64,10 @@ class Tracer:
     further records are counted in ``dropped`` instead of stored.
     """
 
+    #: False for recording tracers; :class:`NullTracer` flips it so hot
+    #: paths can skip building event payloads entirely
+    null = False
+
     def __init__(self, detailed: bool = False,
                  max_records: int = 1_000_000) -> None:
         self.records: List[TraceEvent] = []
@@ -133,3 +137,39 @@ class Tracer:
                 if subject != e.subject:
                     return False
         return all(not stack for stack in stacks.values())
+
+
+class NullTracer(Tracer):
+    """A tracer that records nothing, as cheaply as possible.
+
+    Used by the wall-clock benchmark harness (``repro bench``) and any
+    ``RunOptions(instrument=False)`` run: when nobody will export the
+    trace, the simulator should not spend a single dictionary
+    allocation building event payloads.  Hot paths test ``tracer.null``
+    once (usually at closure-compile time) and skip emission wholesale;
+    the no-op methods below are the safety net for cold paths.
+    """
+
+    null = True
+
+    def emit(self, kind: str, subject: str, cycle: int = 0,
+             thread: str = "main", phase: str = INSTANT,
+             attrs: Optional[Dict[str, Any]] = None) -> None:
+        pass
+
+    def emit_detail(self, kind: str, subject: str, cycle: int = 0,
+                    thread: str = "main", phase: str = INSTANT,
+                    attrs: Optional[Dict[str, Any]] = None) -> None:
+        pass
+
+    def begin(self, kind: str, subject: str, cycle: int = 0,
+              thread: str = "main",
+              attrs: Optional[Dict[str, Any]] = None) -> None:
+        pass
+
+    def end(self, kind: str, subject: str, cycle: int = 0,
+            thread: str = "main",
+            attrs: Optional[Dict[str, Any]] = None) -> None:
+        pass
+
+

@@ -207,6 +207,10 @@ class Histogram(Instrument):
 class MetricsRegistry:
     """All instruments of one simulated run, keyed by metric name."""
 
+    #: False for recording registries; :class:`NullMetricsRegistry`
+    #: flips it so hot paths can pre-bind away ``observe`` calls
+    null = False
+
     def __init__(self) -> None:
         self._instruments: Dict[str, Instrument] = {}
 
@@ -261,3 +265,87 @@ class MetricsRegistry:
             out[inst.name] = {"type": inst.metric_type,
                               "help": inst.help_text, "series": series}
         return out
+
+
+class NullInstrument:
+    """Accepts the full Counter/Gauge/Histogram surface and does
+    nothing.  One shared instance backs every metric of a
+    :class:`NullMetricsRegistry`."""
+
+    __slots__ = ()
+
+    metric_type = "null"
+    name = "<null>"
+    help_text = ""
+
+    def labels(self, **labels: Any) -> "NullInstrument":
+        return self
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+    def set(self, value) -> None:
+        pass
+
+    def set_max(self, value) -> None:
+        pass
+
+    def observe(self, value) -> None:
+        pass
+
+    def children(self):
+        return ()
+
+    @property
+    def value(self) -> int:
+        return 0
+
+    @property
+    def count(self) -> int:
+        return 0
+
+    @property
+    def sum(self) -> int:
+        return 0
+
+    def mean(self) -> float:
+        return 0.0
+
+    def quantile(self, q: float) -> float:
+        return 0.0
+
+
+_NULL_INSTRUMENT = NullInstrument()
+
+
+class NullMetricsRegistry(MetricsRegistry):
+    """A registry whose instruments all discard their observations.
+
+    Used by ``RunOptions(instrument=False)`` runs (the wall-clock
+    benchmark path): subsystems still grab counter/gauge/histogram
+    handles without caring, but nothing is recorded and nothing is
+    exported.  ``null`` is True so hot loops can skip ``observe`` calls
+    entirely instead of bouncing off the no-op methods.
+    """
+
+    null = True
+
+    def counter(self, name: str, help_text: str = "") -> NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str, help_text: str = "") -> NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str, help_text: str = "",
+                  buckets: Sequence[float] = DEFAULT_CYCLE_BUCKETS
+                  ) -> NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def get(self, name: str) -> None:
+        return None
+
+    def instruments(self) -> List[Instrument]:
+        return []
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {}

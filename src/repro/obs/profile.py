@@ -37,6 +37,10 @@ class ProfileCollector:
     __slots__ = ("alloc_sites", "check_sites", "region_alloc",
                  "region_check_cycles")
 
+    #: False for recording collectors; :class:`NullProfile` flips it so
+    #: the interpreter's compiled closures can skip attribution wholesale
+    null = False
+
     def __init__(self) -> None:
         #: line -> [allocations, bytes]
         self.alloc_sites: Dict[int, List[int]] = {}
@@ -70,6 +74,24 @@ class ProfileCollector:
             site[1] += cycles
         self.region_check_cycles[region] = (
             self.region_check_cycles.get(region, 0) + cycles)
+
+
+class NullProfile(ProfileCollector):
+    """A collector that attributes nothing (``instrument=False`` runs).
+
+    The dicts stay allocated (and empty) so ``build_report`` on a
+    null-profiled run still works — it just reports no sites/regions.
+    """
+
+    __slots__ = ()
+
+    null = True
+
+    def record_alloc(self, line: int, region: str, nbytes: int) -> None:
+        pass
+
+    def record_check(self, line: int, region: str, cycles: int) -> None:
+        pass
 
 
 @dataclass

@@ -20,6 +20,14 @@ Two families, exactly as in the paper's introduction:
 * additionally, ``validate=True`` performs the checks without charging
   cycles — the test suite uses this to assert Theorems 3/4 empirically:
   a well-typed program never fails a check.
+
+Performance notes (see ``docs/PERFORMANCE.md``): the per-check cost
+constants are hoisted into instance attributes at construction, and all
+instrumentation (histograms, per-site profile attribution, detail trace
+events) sits behind ``self._observe`` — a flag computed once from
+whether the run's tracer/metrics/profile sinks actually record
+anything.  A benchmark run with ``instrument=False`` therefore pays
+only the counter increments that the run summary itself needs.
 """
 
 from __future__ import annotations
@@ -39,9 +47,20 @@ class CheckEngine:
         self.stats = stats
         self.enabled = enabled
         self.validate = validate
+        #: either mode needs the check performed at all
+        self.active = enabled or validate
+        # hoisted per-check constants (attribute chains are expensive in
+        # the hot loop)
+        self._assign_base = cost_model.check_assign_base
+        self._assign_per_level = cost_model.check_assign_per_level
+        self._read_base = cost_model.check_read_base
         # live instruments: the per-check cost distribution is the core
-        # of the Figure 12 story, so it is histogrammed as it happens
+        # of the Figure 12 story, so it is histogrammed as it happens —
+        # unless every sink is a null implementation, in which case the
+        # whole instrumentation block is skipped (`repro bench` path)
         metrics = stats.metrics
+        self._observe = not (metrics.null and stats.tracer.null
+                             and stats.profile.null)
         self._h_assign = metrics.histogram(
             "repro_check_assign_cycles",
             "cycle cost of individual RTSJ assignment checks")
@@ -61,25 +80,32 @@ class CheckEngine:
         are compiled out).  Raises on violation when checking is on in
         either mode.  ``line`` attributes the cost to the source line
         executing the store (``repro profile``)."""
-        if not (self.enabled or self.validate):
+        if not self.active:
             return 0
         cycles = 0
         if self.enabled:
-            self.stats.assignment_checks += 1
-            cycles = self.cost.check_assign_base
+            stats = self.stats
+            stats.assignment_checks += 1
+            cycles = self._assign_base
             depth = 0
-            if isinstance(value, ObjRef):
+            is_ref = isinstance(value, ObjRef)
+            if is_ref:
                 depth = value.area.ancestry_distance(target_area)
-                cycles += self.cost.check_assign_per_level * depth
-                self._h_depth.observe(depth)
-            self.stats.check_cycles += cycles
-            self._h_assign.observe(cycles)
-            self.stats.profile.record_check(line, target_area.name,
-                                            cycles)
-            self.stats.tracer.emit_detail(
-                "check-assign", target_area.name,
-                cycle=self.stats.cycles, thread=thread,
-                attrs={"cycles": cycles, "depth": depth, "line": line})
+                cycles += self._assign_per_level * depth
+            stats.check_cycles += cycles
+            if self._observe:
+                if is_ref:
+                    self._h_depth.observe(depth)
+                self._h_assign.observe(cycles)
+                stats.profile.record_check(line, target_area.name,
+                                           cycles)
+                tracer = stats.tracer
+                if tracer.detailed:
+                    tracer.emit_detail(
+                        "check-assign", target_area.name,
+                        cycle=stats.cycles, thread=thread,
+                        attrs={"cycles": cycles, "depth": depth,
+                               "line": line})
         if isinstance(value, ObjRef):
             if not value.area.outlives(target_area):
                 raise IllegalAssignmentError(
@@ -93,18 +119,23 @@ class CheckEngine:
                   thread: str = "main") -> int:
         """Cycles charged for the no-heap read/overwrite check on a
         reference touched by a real-time thread."""
-        if not realtime or not (self.enabled or self.validate):
+        if not realtime or not self.active:
             return 0
         cycles = 0
         if self.enabled:
-            self.stats.read_checks += 1
-            cycles = self.cost.check_read_base
-            self.stats.check_cycles += cycles
-            self._h_read.observe(cycles)
-            self.stats.profile.record_check(line, "<read-check>", cycles)
-            self.stats.tracer.emit_detail(
-                "check-read", thread, cycle=self.stats.cycles,
-                thread=thread, attrs={"cycles": cycles, "line": line})
+            stats = self.stats
+            stats.read_checks += 1
+            cycles = self._read_base
+            stats.check_cycles += cycles
+            if self._observe:
+                self._h_read.observe(cycles)
+                stats.profile.record_check(line, "<read-check>", cycles)
+                tracer = stats.tracer
+                if tracer.detailed:
+                    tracer.emit_detail(
+                        "check-read", thread, cycle=stats.cycles,
+                        thread=thread,
+                        attrs={"cycles": cycles, "line": line})
         for v in (value, old_value):
             if isinstance(v, ObjRef) and v.area.is_heap:
                 raise MemoryAccessError(

@@ -41,6 +41,12 @@ LT, VT, HEAP_POLICY, IMMORTAL_POLICY = "LT", "VT", "HEAP", "IMMORTAL"
 class MemoryArea:
     """One simulated memory area (region)."""
 
+    __slots__ = ("area_id", "name", "kind_name", "policy", "lt_budget",
+                 "bytes_used", "peak_bytes", "chunks", "live",
+                 "generation", "parent", "ancestor_ids", "depth",
+                 "thread_count", "portals", "subregions",
+                 "realtime_only", "objects", "subregion_meta")
+
     def __init__(self, name: str, kind_name: str, policy: str,
                  lt_budget: int = 0,
                  ancestors: Optional[Set[int]] = None,
@@ -69,6 +75,8 @@ class MemoryArea:
         self.realtime_only = realtime_only  # RT subregion (Section 2.3)
         #: objects allocated here (sweep lists / graph extraction)
         self.objects: List[ObjRef] = []
+        #: static subregion declarations, filled in by the interpreter
+        self.subregion_meta: Dict[str, Any] = {}
 
     # ------------------------------------------------------------------
 
@@ -199,18 +207,41 @@ def release_shared(area: MemoryArea) -> int:
 
 class RegionManager:
     """Owns the special areas and the registry of all areas created
-    during one run."""
+    during one run.
+
+    Long-running programs (the server benchmarks) create and destroy an
+    unbounded stream of scoped regions; keeping every dead area alive in
+    ``areas`` forever made ``live_areas()``, the GC's root scans, and
+    the end-of-run metrics export all O(regions-ever-created).  The
+    registry therefore *prunes* dead areas once the list grows past a
+    threshold, folding their watermarks into aggregate counters so the
+    metrics story stays complete without one labeled series per dead
+    temporary region.
+    """
+
+    #: prune when the registry grows past this many areas; doubled after
+    #: each prune so the scan cost stays amortized O(1) per create
+    PRUNE_THRESHOLD = 512
 
     def __init__(self) -> None:
         self.heap = MemoryArea(HEAP_AREA_NAME, "GCRegion", HEAP_POLICY)
         self.immortal = MemoryArea(IMMORTAL_AREA_NAME, "SharedRegion",
                                    IMMORTAL_POLICY)
         self.areas: List[MemoryArea] = [self.heap, self.immortal]
+        #: dead areas dropped from ``areas`` (their aggregate footprint)
+        self.pruned_dead = 0
+        self.pruned_peak_bytes = 0
+        self._prune_at = self.PRUNE_THRESHOLD
 
     def export_metrics(self, registry) -> None:
         """Publish per-region gauges into a
-        :class:`repro.obs.MetricsRegistry` (called at end of run; every
-        area ever created is reported, dead or alive)."""
+        :class:`repro.obs.MetricsRegistry` (called at end of run).
+
+        Live areas (plus heap/immortal) get one labeled series each;
+        dead temporary regions are aggregated into a single
+        ``region="<dead>"`` watermark series and a count gauge, so a
+        server that churned through thousands of scoped regions does
+        not emit thousands of dead series."""
         peak = registry.gauge(
             "repro_region_peak_bytes",
             "live-bytes watermark per memory area")
@@ -226,7 +257,13 @@ class RegionManager:
         flushes = registry.gauge(
             "repro_region_generation",
             "times each area was flushed (generation counter)")
+        dead_count = 0
+        dead_peak = self.pruned_peak_bytes
         for area in self.areas:
+            if not area.live:
+                dead_count += 1
+                dead_peak = max(dead_peak, area.peak_bytes)
+                continue
             labels = {"region": area.name, "policy": area.policy,
                       "kind": area.kind_name}
             peak.labels(**labels).set_max(area.peak_bytes)
@@ -236,6 +273,15 @@ class RegionManager:
             if area.policy == VT:
                 chunks.labels(**labels).set(area.chunks)
             flushes.labels(**labels).set(area.generation)
+        dead_total = dead_count + self.pruned_dead
+        if dead_total:
+            registry.gauge(
+                "repro_region_dead_areas",
+                "temporary regions created and destroyed during the "
+                "run (aggregated; no per-dead-region series)",
+            ).set(dead_total)
+            peak.labels(region="<dead>", policy="", kind="") \
+                .set_max(dead_peak)
 
     def create(self, name: str, kind_name: str, policy: str,
                lt_budget: int, ancestors: Set[int],
@@ -246,7 +292,28 @@ class RegionManager:
         area.ancestor_ids |= {self.heap.area_id, self.immortal.area_id}
         area.depth = len(area.ancestor_ids)
         self.areas.append(area)
+        if len(self.areas) >= self._prune_at:
+            self.prune_dead()
         return area
+
+    def prune_dead(self) -> int:
+        """Drop dead areas from the registry, folding their watermarks
+        into the aggregate counters.  Returns how many were dropped."""
+        keep: List[MemoryArea] = []
+        dropped = 0
+        for area in self.areas:
+            if area.live:
+                keep.append(area)
+            else:
+                dropped += 1
+                self.pruned_peak_bytes = max(self.pruned_peak_bytes,
+                                             area.peak_bytes)
+        if dropped:
+            self.areas = keep
+            self.pruned_dead += dropped
+        self._prune_at = max(self.PRUNE_THRESHOLD,
+                             2 * len(self.areas))
+        return dropped
 
     def live_areas(self) -> List[MemoryArea]:
         return [a for a in self.areas if a.live]

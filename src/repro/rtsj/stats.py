@@ -17,6 +17,7 @@ The constants are deliberately round numbers in the ratio ballpark of a
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Tuple
 
@@ -119,9 +120,20 @@ class Stats:
     profile: ProfileCollector = field(default_factory=ProfileCollector,
                                       repr=False)
 
+    #: process-wide latch so the ``Stats.events`` deprecation fires once,
+    #: not on every access (a tight loop over the shim would otherwise
+    #: flood the warning machinery)
+    _events_warned = False
+
     @property
     def events(self) -> List[Tuple[int, str, str]]:
         """Deprecated ``(cycle, kind, subject)`` view of the trace."""
+        if not Stats._events_warned:
+            Stats._events_warned = True
+            warnings.warn(
+                "Stats.events is deprecated; read Stats.tracer.records "
+                "(or tracer.legacy_events()) instead",
+                DeprecationWarning, stacklevel=2)
         return self.tracer.legacy_events()
 
     def event(self, kind: str, subject: str,

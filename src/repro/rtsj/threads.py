@@ -65,6 +65,9 @@ class Scheduler:
             "repro_dispatch_latency_cycles",
             "cycles a thread waited between time slices",
             buckets=(100, 500, 1000, 2000, 5000, 10000, 50000, 200000))
+        # pre-bound: skip the labels()/observe() pair per slice when the
+        # registry is a null implementation (`repro bench` runs)
+        self._observe_latency = not stats.metrics.null
 
     def spawn(self, thread: SimThread) -> None:
         thread.last_scheduled = self.stats.cycles
@@ -90,39 +93,64 @@ class Scheduler:
 
     def _run_slice(self, thread: SimThread) -> None:
         latency = self.stats.cycles - thread.last_scheduled
-        thread.max_dispatch_latency = max(thread.max_dispatch_latency,
-                                          latency)
-        self._h_latency.labels(
-            realtime="true" if thread.realtime else "false"
-        ).observe(latency)
+        if latency > thread.max_dispatch_latency:
+            thread.max_dispatch_latency = latency
+        if self._observe_latency:
+            self._h_latency.labels(
+                realtime="true" if thread.realtime else "false"
+            ).observe(latency)
+        # hot loop: every simulated cycle cost is one yielded int that
+        # passes through here.  ``stats.cycles`` must advance per yield
+        # (trace timestamps and watermarks read it mid-slice), but the
+        # per-thread attribution is batched to one update per slice —
+        # committed before _finish so the thread-finished event sees the
+        # thread's final cycle count.
         budget = self.quantum
-        while budget > 0:
-            try:
-                item = next(thread.coroutine)
-            except StopIteration:
-                self._finish(thread)
-                return
-            except RecursionError:
-                # the simulated program's call stack overflowed the host
-                # interpreter's: surface it as the simulated platform's
-                # StackOverflowError equivalent
-                from ..errors import InterpreterError
-                self._finish(thread)
-                self.failure = InterpreterError(
-                    f"simulated call stack overflow in thread "
-                    f"'{thread.name}' (deep recursion)")
-                return
-            except ReproError as err:
-                self._finish(thread)
-                self.failure = err
-                return
-            if item is YIELD:
-                break
-            cycles = int(item)
-            budget -= cycles
-            thread.cycles += cycles
-            self.stats.charge(cycles, thread.name)
+        stats = self.stats
+        coro_next = thread.coroutine.__next__
+        spent = 0
+        try:
+            while budget > 0:
+                try:
+                    item = coro_next()
+                except StopIteration:
+                    spent = self._commit(thread, spent)
+                    self._finish(thread)
+                    return
+                except RecursionError:
+                    # the simulated program's call stack overflowed the
+                    # host interpreter's: surface it as the simulated
+                    # platform's StackOverflowError equivalent
+                    from ..errors import InterpreterError
+                    spent = self._commit(thread, spent)
+                    self._finish(thread)
+                    self.failure = InterpreterError(
+                        f"simulated call stack overflow in thread "
+                        f"'{thread.name}' (deep recursion)")
+                    return
+                except ReproError as err:
+                    spent = self._commit(thread, spent)
+                    self._finish(thread)
+                    self.failure = err
+                    return
+                if item is YIELD:
+                    break
+                budget -= item
+                spent += item
+                stats.cycles += item
+        finally:
+            self._commit(thread, spent)
         thread.last_scheduled = self.stats.cycles
+
+    def _commit(self, thread: SimThread, spent: int) -> int:
+        """Fold one slice's cycles into the per-thread attribution.
+        Returns 0 so callers can reset their accumulator."""
+        if spent:
+            thread.cycles += spent
+            by_thread = self.stats.cycles_by_thread
+            by_thread[thread.name] = \
+                by_thread.get(thread.name, 0) + spent
+        return 0
 
     def run(self) -> None:
         """Run until every thread finishes.  Re-raises the first simulated

@@ -90,4 +90,5 @@ def event_counts(stats: Stats) -> dict:
 
 def events_between(stats: Stats, start: int,
                    end: int) -> List[Tuple[int, str, str]]:
-    return [e for e in stats.events if start <= e[0] <= end]
+    return [e for e in stats.tracer.legacy_events()
+            if start <= e[0] <= end]
