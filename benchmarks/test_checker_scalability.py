@@ -4,7 +4,11 @@ scalable".
 Generates programs of growing size (classes with fields, methods, and
 region-using bodies) and benchmarks the full pipeline
 (parse → defaults/inference → typecheck), asserting roughly linear
-scaling: 8x the program must not cost more than ~24x the time.
+scaling: 8x the program must not cost more than ~16x the time.
+
+The program generator lives in :mod:`repro.bench.frontend`, which also
+drives the committed ``BENCH_frontend.json`` regression gate (``repro
+bench --suite frontend``).
 """
 
 import time
@@ -12,38 +16,7 @@ import time
 import pytest
 
 from repro import analyze
-
-
-def synth_program(n_classes: int, methods_per_class: int = 3) -> str:
-    """A well-typed program with ``n_classes`` linked classes."""
-    parts = ["class Cell<Owner o> { int v; Cell<o> next; }"]
-    for i in range(n_classes):
-        methods = []
-        for j in range(methods_per_class):
-            methods.append(f"""
-    int work{j}(int x) accesses o, heap {{
-        Cell<o> local = new Cell<o>;
-        local.v = x * {j + 1};
-        held = local;
-        (RHandle<r{j}> h{j}) {{
-            Cell<r{j}> scratch = new Cell<r{j}>;
-            scratch.v = local.v + {i};
-            Cell inferredLocal = scratch;
-            inferredLocal.next = scratch;
-        }}
-        return local.v;
-    }}""")
-        parts.append(f"""
-class Worker{i}<Owner o> {{
-    Cell<o> held;
-    {''.join(methods)}
-}}""")
-    body = "\n".join(
-        f"    Worker{i}<r> w{i} = new Worker{i}<r>;"
-        f" int v{i} = w{i}.work0({i});"
-        for i in range(min(n_classes, 20)))
-    parts.append(f"(RHandle<r> h) {{\n{body}\n}}")
-    return "\n".join(parts)
+from repro.bench.frontend import synth_program
 
 
 SIZES = [5, 20, 40]
@@ -73,7 +46,7 @@ def test_scaling_is_roughly_linear(benchmark):
     print(f"\ntypecheck 5 classes: {small * 1000:.1f} ms, "
           f"40 classes: {large * 1000:.1f} ms "
           f"(x{large / small:.1f} for x8 size)")
-    assert large / small < 24, \
+    assert large / small < 16, \
         "typechecking must scale roughly linearly in program size"
 
 

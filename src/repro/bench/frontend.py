@@ -1,0 +1,257 @@
+"""Wall-clock benchmark of the static frontend (parse → infer → check).
+
+The interpreter benchmark (:mod:`repro.bench.wallclock`) guards the
+runtime hot loop; this module guards the *frontend* hot path that the
+performance work in ``docs/PERFORMANCE.md`` optimises: interned
+owners/types, memoized substitution and relation queries, the regex
+lexer, and the content-addressed :class:`repro.core.cache.AnalysisCache`.
+
+Two quantities per program size:
+
+* ``cold_s`` — a full ``analyze()`` with no cache (the first-open cost);
+* ``warm_s`` — re-analysis after editing one class body, with a
+  populated :class:`~repro.core.cache.AnalysisCache` (the keystroke
+  cost).  Only the edited class is re-parsed, re-inferred, and
+  re-checked; everything else replays.
+
+Results go into ``BENCH_frontend.json`` at the repo root; ``compare()``
+fails CI when cold analysis regresses beyond a threshold or when the
+warm/cold speedup collapses (the cache silently degrading to
+recompute-everything is a correctness-of-purpose bug even though the
+output stays right).  The committed payload's ``baseline`` section
+preserves the numbers from before the frontend work for context; it is
+informational and never compared against.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from typing import Any, Dict, Iterable, List, Optional
+
+from ..core.api import analyze
+from ..core.cache import AnalysisCache
+
+#: payload schema identifier (bump when the JSON layout changes)
+SCHEMA = "repro-bench-frontend/1"
+
+#: program sizes (class count) measured by default
+SIZES = (5, 20, 40)
+
+#: warm/cold speedup floor checked by compare(); the incremental cache
+#: on a one-class edit of a 40-class program must stay well above 1x
+MIN_WARM_SPEEDUP = 3.0
+
+
+def synth_program(n_classes: int, methods_per_class: int = 3) -> str:
+    """A well-typed program with ``n_classes`` linked classes.
+
+    Shared with ``benchmarks/test_checker_scalability.py``: each class
+    carries fields, ``accesses`` clauses, region blocks, and a local
+    whose type is inferred, so the generated text exercises parsing,
+    defaults/inference, and every per-class checking judgment.
+    """
+    parts = ["class Cell<Owner o> { int v; Cell<o> next; }"]
+    for i in range(n_classes):
+        methods = []
+        for j in range(methods_per_class):
+            methods.append(f"""
+    int work{j}(int x) accesses o, heap {{
+        Cell<o> local = new Cell<o>;
+        local.v = x * {j + 1};
+        held = local;
+        (RHandle<r{j}> h{j}) {{
+            Cell<r{j}> scratch = new Cell<r{j}>;
+            scratch.v = local.v + {i};
+            Cell inferredLocal = scratch;
+            inferredLocal.next = scratch;
+        }}
+        return local.v;
+    }}""")
+        parts.append(f"""
+class Worker{i}<Owner o> {{
+    Cell<o> held;
+    {''.join(methods)}
+}}""")
+    body = "\n".join(
+        f"    Worker{i}<r> w{i} = new Worker{i}<r>;"
+        f" int v{i} = w{i}.work0({i});"
+        for i in range(min(n_classes, 20)))
+    parts.append(f"(RHandle<r> h) {{\n{body}\n}}")
+    return "\n".join(parts)
+
+
+def edit_one_class(source: str) -> str:
+    """The canonical one-class edit: change one method-body constant.
+
+    The edit alters a single class's chunk text without touching any
+    signature, so a correct incremental cache re-analyses exactly one
+    class.
+    """
+    needle = "scratch.v = local.v + 0;"
+    edited = source.replace(needle, "scratch.v = local.v + 0 + 1;", 1)
+    if edited == source:
+        raise ValueError("edit needle not found in synthetic program")
+    return edited
+
+
+def _best_of(fn, repeats: int) -> float:
+    best = None
+    for _ in range(max(repeats, 1)):
+        start = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return best
+
+
+def measure_size(size: int, repeats: int = 3,
+                 cache_path: Optional[str] = None) -> Dict[str, Any]:
+    """Cold and warm-incremental analysis times for one program size."""
+    source = synth_program(size)
+    edited = edit_one_class(source)
+
+    cold_result = analyze(source)
+    n_errors = len(cold_result.errors)
+    cold_s = _best_of(lambda: analyze(source), repeats)
+
+    # warm: alternate between the original and the edited text so every
+    # timed run analyses a program that differs from the previous one by
+    # exactly one class body — the steady-state keystroke cost.  The
+    # prepopulation ends on `source` so the first timed run (edited)
+    # already has its one-class miss.
+    cache = AnalysisCache(cache_path)
+    analyze(edited, cache=cache)
+    analyze(source, cache=cache)
+    sources = [source, edited]
+    state = {"i": 0}
+
+    def warm_run():
+        state["i"] ^= 1
+        result = analyze(sources[state["i"]], cache=cache)
+        assert len(result.errors) == n_errors
+
+    warm_s = _best_of(warm_run, repeats)
+    stats = analyze(edited, cache=cache).cache_stats or {}
+    if cache_path is not None:
+        cache.save()
+    return {
+        "cold_s": round(cold_s, 6),
+        "warm_s": round(warm_s, 6),
+        "warm_speedup": round(cold_s / warm_s, 2) if warm_s else 0.0,
+        "lines": source.count("\n") + 1,
+        "n_errors": n_errors,
+        "warm_ast_hits": stats.get("ast_hits", 0),
+    }
+
+
+def measure(sizes: Optional[Iterable[int]] = None, repeats: int = 3,
+            cache_dir: Optional[str] = None) -> Dict[str, Any]:
+    """Measure all (selected) sizes and return the full payload.
+
+    ``cache_dir`` backs each size's warm cache with a JSON file under
+    that directory (one per size, so sizes stay independent) instead of
+    keeping it in memory — the ``bench --suite frontend
+    --analysis-cache DIR`` path, which also exercises the disk tier.
+    """
+    selected = [int(s) for s in (sizes if sizes is not None else SIZES)]
+    results = {}
+    for size in selected:
+        path = (os.path.join(cache_dir, f"analysis-cache-{size}.json")
+                if cache_dir else None)
+        results[str(size)] = measure_size(size, repeats=repeats,
+                                          cache_path=path)
+    return {
+        "schema": SCHEMA,
+        "repeats": repeats,
+        "python": platform.python_version(),
+        "sizes": results,
+    }
+
+
+def compare(current: Dict[str, Any], baseline: Dict[str, Any],
+            threshold: float = 0.30) -> List[str]:
+    """Regression check: returns human-readable failure messages.
+
+    * cold analysis more than ``threshold`` (fractional) slower than the
+      baseline at any size → regression;
+    * warm speedup below :data:`MIN_WARM_SPEEDUP` at the largest size →
+      the incremental cache stopped being incremental;
+    * a different error count → the synthetic corpus or checker changed
+      (always an error, no threshold);
+    * missing size in the current payload → error.
+
+    Sizes present only in the baseline are compared; extra current-side
+    sizes are ignored, so a baseline can be a subset.
+    """
+    failures: List[str] = []
+    base_rows = baseline.get("sizes", {})
+    cur_rows = current.get("sizes", {})
+    for size, base_row in base_rows.items():
+        cur_row = cur_rows.get(size)
+        if cur_row is None:
+            failures.append(f"size {size}: missing from current results")
+            continue
+        if base_row.get("n_errors") != cur_row.get("n_errors"):
+            failures.append(
+                f"size {size}: error count changed "
+                f"{base_row.get('n_errors')} -> "
+                f"{cur_row.get('n_errors')} (determinism break)")
+        base_cold = base_row.get("cold_s") or 0.0
+        cur_cold = cur_row.get("cold_s") or 0.0
+        if base_cold and cur_cold > base_cold * (1.0 + threshold):
+            slow = (cur_cold / base_cold - 1.0) * 100.0
+            failures.append(
+                f"size {size}: cold analysis regression "
+                f"{base_cold:.6f}s -> {cur_cold:.6f}s "
+                f"(+{slow:.0f}%, threshold +{threshold * 100:.0f}%)")
+    if base_rows:
+        largest = max(base_rows, key=int)
+        cur_row = cur_rows.get(largest)
+        if cur_row is not None:
+            speedup = cur_row.get("warm_speedup") or 0.0
+            if speedup < MIN_WARM_SPEEDUP:
+                failures.append(
+                    f"size {largest}: warm speedup {speedup:.2f}x below "
+                    f"the {MIN_WARM_SPEEDUP:.1f}x floor (analysis cache "
+                    f"not incremental)")
+    return failures
+
+
+def format_table(payload: Dict[str, Any],
+                 baseline: Optional[Dict[str, Any]] = None) -> str:
+    """Aligned text rendering of a payload (optionally with speedup
+    columns against a baseline payload)."""
+    lines = []
+    header = (f"{'classes':>7} {'cold s':>10} {'warm s':>10} "
+              f"{'warm x':>7} {'lines':>6}")
+    if baseline is not None:
+        header += f" {'vs base':>8}"
+    lines.append(header)
+    base_rows = (baseline or {}).get("sizes", {})
+    for size in sorted(payload.get("sizes", {}), key=int):
+        row = payload["sizes"][size]
+        line = (f"{size:>7} {row['cold_s']:>10.6f} "
+                f"{row['warm_s']:>10.6f} "
+                f"{row['warm_speedup']:>6.2f}x {row['lines']:>6}")
+        if baseline is not None:
+            base = base_rows.get(size)
+            if base and base.get("cold_s") and row["cold_s"]:
+                line += f" {base['cold_s'] / row['cold_s']:>7.2f}x"
+            else:
+                line += f" {'-':>8}"
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def load_payload(path: str) -> Dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def save_payload(payload: Dict[str, Any], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")

@@ -9,7 +9,8 @@ Commands
 ``translate``  emit the Section 2.6 pseudo-RTSJ-Java erasure
 ``infer``      print the program after Section 2.5 defaults + inference
 ``graph``      run and emit the Figure 6 ownership graph as Graphviz dot
-``bench``      wall-clock benchmark of the interpreter (regression gate)
+``bench``      wall-clock benchmarks: interpreter and static frontend
+               (CI regression gates)
 
 Inputs are core-language source files; a ``.py`` driver script (like the
 ones under ``examples/``) is also accepted — the embedded ``PROGRAM``
@@ -50,8 +51,24 @@ def _read(path: str) -> str:
     return text
 
 
-def _analyze_or_report(source: str, path: str, tracer=None):
-    analyzed = analyze(source, filename=path, tracer=tracer)
+def _open_cache(args):
+    """An :class:`AnalysisCache` backed by ``--analysis-cache DIR``, or
+    None when the flag was not given."""
+    directory = getattr(args, "analysis_cache", None)
+    if not directory:
+        return None
+    import os
+
+    from .core.cache import AnalysisCache
+    return AnalysisCache(os.path.join(directory, "analysis-cache.json"))
+
+
+def _analyze_or_report(source: str, path: str, tracer=None, cache=None,
+                       metrics=None):
+    analyzed = analyze(source, filename=path, tracer=tracer, cache=cache,
+                       metrics=metrics)
+    if cache is not None:
+        cache.save()
     for err in analyzed.errors:
         print(f"error: {err}", file=sys.stderr)
     return analyzed
@@ -75,7 +92,9 @@ def cmd_run(args) -> int:
     tracer = Tracer(detailed=tracing)
     metrics = MetricsRegistry()
     analyzed = _analyze_or_report(_read(args.file), args.file,
-                                  tracer=tracer if tracing else None)
+                                  tracer=tracer if tracing else None,
+                                  cache=_open_cache(args),
+                                  metrics=metrics)
     if analyzed.errors:
         return 1
     options = RunOptions(checks_enabled=args.dynamic_checks,
@@ -115,7 +134,8 @@ def cmd_run(args) -> int:
 
 def cmd_profile(args) -> int:
     from .obs import build_report
-    analyzed = _analyze_or_report(_read(args.file), args.file)
+    analyzed = _analyze_or_report(_read(args.file), args.file,
+                                  cache=_open_cache(args))
     if analyzed.errors:
         return 1
     options = RunOptions(checks_enabled=not args.static_checks)
@@ -197,26 +217,35 @@ def cmd_advise(args) -> int:
 
 
 def cmd_bench(args) -> int:
-    from .bench import wallclock
-    names = args.only or None
-    if names:
-        from .bench.suite import BENCHMARKS
-        unknown = [n for n in names if n not in BENCHMARKS]
-        if unknown:
-            print(f"error: unknown benchmark(s) {unknown}; known: "
-                  f"{sorted(BENCHMARKS)}", file=sys.stderr)
+    if args.suite == "frontend":
+        from .bench import frontend as suite_mod
+        if args.only:
+            print("error: --only applies to the interp suite",
+                  file=sys.stderr)
             return 1
-    payload = wallclock.measure(names, fast=not args.full,
-                                repeats=args.repeats)
+        payload = suite_mod.measure(repeats=args.repeats,
+                                    cache_dir=args.analysis_cache)
+    else:
+        from .bench import wallclock as suite_mod
+        names = args.only or None
+        if names:
+            from .bench.suite import BENCHMARKS
+            unknown = [n for n in names if n not in BENCHMARKS]
+            if unknown:
+                print(f"error: unknown benchmark(s) {unknown}; known: "
+                      f"{sorted(BENCHMARKS)}", file=sys.stderr)
+                return 1
+        payload = suite_mod.measure(names, fast=not args.full,
+                                    repeats=args.repeats)
     baseline = None
     if args.compare:
-        baseline = wallclock.load_payload(args.compare)
+        baseline = suite_mod.load_payload(args.compare)
         # the committed payload may carry its own historical baseline
         # section; regressions are judged against the payload itself
     if args.merge_baseline:
         # embed a prior payload as the "baseline" section so the
         # committed artifact itself records the before/after story
-        payload["baseline"] = wallclock.load_payload(args.merge_baseline)
+        payload["baseline"] = suite_mod.load_payload(args.merge_baseline)
         payload["baseline"].pop("baseline", None)
     elif baseline is not None:
         inherited = baseline.get("baseline")
@@ -225,13 +254,13 @@ def cmd_bench(args) -> int:
     if args.json:
         print(json.dumps(payload, indent=2, sort_keys=True))
     else:
-        print(wallclock.format_table(
+        print(suite_mod.format_table(
             payload, payload.get("baseline") or baseline))
     if args.out:
-        wallclock.save_payload(payload, args.out)
+        suite_mod.save_payload(payload, args.out)
         print(f"wrote {args.out}", file=sys.stderr)
     if baseline is not None:
-        failures = wallclock.compare(payload, baseline,
+        failures = suite_mod.compare(payload, baseline,
                                      threshold=args.threshold)
         if failures:
             for failure in failures:
@@ -285,6 +314,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--metrics-out", metavar="FILE",
                        help="write end-of-run metrics in Prometheus "
                             "text format")
+    p_run.add_argument("--analysis-cache", metavar="DIR",
+                       help="persist the incremental analysis cache "
+                            "under DIR; re-runs after an edit only "
+                            "re-check the classes that changed")
     p_run.set_defaults(func=cmd_run)
 
     p_prof = sub.add_parser(
@@ -298,6 +331,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="call sites to list (default 10)")
     p_prof.add_argument("--json", action="store_true",
                         help="emit the profile as JSON")
+    p_prof.add_argument("--analysis-cache", metavar="DIR",
+                        help="persist the incremental analysis cache "
+                             "under DIR (see `run --analysis-cache`)")
     p_prof.set_defaults(func=cmd_profile)
 
     p_tr = sub.add_parser("translate",
@@ -335,7 +371,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_adv.set_defaults(func=cmd_advise)
 
     p_bench = sub.add_parser(
-        "bench", help="wall-clock benchmark of the interpreter itself")
+        "bench", help="wall-clock benchmark of the interpreter or the "
+                      "static frontend")
+    p_bench.add_argument("--suite", choices=("interp", "frontend"),
+                         default="interp",
+                         help="what to benchmark: the interpreter hot "
+                              "loop (default) or the static frontend's "
+                              "cold/warm analyze() path")
+    p_bench.add_argument("--analysis-cache", metavar="DIR",
+                         help="frontend suite only: back the warm "
+                              "measurement's cache with JSON files "
+                              "under DIR instead of memory")
     p_bench.add_argument("--full", action="store_true",
                          help="use the full benchmark parameters "
                               "(default: fast parameters)")

@@ -1,0 +1,565 @@
+"""Content-addressed, incremental analysis cache for the frontend.
+
+``analyze(source, cache=AnalysisCache(...))`` re-checks only the class
+declarations whose *fingerprint* changed since the last run and replays
+the recorded diagnostics (and inferred owner annotations) for the rest.
+The fingerprint of a class covers everything its parse/inference/check
+can observe:
+
+* the SHA-256 of its own source slice (``chunk``);
+* the :class:`~repro.core.inference.DefaultPolicy` in effect;
+* a digest over every ``regionKind`` declaration in the program (the
+  kind table is global);
+* the *signature digests* of the transitive closure of classes it
+  textually references — a signature digest hashes the class text with
+  method bodies stripped, so editing a method body invalidates only the
+  edited class, while editing a signature invalidates its dependents;
+* every identifier in the closure's chunks that does **not** currently
+  name a class ("absent markers"), so introducing a new class with a
+  previously-unbound name invalidates conservatively.
+
+The closure argument: a class's check consults only (a) its own text,
+(b) the signatures of classes named in its own text, and (c) recursively
+the signatures of classes named in *those* signatures.  Every class name
+occurring in a signature occurs in the declaring class's chunk text, so
+the transitive closure over full-chunk identifier sets (which contain
+the signature identifiers) reaches every declaration the check can
+touch.  Whole-program phases that the cache cannot scope — wellformed
+checks, region kinds, and the main block — always run live; they are a
+fraction of a percent of frontend time.
+
+Two tiers:
+
+* **in-memory** — keeps the annotated (post-inference) ``ClassDecl``
+  object, so a hit skips lexing *and* parsing of that chunk;
+* **disk (JSON)** — survives processes; a hit re-parses the pristine
+  chunk but replays the inferred owner annotations and the recorded
+  diagnostics, skipping inference and checking.
+
+Stale entries can never leak: an in-memory AST whose fingerprint no
+longer matches is discarded and the chunk is re-parsed pristine
+(inference only fills *empty* owner slots, so re-using a stale annotated
+AST would silently pin old owners — re-parsing makes that impossible).
+
+If the source cannot be split into chunks (unbalanced braces, duplicate
+class names, a parse error inside a chunk), the caller falls back to the
+plain whole-program path so diagnostics are bit-identical with the
+uncached frontend.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, NamedTuple, Optional, Sequence, Set, Tuple
+
+from ..errors import OwnershipTypeError
+from ..lang import ast
+from ..source import Position, Span
+
+SCHEMA = "repro-analysis-cache/1"
+
+_WORD_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+
+#: top-level declaration keywords recognised by the chunk splitter
+_DECL_KEYWORDS = ("class", "regionKind")
+
+
+# ---------------------------------------------------------------------------
+# chunk splitting
+# ---------------------------------------------------------------------------
+
+class Chunk(NamedTuple):
+    """One top-level slice of the source: a ``class`` declaration, a
+    ``regionKind`` declaration, or a run of main-block statements."""
+
+    kind: str            # "class" | "regionKind" | "main"
+    name: Optional[str]  # declared name (None for main segments)
+    text: str
+    line: int            # 1-based line of the first character
+    col: int             # 1-based column of the first character
+
+
+#: everything the splitter must not scan past blindly: comments (an
+#: unterminated ``/*`` matches the bare-``/*`` alternative and aborts
+#: the split), braces, and the two declaration keywords
+_SCAN_RE = re.compile(
+    r"//[^\n]*|/\*.*?\*/|/\*|[{}]|\b(?:class|regionKind)\b", re.S)
+
+#: the declared name following a ``class``/``regionKind`` keyword,
+#: allowing interleaved comments
+_NAME_RE = re.compile(
+    r"(?:\s|//[^\n]*|/\*.*?\*/)*([A-Za-z_][A-Za-z0-9_]*)", re.S)
+
+
+def split_chunks(source: str) -> Optional[List[Chunk]]:
+    """Split ``source`` into top-level chunks, or ``None`` when the text
+    cannot be segmented safely (unbalanced braces, unterminated comment,
+    declaration without a body).  The language has no string literals,
+    so only comments need skipping."""
+    depth = 0
+    seg_start = 0
+    decl: Optional[Tuple[str, int]] = None  # keyword, start offset
+    decl_name: Optional[str] = None
+    saw_brace = False
+    raw: List[Tuple[str, Optional[str], int, int]] = []
+    for match in _SCAN_RE.finditer(source):
+        token = match.group()
+        head = token[0]
+        if head == "/":
+            if token == "/*":
+                return None  # unterminated; the lexer owns this error
+            continue
+        if head == "{":
+            depth += 1
+            saw_brace = True
+            continue
+        if head == "}":
+            depth -= 1
+            if depth < 0:
+                return None
+            if depth == 0 and decl is not None and saw_brace:
+                if decl_name is None:
+                    return None
+                raw.append((decl[0], decl_name, decl[1], match.end()))
+                decl = None
+                seg_start = match.end()
+            continue
+        # a declaration keyword
+        if depth == 0 and decl is None:
+            if source[seg_start:match.start()].strip():
+                raw.append(("main", None, seg_start, match.start()))
+            decl = (token, match.start())
+            saw_brace = False
+            name = _NAME_RE.match(source, match.end())
+            decl_name = name.group(1) if name else None
+    if decl is not None or depth != 0:
+        return None
+    if source[seg_start:].strip():
+        raw.append(("main", None, seg_start, len(source)))
+    # one incremental pass turns the byte offsets into line/column
+    chunks: List[Chunk] = []
+    line, pos = 1, 0
+    for kind, name, start, end in raw:
+        line += source.count("\n", pos, start)
+        col = start - source.rfind("\n", 0, start)
+        pos = start
+        chunks.append(Chunk(kind, name, source[start:end], line, col))
+    return chunks
+
+
+def first_token_span(chunks: Sequence[Chunk], filename: str
+                     ) -> Optional[Span]:
+    """The span of the program's first token — what the whole-program
+    parser assigns to the main block (it snapshots the first token's
+    span before reading any declarations), reproduced here so assembled
+    programs compare equal to freshly parsed ones."""
+    from ..lang.lexer import tokenize
+    from ..lang.tokens import TokenKind
+    for c in chunks:
+        if c.kind == "class":
+            return Span(Position(c.line, c.col),
+                        Position(c.line, c.col + 5), filename)
+        if c.kind == "regionKind":
+            return Span(Position(c.line, c.col),
+                        Position(c.line, c.col + 10), filename)
+        tokens = tokenize(c.text, filename, c.line, c.col)
+        if tokens[0].kind is not TokenKind.EOF:
+            return tokens[0].span
+    return None
+
+
+def signature_text(chunk_text: str) -> str:
+    """The class chunk with method bodies (and all comments/whitespace
+    runs) stripped: the textual interface other classes can observe.
+    Tokens at brace depth >= 2 belong to method bodies and are dropped;
+    depth 0 (the ``class ... {`` header) and depth 1 (fields, method
+    headers, ``where`` clauses) are kept, joined by single spaces."""
+    units: List[str] = []
+    i, n = 0, len(chunk_text)
+    depth = 0
+    while i < n:
+        ch = chunk_text[i]
+        if ch == "/" and chunk_text.startswith("//", i):
+            j = chunk_text.find("\n", i)
+            i = n if j < 0 else j
+            continue
+        if ch == "/" and chunk_text.startswith("/*", i):
+            j = chunk_text.find("*/", i + 2)
+            i = n if j < 0 else j + 2
+            continue
+        if ch == "{":
+            if depth < 2:
+                units.append("{")
+            depth += 1
+            i += 1
+            continue
+        if ch == "}":
+            depth -= 1
+            if depth < 2:
+                units.append("}")
+            i += 1
+            continue
+        if ch.isalnum() or ch == "_":
+            j = i + 1
+            while j < n and (chunk_text[j].isalnum()
+                             or chunk_text[j] == "_"):
+                j += 1
+            if depth < 2:
+                units.append(chunk_text[i:j])
+            i = j
+            continue
+        if depth < 2 and not ch.isspace():
+            units.append(ch)
+        i += 1
+    return " ".join(units)
+
+
+def _sha(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def fingerprints(class_chunks: Sequence[Chunk], policy_key: str,
+                 rk_digest: str, shas: Dict[str, str],
+                 text_cache: Optional[Dict[str, Tuple[str, frozenset]]]
+                 = None) -> Dict[str, str]:
+    """Per-class content fingerprints (see the module docstring).
+
+    ``shas`` maps class name -> chunk SHA.  ``text_cache`` (chunk SHA ->
+    ``(signature digest, identifier set)``) lets warm runs skip the
+    signature/identifier scans for unchanged chunks — the scans are pure
+    functions of the chunk text."""
+    sigs: Dict[str, str] = {}
+    words: Dict[str, frozenset] = {}
+    for c in class_chunks:
+        sha = shas[c.name]
+        cached = None if text_cache is None else text_cache.get(sha)
+        if cached is None:
+            cached = (_sha(signature_text(c.text)),
+                      frozenset(_WORD_RE.findall(c.text)))
+            if text_cache is not None:
+                text_cache[sha] = cached
+        sigs[c.name], words[c.name] = cached
+    class_names = set(shas)
+    closure_digests: Dict[frozenset, Tuple[str, str]] = {}
+    result: Dict[str, str] = {}
+    for c in class_chunks:
+        closure = {c.name}
+        frontier = [c.name]
+        while frontier:
+            nxt: List[str] = []
+            for name in frontier:
+                for w in words[name]:
+                    if w in class_names and w not in closure:
+                        closure.add(w)
+                        nxt.append(w)
+            frontier = nxt
+        key = frozenset(closure)
+        digests = closure_digests.get(key)
+        if digests is None:
+            # classes sharing a closure (the common case in connected
+            # programs) share the expensive part of the payload
+            absent: Set[str] = set()
+            for name in closure:
+                absent |= words[name]
+            absent -= class_names
+            digests = (
+                _sha(json.dumps([[d, sigs[d]] for d in sorted(closure)],
+                                separators=(",", ":"))),
+                _sha(" ".join(sorted(absent))))
+            closure_digests[key] = digests
+        payload = json.dumps(
+            [SCHEMA, policy_key, rk_digest, shas[c.name],
+             digests[0], digests[1]],
+            separators=(",", ":"))
+        result[c.name] = _sha(payload)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# diagnostics: record / replay
+# ---------------------------------------------------------------------------
+
+def serialize_errors(errors: Sequence[OwnershipTypeError],
+                     chunk_line: int) -> Optional[List[dict]]:
+    """Class-relative records for ``errors``, or ``None`` when any error
+    is not replayable (a subclass the cache does not understand)."""
+    records: List[dict] = []
+    for err in errors:
+        if type(err) is not OwnershipTypeError:
+            return None
+        prefix = f"[{err.rule}] " if err.rule else ""
+        message = err.message[len(prefix):]
+        span = err.span
+        if span is None:
+            where = None
+        elif span.filename == "<unknown>":
+            where = "u"
+        else:
+            where = [span.start.line - chunk_line, span.start.column,
+                     span.end.line - chunk_line, span.end.column]
+        records.append({"m": message, "r": err.rule, "s": where})
+    return records
+
+
+def deserialize_errors(records: Sequence[dict], chunk_line: int,
+                       filename: str) -> List[OwnershipTypeError]:
+    out: List[OwnershipTypeError] = []
+    for rec in records:
+        where = rec["s"]
+        if where is None:
+            span = None
+        elif where == "u":
+            span = Span.unknown()
+        else:
+            sl, sc, el, ec = where
+            span = Span(Position(sl + chunk_line, sc),
+                        Position(el + chunk_line, ec), filename)
+        out.append(OwnershipTypeError(rec["m"], span, rule=rec["r"]))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# inferred-annotation record / replay (disk tier)
+# ---------------------------------------------------------------------------
+
+def _walk_slots(decl: ast.ClassDecl):
+    """Deterministic pre-order over the owner slots Section 2.5
+    inference can fill: ``LocalDecl.declared_type`` owners (class types
+    only), ``NewExpr.owners``, and ``Invoke.owner_args``.  The walk only
+    depends on the chunk text, so it enumerates identical node sequences
+    for the pristine and the annotated parse of the same chunk."""
+
+    def expr(e):
+        if isinstance(e, ast.NewExpr):
+            yield ("new", e)
+            for a in e.args:
+                yield from expr(a)
+        elif isinstance(e, ast.Invoke):
+            yield ("invoke", e)
+            yield from expr(e.target)
+            for a in e.args:
+                yield from expr(a)
+        elif isinstance(e, ast.FieldRead):
+            yield from expr(e.target)
+        elif isinstance(e, ast.Binary):
+            yield from expr(e.left)
+            yield from expr(e.right)
+        elif isinstance(e, ast.Unary):
+            yield from expr(e.operand)
+        elif isinstance(e, ast.BuiltinCall):
+            for a in e.args:
+                yield from expr(a)
+
+    def stmt(s):
+        if isinstance(s, ast.Block):
+            for inner in s.stmts:
+                yield from stmt(inner)
+        elif isinstance(s, ast.LocalDecl):
+            if isinstance(s.declared_type, ast.ClassTypeAst):
+                yield ("local", s)
+            if s.init is not None:
+                yield from expr(s.init)
+        elif isinstance(s, (ast.AssignLocal, ast.AssignField)):
+            if isinstance(s, ast.AssignField):
+                yield from expr(s.target)
+            yield from expr(s.value)
+        elif isinstance(s, ast.ExprStmt):
+            yield from expr(s.expr)
+        elif isinstance(s, ast.If):
+            yield from expr(s.cond)
+            yield from stmt(s.then_body)
+            if s.else_body is not None:
+                yield from stmt(s.else_body)
+        elif isinstance(s, ast.While):
+            yield from expr(s.cond)
+            yield from stmt(s.body)
+        elif isinstance(s, ast.Return):
+            if s.value is not None:
+                yield from expr(s.value)
+        elif isinstance(s, ast.Fork):
+            yield from expr(s.call)
+        elif isinstance(s, ast.RegionStmt):
+            yield from stmt(s.body)
+        elif isinstance(s, ast.SubregionStmt):
+            yield from expr(s.parent_handle)
+            yield from stmt(s.body)
+
+    for meth in decl.methods:
+        yield from stmt(meth.body)
+
+
+def collect_annotations(decl: ast.ClassDecl) -> List[List[str]]:
+    """Owner names of every inference-fillable slot, in walk order."""
+    out: List[List[str]] = []
+    for kind, node in _walk_slots(decl):
+        if kind == "local":
+            out.append([o.name for o in node.declared_type.owners])
+        elif kind == "new":
+            out.append([o.name for o in node.owners])
+        else:
+            out.append([o.name for o in node.owner_args])
+    return out
+
+
+def apply_annotations(decl: ast.ClassDecl,
+                      annotations: Sequence[Sequence[str]]) -> bool:
+    """Replay recorded owners onto a pristine parse of the same chunk.
+    Slots whose parsed owners already match are left untouched (so
+    explicit annotations keep their parser spans); filled slots
+    reproduce the spans :meth:`_MethodInference._rewrite` would assign.
+    Returns False on any structural mismatch (caller re-infers live)."""
+    slots = list(_walk_slots(decl))
+    if len(slots) != len(annotations):
+        return False
+    for (kind, node), names in zip(slots, annotations):
+        if kind == "local":
+            old = node.declared_type
+            if [o.name for o in old.owners] == list(names):
+                continue
+            owners = tuple(ast.OwnerAst(nm, node.span) for nm in names)
+            node.declared_type = ast.ClassTypeAst(old.name, owners,
+                                                  old.span)
+        elif kind == "new":
+            if [o.name for o in node.owners] == list(names):
+                continue
+            node.owners = tuple(ast.OwnerAst(nm, node.span)
+                                for nm in names)
+        else:
+            if [o.name for o in node.owner_args] == list(names):
+                continue
+            node.owner_args = tuple(ast.OwnerAst(nm, node.span)
+                                    for nm in names)
+    return True
+
+
+# ---------------------------------------------------------------------------
+# the cache
+# ---------------------------------------------------------------------------
+
+@dataclass
+class CacheStats:
+    """Cumulative counters plus the per-run deltas of the last
+    ``analyze`` call (``last``), which the metrics exporter consumes."""
+
+    runs: int = 0
+    fallbacks: int = 0
+    ast_hits: int = 0
+    ast_misses: int = 0
+    replay_hits: int = 0
+    check_misses: int = 0
+    last: Dict[str, int] = field(default_factory=dict)
+
+    def begin_run(self) -> None:
+        self.runs += 1
+        self.last = {"ast_hits": 0, "ast_misses": 0,
+                     "replay_hits": 0, "check_misses": 0}
+
+    def bump(self, key: str) -> None:
+        setattr(self, key, getattr(self, key) + 1)
+        if key in self.last:
+            self.last[key] += 1
+
+    def as_dict(self) -> Dict[str, int]:
+        return {"runs": self.runs, "fallbacks": self.fallbacks,
+                "ast_hits": self.ast_hits, "ast_misses": self.ast_misses,
+                "replay_hits": self.replay_hits,
+                "check_misses": self.check_misses}
+
+
+@dataclass
+class _MemEntry:
+    chunk_sha: str
+    policy_key: str
+    fingerprint: str
+    decl: ast.ClassDecl                 # annotated (post-inference)
+    errors: Optional[List[dict]]        # class-relative records
+    annotations: List[List[str]]
+
+
+class AnalysisCache:
+    """Two-tier (memory + optional JSON file) analysis cache.
+
+    Pass the same instance to successive :func:`repro.core.api.analyze`
+    calls for in-process incrementality; give it a ``path`` and call
+    :meth:`save` to persist the disk tier between processes (the CLI's
+    ``--analysis-cache DIR`` does both).
+    """
+
+    def __init__(self, path: Optional[str] = None) -> None:
+        self.path = path
+        self.mem: Dict[str, _MemEntry] = {}
+        self.disk: Dict[str, dict] = {}
+        #: chunk SHA -> (signature digest, identifier set); memoizes the
+        #: pure text scans behind :func:`fingerprints`
+        self.text_cache: Dict[str, Tuple[str, frozenset]] = {}
+        self.stats = CacheStats()
+        if path:
+            self.load()
+
+    # -- persistence ----------------------------------------------------
+
+    def load(self) -> None:
+        if not self.path or not os.path.exists(self.path):
+            return
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            return  # unreadable/corrupt: start cold
+        if payload.get("schema") != SCHEMA:
+            return
+        entries = payload.get("entries")
+        if isinstance(entries, dict):
+            self.disk = entries
+
+    def save(self) -> None:
+        if not self.path:
+            return
+        merged = dict(self.disk)
+        for name, entry in self.mem.items():
+            merged[name] = {"sha": entry.chunk_sha,
+                            "policy": entry.policy_key,
+                            "fp": entry.fingerprint,
+                            "errors": entry.errors,
+                            "ann": entry.annotations}
+        payload = {"schema": SCHEMA, "entries": merged}
+        directory = os.path.dirname(self.path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(self.path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, sort_keys=True)
+            handle.write("\n")
+
+    # -- lookups --------------------------------------------------------
+
+    def mem_entry(self, name: str, chunk_sha: str, policy_key: str,
+                  fingerprint: str) -> Optional[_MemEntry]:
+        entry = self.mem.get(name)
+        if (entry is not None and entry.chunk_sha == chunk_sha
+                and entry.policy_key == policy_key
+                and entry.fingerprint == fingerprint
+                and entry.errors is not None):
+            return entry
+        return None
+
+    def disk_entry(self, name: str, chunk_sha: str, policy_key: str,
+                   fingerprint: str) -> Optional[dict]:
+        entry = self.disk.get(name)
+        if (isinstance(entry, dict) and entry.get("sha") == chunk_sha
+                and entry.get("policy") == policy_key
+                and entry.get("fp") == fingerprint
+                and entry.get("errors") is not None
+                and isinstance(entry.get("ann"), list)):
+            return entry
+        return None
+
+    def record(self, name: str, chunk_sha: str, policy_key: str,
+               fingerprint: str, decl: ast.ClassDecl,
+               errors: Optional[List[dict]]) -> None:
+        self.mem[name] = _MemEntry(chunk_sha, policy_key, fingerprint,
+                                   decl, errors,
+                                   collect_annotations(decl))

@@ -70,49 +70,59 @@ class Checker:
         self.phase_seconds: Dict[str, float] = {}
         self.tracer = None
 
-    def _end_phase(self, name: str, started: float) -> float:
-        """Record one phase's wall time; returns a fresh start mark."""
-        import time
-        now = time.perf_counter()
-        self.phase_seconds[name] = (self.phase_seconds.get(name, 0.0)
-                                    + now - started)
-        if self.tracer is not None:
-            self.tracer.emit("checker-phase", name, cycle=0,
-                             thread="<checker>",
-                             attrs={"seconds": now - started,
-                                    "errors": len(self.errors)})
-        return now
-
     # ------------------------------------------------------------------
     # entry point — [PROG]
     # ------------------------------------------------------------------
 
-    def check(self) -> List[OwnershipTypeError]:
+    def check(self, clock=None, replay_errors=None,
+              per_class_errors=None) -> List[OwnershipTypeError]:
         """Check the whole program; returns the collected errors (empty
         means well-typed).  Each phase's wall time lands in
-        ``phase_seconds``."""
-        import time
+        ``phase_seconds``.
+
+        ``clock`` is an optional shared :class:`~repro.core.phases.
+        PhaseClock` (``analyze`` passes its own so frontend and checker
+        phases land in one dict); without one a private clock is built
+        from ``self.tracer``.  ``replay_errors`` maps class names to
+        recorded diagnostics from a prior run: those classes are not
+        re-checked, their errors are spliced in at the position live
+        checking would have produced them.  ``per_class_errors`` (an
+        out-dict) receives each class's error slice, which the analysis
+        cache records.  The wellformed, region-kind, and main-block
+        phases always run live — they are whole-program judgments."""
+        from .phases import PhaseClock
         from .wellformed import check_wellformed
-        mark = time.perf_counter()
+        if clock is None:
+            clock = PhaseClock(self.tracer)
+        self.phase_seconds = clock.seconds
         try:
             check_wellformed(self.program)
         except OwnershipTypeError as err:
             self.errors.append(err)
-            self._end_phase("wellformed", mark)
+            clock.lap("wellformed", errors=len(self.errors))
             return self.errors
-        mark = self._end_phase("wellformed", mark)
+        clock.lap("wellformed", errors=len(self.errors))
 
         for info in self.program.region_kinds.values():
             try:
                 self._check_region_kind(info)
             except OwnershipTypeError as err:
                 self.errors.append(err)
-        mark = self._end_phase("region-kinds", mark)
+        clock.lap("region-kinds", errors=len(self.errors))
         for info in self.program.classes.values():
             if info.builtin:
                 continue
+            if replay_errors is not None and info.name in replay_errors:
+                errs = replay_errors[info.name]
+                self.errors.extend(errs)
+                if per_class_errors is not None:
+                    per_class_errors[info.name] = list(errs)
+                continue
+            before = len(self.errors)
             self._check_class(info)
-        mark = self._end_phase("classes", mark)
+            if per_class_errors is not None:
+                per_class_errors[info.name] = self.errors[before:]
+        clock.lap("classes", errors=len(self.errors))
         main = self.program.ast_program.main
         if main is not None:
             env = Env.initial(self.program)
@@ -125,7 +135,7 @@ class Checker:
                 self.check_block(env, main, None, HEAP)
             except OwnershipTypeError as err:
                 self.errors.append(err)
-            self._end_phase("main-block", mark)
+            clock.lap("main-block", errors=len(self.errors))
         return self.errors
 
     # ------------------------------------------------------------------
@@ -644,9 +654,8 @@ class Checker:
             mi = self.program.lookup_method(receiver_type.name,
                                             call.method_name)
             if mi is not None and len(call.owner_args) == len(mi.formals):
-                _, _, rename, _ = self._invoke_parts(env, call, None, rcr)
-                for ptype, _name in mi.params:
-                    renamed = ptype.substitute(rename)
+                _, sig, _ = self._invoke_parts(env, call, None, rcr)
+                for renamed in sig.param_types:
                     if isinstance(renamed, ClassType):
                         owners.extend(renamed.owners)
                     elif isinstance(renamed, HandleType):
@@ -903,39 +912,36 @@ class Checker:
     def _invoke_parts(self, env: Env, expr: ast.Invoke, permitted: Effects,
                       rcr: Owner):
         """Shared receiver/method resolution and renaming for
-        [EXPR INVOKE]; returns (receiver type, method, rename)."""
+        [EXPR INVOKE]; returns (receiver type, renamed signature,
+        actuals).  The renaming itself is memoized per call shape in
+        :meth:`ProgramInfo.invoke_signature`."""
         ttype = self.check_expr(env, expr.target, permitted, rcr)
         if not isinstance(ttype, ClassType):
             raise OwnershipTypeError(
                 f"cannot invoke method on non-object type '{ttype}'",
                 expr.span, rule="EXPR INVOKE")
-        mi = self.program.lookup_method(ttype.name, expr.method_name)
-        if mi is None:
-            raise OwnershipTypeError(
-                f"class '{ttype.name}' has no method "
-                f"'{expr.method_name}'", expr.span, rule="EXPR INVOKE")
-        if len(expr.owner_args) != len(mi.formals):
+        actuals = tuple(convert_owner(o) for o in expr.owner_args)
+        sig = self.program.invoke_signature(ttype, expr.method_name,
+                                            actuals, rcr)
+        if sig is None:
+            mi = self.program.lookup_method(ttype.name, expr.method_name)
+            if mi is None:
+                raise OwnershipTypeError(
+                    f"class '{ttype.name}' has no method "
+                    f"'{expr.method_name}'", expr.span,
+                    rule="EXPR INVOKE")
             raise OwnershipTypeError(
                 f"method '{ttype.name}.{expr.method_name}' expects "
                 f"{len(mi.formals)} owner arguments, got "
                 f"{len(expr.owner_args)}", expr.span, rule="EXPR INVOKE")
-        rename = dict(make_subst(
-            self.program.class_info(ttype.name).formal_names,
-            ttype.owners))
-        actuals = tuple(convert_owner(o) for o in expr.owner_args)
-        for (fn, _), actual in zip(mi.formals, actuals):
-            rename[Owner(fn)] = actual
-        rename[INITIAL_REGION] = rcr
-        return ttype, mi, rename, actuals
+        return ttype, sig, actuals
 
     def _renamed_invoke_effects(self, env: Env, expr: ast.Invoke,
                                 rcr: Owner) -> Tuple[Owner, ...]:
-        ttype, mi, rename, _ = self._invoke_parts(env, expr, None, rcr)
-        effects = mi.effects if mi.effects is not None else ()
+        ttype, sig, _ = self._invoke_parts(env, expr, None, rcr)
         this_owner = ttype.owner
         out = []
-        for eff in effects:
-            renamed = rename.get(eff, eff)
+        for renamed in sig.effects:
             if renamed == THIS and not isinstance(expr.target,
                                                   ast.ThisRef):
                 renamed = this_owner  # covering the owner covers the object
@@ -945,16 +951,16 @@ class Checker:
     def _check_invoke(self, env: Env, expr: ast.Invoke,
                       permitted: Effects, rcr: Owner) -> Type:
         """[EXPR INVOKE]."""
-        ttype, mi, rename, actuals = self._invoke_parts(
+        ttype, sig, actuals = self._invoke_parts(
             env, expr, permitted, rcr)
+        mi, rename = sig.method, sig.rename
         span = expr.span
         receiver_is_this = isinstance(expr.target, ast.ThisRef)
         first_owner = ttype.owner
 
         # owner-argument kinds: ki' ≤ Rename(ki)
-        for (fn, declared_kind), actual in zip(mi.formals, actuals):
+        for wanted, actual in zip(sig.formal_kinds, actuals):
             actual_kind = self._owner_kind(env, actual, span)
-            wanted = declared_kind.substitute(rename)
             if not self.program.kind_table.is_subkind(actual_kind, wanted):
                 raise OwnershipTypeError(
                     f"owner argument '{actual}' has kind "
@@ -974,21 +980,21 @@ class Checker:
                         f"(transitively) own the receiver", span,
                         rule="EXPR INVOKE")
 
-        def rename_type(t: Type, what: str) -> Type:
-            if t.mentions(THIS) and not receiver_is_this:
-                raise OwnershipTypeError(
-                    f"{what} of '{ttype.name}.{mi.name}' mentions 'this' "
-                    "and is only usable through 'this' (property O3)",
-                    span, rule="EXPR INVOKE")
-            return t.substitute(rename)
+        def reject_this_mention(what: str) -> None:
+            raise OwnershipTypeError(
+                f"{what} of '{ttype.name}.{mi.name}' mentions 'this' "
+                "and is only usable through 'this' (property O3)",
+                span, rule="EXPR INVOKE")
 
         if len(expr.args) != len(mi.params):
             raise OwnershipTypeError(
                 f"method '{ttype.name}.{mi.name}' expects "
                 f"{len(mi.params)} arguments, got {len(expr.args)}",
                 span, rule="EXPR INVOKE")
-        for arg, (ptype, pname) in zip(expr.args, mi.params):
-            want = rename_type(ptype, f"parameter '{pname}'")
+        for i, (arg, (_, pname)) in enumerate(zip(expr.args, mi.params)):
+            if sig.param_mentions_this[i] and not receiver_is_this:
+                reject_this_mention(f"parameter '{pname}'")
+            want = sig.param_types[i]
             got = self.check_expr(env, arg, permitted, rcr)
             self._require_subtype(got, want, span,
                                   f"argument for '{pname}'")
@@ -1010,15 +1016,15 @@ class Checker:
                     f"'{ttype.name}.{mi.name}' is not satisfied", span,
                     rule="EXPR INVOKE")
 
-        effects = mi.effects if mi.effects is not None else ()
-        for eff in effects:
-            renamed = rename.get(eff, eff)
+        for renamed in sig.effects:
             if renamed == THIS and not receiver_is_this:
                 renamed = first_owner
             self._require_effect(env, permitted, renamed, span,
                                  f"calling '{ttype.name}.{mi.name}'",
                                  "EXPR INVOKE")
-        return rename_type(mi.return_type, "return type")
+        if sig.return_mentions_this and not receiver_is_this:
+            reject_this_mention("return type")
+        return sig.return_type
 
     # -- operators and builtins ------------------------------------------
 

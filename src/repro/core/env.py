@@ -18,7 +18,7 @@ the stored facts the environment implements the paper's derived judgments:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from ..errors import OwnershipTypeError
@@ -36,7 +36,16 @@ Effects = Optional[FrozenSet[Owner]]
 
 @dataclass(frozen=True)
 class Env:
-    """Immutable typing environment; extension returns a new Env."""
+    """Immutable typing environment; extension returns a new Env.
+
+    Because the environment is persistent (every ``with_*`` returns a new
+    instance and no stored fact ever changes), the derived judgments below
+    are pure functions of the instance — so each Env carries a private
+    memo table (adjacency indexes over the edge sets plus per-query
+    results).  ``_derive`` (and ``dataclasses.replace``, which it
+    replaces on the hot path) resets that table, so derived environments
+    always start with an empty cache and can never see stale answers.
+    """
 
     program: ProgramInfo
     vars: Dict[str, Type] = field(default_factory=dict)
@@ -45,6 +54,43 @@ class Env:
     handles: FrozenSet[str] = frozenset()
     owns_edges: FrozenSet[Tuple[Owner, Owner]] = frozenset()
     outlives_edges: FrozenSet[Tuple[Owner, Owner]] = frozenset()
+    _memo: Dict[str, dict] = field(init=False, default_factory=dict,
+                                   repr=False, compare=False)
+
+    def _derive(self, **changes) -> "Env":
+        """Fast ``dataclasses.replace``: copy the instance dict, apply
+        ``changes``, reset the memo.  Equivalent because every field of
+        this frozen dataclass lives in ``__dict__`` and ``__init__`` has
+        no logic beyond field assignment."""
+        new = object.__new__(Env)
+        d = dict(self.__dict__)
+        d.update(changes)
+        d["_memo"] = {}
+        new.__dict__.update(d)
+        return new
+
+    def _caches(self) -> Dict[str, dict]:
+        """Adjacency indexes + memo tables, built on first use."""
+        c = self._memo
+        if not c:
+            owns_fwd: Dict[Owner, List[Owner]] = {}
+            owns_rev: Dict[Owner, List[Owner]] = {}
+            reach_fwd: Dict[Owner, List[Owner]] = {}
+            for a, b in self.owns_edges:
+                owns_fwd.setdefault(a, []).append(b)
+                owns_rev.setdefault(b, []).append(a)
+                reach_fwd.setdefault(a, []).append(b)
+            for a, b in self.outlives_edges:
+                reach_fwd.setdefault(a, []).append(b)
+            c["owns_fwd"] = owns_fwd
+            c["owns_rev"] = owns_rev
+            c["reach_fwd"] = reach_fwd
+            c["owns"] = {}
+            c["outlives"] = {}
+            c["av"] = {}
+            c["rkind"] = {}
+            c["effect"] = {}
+        return c
 
     # ------------------------------------------------------------------
     # construction / extension
@@ -59,7 +105,7 @@ class Env:
     def with_var(self, name: str, vtype: Type) -> "Env":
         new_vars = dict(self.vars)
         new_vars[name] = vtype
-        return replace(self, vars=new_vars)
+        return self._derive(vars=new_vars)
 
     def with_owner(self, name: str, kind: Kind) -> "Env":
         """[ENV OWNER]; rejects shadowing so owner atoms stay unambiguous."""
@@ -70,28 +116,27 @@ class Env:
                 f"owner '{name}' shadows an owner already in scope")
         new_kinds = dict(self.owner_kinds)
         new_kinds[name] = kind
-        return replace(self, owner_kinds=new_kinds)
+        return self._derive(owner_kinds=new_kinds)
 
     def with_handle(self, owner: Owner) -> "Env":
-        return replace(self, handles=self.handles | {owner.name})
+        return self._derive(handles=self.handles | {owner.name})
 
     def with_this(self, this_type: ClassType) -> "Env":
         """Bind ``this``; records that the first owner owns ``this`` and
         that every owner of the type outlives the first ([TYPE C]
         invariant)."""
-        env = replace(self, this_type=this_type)
+        env = self._derive(this_type=this_type)
         env = env.with_owns(this_type.owner, THIS)
         for extra in this_type.owners[1:]:
             env = env.with_outlives(extra, this_type.owner)
         return env
 
     def with_owns(self, owner: Owner, owned: Owner) -> "Env":
-        return replace(self, owns_edges=self.owns_edges | {(owner, owned)})
+        return self._derive(owns_edges=self.owns_edges | {(owner, owned)})
 
     def with_outlives(self, longer: Owner, shorter: Owner) -> "Env":
-        return replace(self,
-                       outlives_edges=self.outlives_edges
-                       | {(longer, shorter)})
+        return self._derive(outlives_edges=self.outlives_edges
+                            | {(longer, shorter)})
 
     def with_constraint(self, constraint: Constraint) -> "Env":
         if constraint.relation == "owns":
@@ -168,22 +213,34 @@ class Env:
     # the outlives and ownership relations
     # ------------------------------------------------------------------
 
+    @staticmethod
+    def _reaches(adjacency: Dict[Owner, List[Owner]],
+                 start: Owner, goal: Owner) -> bool:
+        seen: Set[Owner] = {start}
+        frontier = [start]
+        while frontier:
+            current = frontier.pop()
+            for nxt in adjacency.get(current, ()):
+                if nxt == goal:
+                    return True
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        return False
+
     def owns(self, owner: Owner, owned: Owner) -> bool:
         """``E ⊢ owner ≽o owned`` — reflexive transitive closure of the
         ownership edges."""
         if owner == owned:
             return True
-        seen: Set[Owner] = {owner}
-        frontier = [owner]
-        while frontier:
-            current = frontier.pop()
-            for a, b in self.owns_edges:
-                if a == current and b not in seen:
-                    if b == owned:
-                        return True
-                    seen.add(b)
-                    frontier.append(b)
-        return False
+        caches = self._caches()
+        key = (owner, owned)
+        memo = caches["owns"]
+        hit = memo.get(key)
+        if hit is None:
+            hit = self._reaches(caches["owns_fwd"], owner, owned)
+            memo[key] = hit
+        return hit
 
     def outlives(self, longer: Owner, shorter: Owner) -> bool:
         """``E ⊢ longer ≽ shorter``."""
@@ -191,17 +248,14 @@ class Env:
             return True
         if longer in (HEAP, IMMORTAL):
             return True
-        seen: Set[Owner] = {longer}
-        frontier = [longer]
-        while frontier:
-            current = frontier.pop()
-            for a, b in self.outlives_edges | self.owns_edges:
-                if a == current and b not in seen:
-                    if b == shorter:
-                        return True
-                    seen.add(b)
-                    frontier.append(b)
-        return False
+        caches = self._caches()
+        key = (longer, shorter)
+        memo = caches["outlives"]
+        hit = memo.get(key)
+        if hit is None:
+            hit = self._reaches(caches["reach_fwd"], longer, shorter)
+            memo[key] = hit
+        return hit
 
     def entails(self, constraint: Constraint) -> bool:
         if constraint.relation == "owns":
@@ -218,33 +272,45 @@ class Env:
         directions along ownership edges ([AV TRANS1], [AV TRANS2])
         because an object is allocated in the same region as its owner.
         """
-        base: Set[Owner] = {HEAP, IMMORTAL}
-        base.update(Owner(h) for h in self.handles)
-        # [AV HANDLE]: any in-scope variable of type RHandle(r) makes r's
-        # handle available (region-statement handles and method handle
-        # parameters alike)
-        from .types import HandleType
-        for vtype in self.vars.values():
-            if isinstance(vtype, HandleType):
-                base.add(vtype.region)
-        if self.this_type is not None:
-            base.add(THIS)  # [AV THIS] — the runtime can always find the
-            #                 region of the current receiver
-        if owner in base:
-            return True
-        seen: Set[Owner] = {owner}
-        frontier = [owner]
-        while frontier:
-            current = frontier.pop()
-            for a, b in self.owns_edges:
-                for nxt in ((b,) if a == current else
-                            (a,) if b == current else ()):
-                    if nxt in base:
-                        return True
-                    if nxt not in seen:
-                        seen.add(nxt)
-                        frontier.append(nxt)
-        return False
+        caches = self._caches()
+        memo = caches["av"]
+        hit = memo.get(owner)
+        if hit is not None:
+            return hit
+        base = caches.get("av_base")
+        if base is None:
+            base = {HEAP, IMMORTAL}
+            base.update(Owner(h) for h in self.handles)
+            # [AV HANDLE]: any in-scope variable of type RHandle(r) makes
+            # r's handle available (region-statement handles and method
+            # handle parameters alike)
+            from .types import HandleType
+            for vtype in self.vars.values():
+                if isinstance(vtype, HandleType):
+                    base.add(vtype.region)
+            if self.this_type is not None:
+                base.add(THIS)  # [AV THIS] — the runtime can always find
+                #                 the region of the current receiver
+            caches["av_base"] = base
+        result = owner in base
+        if not result:
+            owns_fwd, owns_rev = caches["owns_fwd"], caches["owns_rev"]
+            seen: Set[Owner] = {owner}
+            frontier = [owner]
+            while frontier and not result:
+                current = frontier.pop()
+                for adj in (owns_fwd, owns_rev):
+                    for nxt in adj.get(current, ()):
+                        if nxt in base:
+                            result = True
+                            break
+                        if nxt not in seen:
+                            seen.add(nxt)
+                            frontier.append(nxt)
+                    if result:
+                        break
+        memo[owner] = result
+        return result
 
     # ------------------------------------------------------------------
     # region-kind inference:  E ⊢ RKind(o) = k
@@ -255,6 +321,12 @@ class Env:
         allocated in (if an object); ``None`` if the environment cannot
         determine it.  Exploits the invariant that a subobject is
         allocated in the same region as its owner."""
+        caches = self._caches()
+        memo = caches["rkind"]
+        if owner in memo:
+            return memo[owner]
+        owns_rev = caches["owns_rev"]
+        result: Optional[Kind] = None
         seen: Set[Owner] = set()
         frontier = [owner]
         while frontier:
@@ -272,13 +344,13 @@ class Env:
             except OwnershipTypeError:
                 continue
             if self.program.kind_table.is_subkind(kind, K_REGION):
-                return kind  # [RKIND FN1]
+                result = kind  # [RKIND FN1]
+                break
             if kind.name in (OWNER, OBJ_OWNER):
                 # [RKIND FN2]: follow ownership upward.
-                for a, b in self.owns_edges:
-                    if b == current:
-                        frontier.append(a)
-        return None
+                frontier.extend(owns_rev.get(current, ()))
+        memo[owner] = result
+        return result
 
     # ------------------------------------------------------------------
     # effects:  E ⊢ X ≽ X'
@@ -291,8 +363,14 @@ class Env:
             return True
         if accessed == RT_EFFECT:
             return RT_EFFECT in permitted
-        return any(g != RT_EFFECT and self.outlives(g, accessed)
-                   for g in permitted)
+        memo = self._caches()["effect"]
+        key = (permitted, accessed)
+        hit = memo.get(key)
+        if hit is None:
+            hit = any(g != RT_EFFECT and self.outlives(g, accessed)
+                      for g in permitted)
+            memo[key] = hit
+        return hit
 
     def effects_subsume(self, permitted: Effects,
                         accessed: Iterable[Owner]) -> bool:

@@ -162,7 +162,11 @@ class ClassInfo:
 
     @property
     def formal_names(self) -> Tuple[str, ...]:
-        return tuple(fn for fn, _ in self.formals)
+        cached = self.__dict__.get("_formal_names")
+        if cached is None:
+            cached = tuple(fn for fn, _ in self.formals)
+            self.__dict__["_formal_names"] = cached
+        return cached
 
     @property
     def first_formal(self) -> Owner:
@@ -181,10 +185,17 @@ class RegionKindInfo:
 
     @property
     def formal_names(self) -> Tuple[str, ...]:
-        return tuple(fn for fn, _ in self.formals)
+        cached = self.__dict__.get("_formal_names")
+        if cached is None:
+            cached = tuple(fn for fn, _ in self.formals)
+            self.__dict__["_formal_names"] = cached
+        return cached
 
 
 BUILTIN_CLASS_NAMES = ("Object", "IntArray", "FloatArray")
+
+#: sentinel distinguishing "memoized None" from "not yet computed"
+_MISSING = object()
 
 
 def _builtin_classes() -> Dict[str, ClassInfo]:
@@ -214,13 +225,47 @@ def _builtin_classes() -> Dict[str, ClassInfo]:
 
 
 @dataclass
+class InvokeSignature:
+    """A method signature renamed for one call shape: receiver type +
+    owner actuals + current region ``rcr``.
+
+    Precomputed once per ``(class type, method, actuals, rcr)`` key and
+    shared across every call site with that shape, so ``[EXPR INVOKE]``
+    stops rebuilding substitutions per call.  ``rename`` is the complete
+    substitution (class formals, method formals, and ``initialRegion``)
+    and is shared — treat it as read-only.  Renamed components leave
+    ``this`` intact; the checker translates ``this`` per receiver.
+    The ``*_mentions_this`` flags record whether the *declared* (pre-
+    rename) component mentions ``this`` — the property O3 restriction.
+    """
+
+    method: MethodInfo
+    rename: Subst
+    formal_kinds: Tuple[Kind, ...]
+    param_types: Tuple[Type, ...]
+    param_mentions_this: Tuple[bool, ...]
+    return_type: Type
+    return_mentions_this: bool
+    effects: Tuple[Owner, ...]
+
+
+@dataclass
 class ProgramInfo:
-    """Semantic view of a whole program ``P``."""
+    """Semantic view of a whole program ``P``.
+
+    The tables are immutable once built (``build_program_info`` populates
+    everything before returning), so member lookups and call-shape
+    renamings are memoized per instance.
+    """
 
     classes: Dict[str, ClassInfo]
     region_kinds: Dict[str, RegionKindInfo]
     ast_program: ast.Program
     kind_table: KindTable
+    _member_cache: dict = field(default_factory=dict, repr=False,
+                                compare=False)
+    _invoke_cache: dict = field(default_factory=dict, repr=False,
+                                compare=False)
 
     # -- class member lookup (with inheritance) -------------------------
 
@@ -233,20 +278,49 @@ class ProgramInfo:
     def superclass_of(self, ctype: ClassType) -> Optional[ClassType]:
         """[SUBTYPE CLASS]: the direct superclass with owners
         substituted."""
+        key = ("super", ctype)
+        hit = self._member_cache.get(key, _MISSING)
+        if hit is not _MISSING:
+            return hit
         info = self.class_info(ctype.name)
         if info.superclass is None:
-            return None
-        subst = make_subst(info.formal_names, ctype.owners)
-        return info.superclass.substitute(subst)
+            result = None
+        else:
+            subst = make_subst(info.formal_names, ctype.owners)
+            result = info.superclass.substitute(subst)
+        self._member_cache[key] = result
+        return result
 
     def lookup_field(self, class_name: str,
                      field_name: str) -> Optional[FieldInfo]:
         """``P ⊢ (t fd) ∈ cn<fn1..n>`` over *class_name*'s own formals."""
+        key = ("field", class_name, field_name)
+        hit = self._member_cache.get(key, _MISSING)
+        if hit is not _MISSING:
+            return hit
+        result = self._lookup_member(class_name, field_name,
+                                     lambda info: info.fields)
+        self._member_cache[key] = result
+        return result
+
+    def lookup_method(self, class_name: str,
+                      method_name: str) -> Optional[MethodInfo]:
+        key = ("method", class_name, method_name)
+        hit = self._member_cache.get(key, _MISSING)
+        if hit is not _MISSING:
+            return hit
+        result = self._lookup_member(class_name, method_name,
+                                     lambda info: info.methods)
+        self._member_cache[key] = result
+        return result
+
+    def _lookup_member(self, class_name: str, member_name: str, table):
         info = self.classes.get(class_name)
         subst: Subst = {}
         while info is not None:
-            if field_name in info.fields:
-                found = info.fields[field_name]
+            members = table(info)
+            if member_name in members:
+                found = members[member_name]
                 return found.substitute(subst) if subst else found
             if info.superclass is None:
                 return None
@@ -260,23 +334,44 @@ class ProgramInfo:
             info = sup_info
         return None
 
-    def lookup_method(self, class_name: str,
-                      method_name: str) -> Optional[MethodInfo]:
-        info = self.classes.get(class_name)
-        subst: Subst = {}
-        while info is not None:
-            if method_name in info.methods:
-                found = info.methods[method_name]
-                return found.substitute(subst) if subst else found
-            if info.superclass is None:
-                return None
-            sup = info.superclass.substitute(subst)
-            sup_info = self.classes.get(sup.name)
-            if sup_info is None:
-                return None
-            subst = make_subst(sup_info.formal_names, sup.owners)
-            info = sup_info
-        return None
+    def invoke_signature(self, ctype: ClassType, method_name: str,
+                         actuals: Tuple[Owner, ...],
+                         rcr: Owner) -> Optional[InvokeSignature]:
+        """The renamed signature of ``ctype.method_name<actuals>`` checked
+        under current region ``rcr``; ``None`` if the method does not
+        exist or the owner-argument count is wrong."""
+        key = (ctype, method_name, actuals, rcr)
+        hit = self._invoke_cache.get(key, _MISSING)
+        if hit is not _MISSING:
+            return hit
+        result = self._build_invoke_signature(ctype, method_name,
+                                              actuals, rcr)
+        self._invoke_cache[key] = result
+        return result
+
+    def _build_invoke_signature(self, ctype, method_name, actuals, rcr):
+        from .owners import INITIAL_REGION, THIS
+        mi = self.lookup_method(ctype.name, method_name)
+        if mi is None or len(actuals) != len(mi.formals):
+            return None
+        rename = dict(make_subst(
+            self.class_info(ctype.name).formal_names, ctype.owners))
+        for (fn, _), actual in zip(mi.formals, actuals):
+            rename[Owner(fn)] = actual
+        rename[INITIAL_REGION] = rcr
+        return InvokeSignature(
+            method=mi,
+            rename=rename,
+            formal_kinds=tuple(k.substitute(rename)
+                               for _, k in mi.formals),
+            param_types=tuple(t.substitute(rename)
+                              for t, _ in mi.params),
+            param_mentions_this=tuple(t.mentions(THIS)
+                                      for t, _ in mi.params),
+            return_type=mi.return_type.substitute(rename),
+            return_mentions_this=mi.return_type.mentions(THIS),
+            effects=(tuple(rename.get(o, o) for o in mi.effects)
+                     if mi.effects is not None else ()))
 
     # -- region-kind member lookup ---------------------------------------
 

@@ -26,6 +26,13 @@ class RelationGraph:
     node_kinds: Dict[str, str] = field(default_factory=dict)
     owns: List[Tuple[str, str]] = field(default_factory=list)
     outlives: List[Tuple[str, str]] = field(default_factory=list)
+    #: adjacency indexes maintained by add_owns so owner_of/owned_by are
+    #: O(1)/O(degree) instead of scanning every edge (region_of walks —
+    #: one owner_of per ancestor — were quadratic on deep forests)
+    _first_owner: Dict[str, str] = field(default_factory=dict,
+                                         repr=False, compare=False)
+    _owned: Dict[str, List[str]] = field(default_factory=dict,
+                                         repr=False, compare=False)
 
     def add_node(self, node_id: str, label: str, kind: str) -> None:
         self.labels[node_id] = label
@@ -33,6 +40,10 @@ class RelationGraph:
 
     def add_owns(self, owner_id: str, owned_id: str) -> None:
         self.owns.append((owner_id, owned_id))
+        # first edge wins, matching the old first-match linear scan even
+        # on (ill-formed) multi-owner graphs
+        self._first_owner.setdefault(owned_id, owner_id)
+        self._owned.setdefault(owner_id, []).append(owned_id)
 
     def add_outlives(self, longer_id: str, shorter_id: str) -> None:
         self.outlives.append((longer_id, shorter_id))
@@ -40,13 +51,13 @@ class RelationGraph:
     # -- queries used by tests and the Figure-6 example -----------------
 
     def owner_of(self, node_id: str) -> str:
-        for owner, owned in self.owns:
-            if owned == node_id:
-                return owner
-        raise KeyError(node_id)
+        try:
+            return self._first_owner[node_id]
+        except KeyError:
+            raise KeyError(node_id) from None
 
     def owned_by(self, owner_id: str) -> List[str]:
-        return [owned for owner, owned in self.owns if owner == owner_id]
+        return list(self._owned.get(owner_id, ()))
 
     def is_forest(self) -> bool:
         """Ownership property O1: every node has at most one owner and

@@ -1,11 +1,18 @@
 """Semantic types (grammar: ``t ::= c | int | RHandle(r)``) plus the
 ``float``/``boolean``/``void`` scalars and the null bottom type used by the
-statement sugar."""
+statement sugar.
+
+Class and handle types are *interned* (hash-consed) like
+:class:`repro.core.owners.Owner`: constructing ``ClassType(n, os)`` twice
+yields the same object, which makes the checker's substitution-heavy hot
+path allocate nothing for repeated types and turns deep equality into a
+pointer check in the common case.  Equality/hashing remain structural.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import ClassVar, Dict, Optional, Tuple
 
 from .owners import Owner, Subst, substitute, substitute_all
 
@@ -30,6 +37,20 @@ class Type:
 @dataclass(frozen=True)
 class PrimType(Type):
     name: str  # 'int' | 'float' | 'boolean' | 'void'
+
+    _interned: ClassVar[Dict[str, "PrimType"]] = {}
+
+    def __new__(cls, name: Optional[str] = None) -> "PrimType":
+        if name is None:
+            return super().__new__(cls)
+        cached = cls._interned.get(name)
+        if cached is None:
+            cached = super().__new__(cls)
+            cls._interned[name] = cached
+        return cached
+
+    def __hash__(self) -> int:
+        return hash(self.name)
 
     def __str__(self) -> str:
         return self.name
@@ -63,6 +84,30 @@ class ClassType(Type):
     name: str
     owners: Tuple[Owner, ...]
 
+    _interned: ClassVar[Dict[Tuple[str, Tuple[Owner, ...]],
+                             "ClassType"]] = {}
+
+    def __new__(cls, name: Optional[str] = None,
+                owners: Tuple[Owner, ...] = ()) -> "ClassType":
+        if name is None:
+            return super().__new__(cls)
+        owners = owners if isinstance(owners, tuple) else tuple(owners)
+        key = (name, owners)
+        cached = cls._interned.get(key)
+        if cached is None:
+            cached = super().__new__(cls)
+            object.__setattr__(cached, "_hash", hash(key))
+            cls._interned[key] = cached
+        return cached
+
+    def __hash__(self) -> int:
+        try:
+            return self._hash
+        except AttributeError:
+            h = hash((self.name, self.owners))
+            object.__setattr__(self, "_hash", h)
+            return h
+
     def __str__(self) -> str:
         return self.name + "<" + ", ".join(map(str, self.owners)) + ">"
 
@@ -71,7 +116,11 @@ class ClassType(Type):
         return self.owners[0]
 
     def substitute(self, subst: Subst) -> "ClassType":
-        return ClassType(self.name, substitute_all(self.owners, subst))
+        renamed = substitute_all(self.owners, subst)
+        # substitute_all preserves identity when nothing changes, and the
+        # interner returns ``self`` for an identical key.
+        return self if renamed is self.owners \
+            else ClassType(self.name, renamed)
 
     def mentions(self, owner: Owner) -> bool:
         return owner in self.owners
@@ -87,11 +136,26 @@ class HandleType(Type):
 
     region: Owner
 
+    _interned: ClassVar[Dict[Owner, "HandleType"]] = {}
+
+    def __new__(cls, region: Optional[Owner] = None) -> "HandleType":
+        if region is None:
+            return super().__new__(cls)
+        cached = cls._interned.get(region)
+        if cached is None:
+            cached = super().__new__(cls)
+            cls._interned[region] = cached
+        return cached
+
+    def __hash__(self) -> int:
+        return hash(self.region)
+
     def __str__(self) -> str:
         return f"RHandle<{self.region}>"
 
     def substitute(self, subst: Subst) -> "HandleType":
-        return HandleType(substitute(self.region, subst))
+        renamed = substitute(self.region, subst)
+        return self if renamed is self.region else HandleType(renamed)
 
     def mentions(self, owner: Owner) -> bool:
         return self.region == owner

@@ -1,7 +1,22 @@
-"""Hand-written lexer for the core language."""
+"""Lexer for the core language.
+
+``tokenize`` is a single-pass scanner driven by one master regular
+expression (one ``re.match`` per token instead of one Python-level loop
+iteration per *character*, which made the old hand-written scanner the
+dominant cost of ``analyze()``).  The token stream, spans, and error
+behavior are identical to the original character-at-a-time
+:class:`Lexer`, which is kept below as the executable specification and
+for callers that want incremental ``next_token`` scanning.
+
+``tokenize`` also accepts a start line/column so a *slice* of a larger
+file (a class-declaration chunk, as cut by
+:mod:`repro.core.cache`) can be lexed with spans expressed in the
+coordinates of the enclosing file.
+"""
 
 from __future__ import annotations
 
+import re
 from typing import List
 
 from ..errors import LexError
@@ -38,6 +53,93 @@ _PUNCT1 = {
 }
 
 
+# Number classes are ASCII-only ([0-9], not \d): unicode decimal digits
+# like ARABIC-INDIC ZERO satisfy \d but are not valid literals.  Word
+# start is "word character that is not a decimal digit" — the unicode
+# letters the old scanner's str.isalpha() admitted — with a post-check
+# for the few non-ASCII \w characters (e.g. '¹') that isalpha() rejects;
+# word continuation \w matches isalnum()-or-underscore exactly.
+_MASTER_RE = re.compile(
+    r"""
+      [ \t\r\n]+                                      # whitespace
+    | //[^\n]*                                        # line comment
+    | /\*[^*]*(?:\*(?!/)[^*]*)*\*/                    # block comment
+    | (?P<float>[0-9]+\.[0-9]+(?:[eE][+-]?[0-9]+)?
+               |[0-9]+[eE][+-]?[0-9]+)
+    | (?P<int>[0-9]+)
+    | (?P<word>[^\W\d]\w*)
+    | (?P<p2>==|!=|<=|>=|&&|\|\|)
+    | (?P<p1>[(){}<>,;.:=+\-*/%!])
+    """,
+    re.VERBOSE,
+)
+
+
+def tokenize(text: str, filename: str = "<input>",
+             start_line: int = 1, start_col: int = 1) -> List[Token]:
+    """Tokenize ``text``, returning a list ending in an EOF token.
+
+    ``start_line``/``start_col`` place the first character of ``text``
+    at that position, so chunk slices lex to full-file coordinates.
+    """
+    tokens: List[Token] = []
+    append = tokens.append
+    scan = _MASTER_RE.match
+    keyword_get = KEYWORDS.get
+    pos = 0
+    n = len(text)
+    line = start_line
+    # Column of position p is p - line_start + 1; the initial value
+    # offsets the first line so position 0 lands on start_col.
+    line_start = 1 - start_col
+    while pos < n:
+        match = scan(text, pos)
+        if match is None:
+            here = Position(line, pos - line_start + 1)
+            raise LexError(f"unexpected character {text[pos]!r}",
+                           Span(here, here, filename))
+        end = match.end()
+        group = match.lastgroup
+        if group is None:
+            # trivia — only whitespace and block comments span lines
+            seg = match[0]
+            if "\n" in seg:
+                line += seg.count("\n")
+                line_start = match.start() + seg.rindex("\n") + 1
+            pos = end
+            continue
+        tok_text = match[0]
+        col = pos - line_start + 1
+        if group == "word":
+            first = tok_text[0]
+            if first >= "\x80" and not first.isalpha():
+                here = Position(line, col)
+                raise LexError(f"unexpected character {first!r}",
+                               Span(here, here, filename))
+            kind = keyword_get(tok_text, TokenKind.IDENT)
+        elif group == "int":
+            kind = TokenKind.INT_LIT
+        elif group == "float":
+            kind = TokenKind.FLOAT_LIT
+        elif group == "p1":
+            if tok_text == "/" and end < n and text[end] == "*":
+                # a terminated comment would have matched above
+                start_p = Position(line, col)
+                raise LexError(
+                    "unterminated block comment",
+                    Span(start_p, Position(line, col + 2), filename))
+            kind = _PUNCT1[tok_text]
+        else:
+            kind = _PUNCT2[tok_text]
+        span = Span(Position(line, col),
+                    Position(line, col + end - pos), filename)
+        append(Token(kind, tok_text, span))
+        pos = end
+    here = Position(line, n - line_start + 1)
+    append(Token(TokenKind.EOF, "", Span(here, here, filename)))
+    return tokens
+
+
 _ASCII_DIGITS = "0123456789"
 
 
@@ -49,7 +151,12 @@ def _is_digit(ch: str) -> bool:
 
 
 class Lexer:
-    """Converts core-language source text into a token stream."""
+    """Character-at-a-time reference scanner.
+
+    Kept as the executable specification of the token grammar (the
+    regex-driven :func:`tokenize` above must stay behaviorally
+    identical — the property tests compare the two) and for incremental
+    ``next_token`` use."""
 
     def __init__(self, text: str, filename: str = "<input>"):
         self.text = text
@@ -164,8 +271,3 @@ class Lexer:
             out.append(tok)
             if tok.kind is TokenKind.EOF:
                 return out
-
-
-def tokenize(text: str, filename: str = "<input>") -> List[Token]:
-    """Tokenize ``text``, returning a list ending in an EOF token."""
-    return Lexer(text, filename).tokens()

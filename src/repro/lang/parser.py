@@ -52,6 +52,11 @@ _BINARY_LEVELS: List[List[Tuple[TokenKind, str]]] = [
      (TokenKind.PERCENT, "%")],
 ]
 
+#: token kind -> (binding power, operator text); higher binds tighter
+_BIN_PREC = {kind: (level, op)
+             for level, tier in enumerate(_BINARY_LEVELS)
+             for kind, op in tier}
+
 
 class Parser:
     def __init__(self, tokens: List[Token], filename: str = "<input>",
@@ -66,11 +71,16 @@ class Parser:
     # ------------------------------------------------------------------
 
     def _peek(self, offset: int = 0) -> Token:
-        i = min(self.index + offset, len(self.tokens) - 1)
-        return self.tokens[i]
+        # the EOF token is always last and _advance never moves past it,
+        # so offset-0 peeks (the overwhelmingly common case) need no
+        # bounds check
+        if offset:
+            i = min(self.index + offset, len(self.tokens) - 1)
+            return self.tokens[i]
+        return self.tokens[self.index]
 
     def _at(self, kind: TokenKind) -> bool:
-        return self._peek().kind is kind
+        return self.tokens[self.index].kind is kind
 
     def _advance(self) -> Token:
         tok = self.tokens[self.index]
@@ -514,23 +524,28 @@ class Parser:
     # ------------------------------------------------------------------
 
     def parse_expr(self) -> ast.Expr:
-        return self._parse_binary(0)
+        return self._parse_binary_rhs(self._parse_unary(), 0)
 
-    def _parse_binary(self, level: int) -> ast.Expr:
-        if level >= len(_BINARY_LEVELS):
-            return self._parse_unary()
-        left = self._parse_binary(level + 1)
+    def _parse_binary_rhs(self, left: ast.Expr,
+                          min_prec: int) -> ast.Expr:
+        # precedence climbing over _BIN_PREC instead of one recursion
+        # level per precedence tier; all operators are left-associative,
+        # so the trees are identical to the old ladder's
+        prec_map = _BIN_PREC
+        tokens = self.tokens
         while True:
-            matched = None
-            for kind, op in _BINARY_LEVELS[level]:
-                if self._at(kind):
-                    matched = op
-                    self._advance()
-                    break
-            if matched is None:
+            entry = prec_map.get(tokens[self.index].kind)
+            if entry is None or entry[0] < min_prec:
                 return left
-            right = self._parse_binary(level + 1)
-            left = ast.Binary(matched, left, right,
+            prec, op = entry
+            self._advance()
+            right = self._parse_unary()
+            while True:
+                nxt = prec_map.get(tokens[self.index].kind)
+                if nxt is None or nxt[0] <= prec:
+                    break
+                right = self._parse_binary_rhs(right, nxt[0])
+            left = ast.Binary(op, left, right,
                               left.span.merge(right.span))
 
     def _parse_unary(self) -> ast.Expr:
@@ -640,7 +655,13 @@ class Parser:
         return ast.NewExpr(name, owners, args, self._span_from(start))
 
 
-def parse_program(text: str, filename: str = "<input>") -> ast.Program:
-    """Parse a full core-language program from source text."""
-    tokens = tokenize(text, filename)
+def parse_program(text: str, filename: str = "<input>",
+                  start_line: int = 1,
+                  start_col: int = 1) -> ast.Program:
+    """Parse a full core-language program from source text.
+
+    ``start_line``/``start_col`` place the first character of ``text``
+    at that position — used by the incremental analysis cache to parse
+    a class-declaration *slice* of a file with full-file spans."""
+    tokens = tokenize(text, filename, start_line, start_col)
     return Parser(tokens, filename, text).parse_program()

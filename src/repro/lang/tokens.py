@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from enum import Enum, auto, unique
+from typing import NamedTuple
 
 from ..source import Span
 
@@ -119,8 +119,10 @@ BUILTIN_KIND_NAMES = frozenset({
 })
 
 
-@dataclass(frozen=True)
-class Token:
+class Token(NamedTuple):
+    """A NamedTuple (not a dataclass) — the lexer allocates one per
+    token, and tuple construction is several times cheaper."""
+
     kind: TokenKind
     text: str
     span: Span

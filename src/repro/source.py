@@ -3,15 +3,21 @@
 Every token, AST node, and diagnostic carries a :class:`Span` so that type
 errors point back at the offending line of the core-language program, exactly
 the way the paper's checker reports errors against Java source.
+
+Both classes are ``NamedTuple``s rather than frozen dataclasses: the lexer
+creates three of them per token, and tuple construction is several times
+cheaper than a frozen-dataclass ``__init__`` (which goes through
+``object.__setattr__`` per field).  They remain immutable, hashable, and
+structurally comparable; ordering a :class:`Position` compares
+``(line, column)`` lexicographically.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from typing import NamedTuple
 
 
-@dataclass(frozen=True)
-class Position:
+class Position(NamedTuple):
     """A single point in a source file (1-based line and column)."""
 
     line: int
@@ -21,8 +27,7 @@ class Position:
         return f"{self.line}:{self.column}"
 
 
-@dataclass(frozen=True)
-class Span:
+class Span(NamedTuple):
     """A contiguous range of source text, used to anchor diagnostics."""
 
     start: Position
@@ -38,11 +43,8 @@ class Span:
 
     def merge(self, other: "Span") -> "Span":
         """Smallest span covering both ``self`` and ``other``."""
-        lo = min((self.start.line, self.start.column),
-                 (other.start.line, other.start.column))
-        hi = max((self.end.line, self.end.column),
-                 (other.end.line, other.end.column))
-        return Span(Position(*lo), Position(*hi), self.filename)
+        return Span(min(self.start, other.start),
+                    max(self.end, other.end), self.filename)
 
 
 def excerpt(text: str, span: Span, context: int = 0) -> str:

@@ -152,3 +152,75 @@ class TestCompile:
         code, _out, err = run_cli("compile", str(path))
         assert code == 2
         assert "compile error" in err
+
+
+class TestAnalysisCache:
+    def test_run_with_cache_matches_plain_run(self, good_file, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        code_a, out_a, _ = run_cli("run", "--analysis-cache", cache_dir,
+                                   good_file)
+        # second run replays from the saved disk cache
+        code_b, out_b, _ = run_cli("run", "--analysis-cache", cache_dir,
+                                   good_file)
+        code_c, out_c, _ = run_cli("run", good_file)
+        assert code_a == code_b == code_c == 0
+        assert out_a == out_b == out_c
+        assert (tmp_path / "cache" / "analysis-cache.json").exists()
+
+    def test_ill_typed_diagnostics_unchanged_by_cache(self, bad_file,
+                                                      tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        code_a, _, err_a = run_cli("check", bad_file)
+        code_b, _, err_b = run_cli("run", "--analysis-cache", cache_dir,
+                                   bad_file)
+        code_c, _, err_c = run_cli("run", "--analysis-cache", cache_dir,
+                                   bad_file)
+        assert code_a == 1 and code_b == 1 and code_c == 1
+        # same error lines regardless of cache tier
+        errors_a = [l for l in err_a.splitlines()
+                    if l.startswith("error:")]
+        errors_b = [l for l in err_b.splitlines()
+                    if l.startswith("error:")]
+        errors_c = [l for l in err_c.splitlines()
+                    if l.startswith("error:")]
+        assert errors_a == errors_b == errors_c
+
+    def test_profile_accepts_cache_flag(self, good_file, tmp_path):
+        code, out, _ = run_cli("profile", "--analysis-cache",
+                               str(tmp_path / "c"), good_file)
+        assert code == 0
+
+
+class TestBenchFrontend:
+    def test_frontend_suite_smoke(self, tmp_path):
+        out_file = str(tmp_path / "bench.json")
+        code, out, err = run_cli("bench", "--suite", "frontend",
+                                 "--repeats", "1", "--out", out_file)
+        assert code == 0
+        assert "cold s" in out and "warm s" in out
+        import json
+        payload = json.loads((tmp_path / "bench.json").read_text())
+        assert payload["schema"] == "repro-bench-frontend/1"
+        assert set(payload["sizes"]) == {"5", "20", "40"}
+
+    def test_frontend_suite_compare_detects_cold_regression(self,
+                                                            tmp_path):
+        from repro.bench import frontend
+        payload = frontend.measure(sizes=[5], repeats=1)
+        slower = {"schema": frontend.SCHEMA,
+                  "sizes": {"5": dict(payload["sizes"]["5"])}}
+        baseline = str(tmp_path / "base.json")
+        # baseline claims we used to be 10x faster -> regression
+        slower["sizes"]["5"]["cold_s"] = \
+            payload["sizes"]["5"]["cold_s"] / 10.0
+        frontend.save_payload(slower, baseline)
+        code, _out, err = run_cli("bench", "--suite", "frontend",
+                                  "--repeats", "1", "--compare", baseline)
+        assert code == 3
+        assert "regression" in err
+
+    def test_only_flag_rejected_for_frontend(self):
+        code, _out, err = run_cli("bench", "--suite", "frontend",
+                                  "--only", "Array")
+        assert code == 1
+        assert "--only" in err
