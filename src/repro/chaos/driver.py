@@ -1,0 +1,271 @@
+"""The chaos campaign driver.
+
+One *campaign* runs every program in a corpus under N seeded fault
+plans, with the region sanitizer armed and graceful degradation on, and
+asserts the robustness contract:
+
+* **no crash without a diagnostic** — every failing run ends in a
+  structured :class:`ReproError` (catchable, ``diagnostic()``-able),
+  never a bare host traceback;
+* **sanitizer-clean** — a well-typed program never trips an invariant,
+  no matter which faults are injected (the runtime's recovery paths
+  must preserve O1–O3/R1–R3);
+* **deterministic replay** — re-executing a run's recorded fault
+  schedule through a :class:`ReplayInjector` reproduces the run
+  bit-for-bit (same fault sequence, status, cycle count, output, and
+  stats summary).
+
+Outcome taxonomy (``ChaosOutcome.status``):
+
+``clean``      completed, zero faults injected
+``recovered``  completed despite injected faults (retries, spills,
+               degrade-mode thread aborts)
+``diagnosed``  the run failed, but with a structured diagnostic
+``violation``  the sanitizer found broken runtime state — a real bug
+``crash``      a non-``ReproError`` escaped — the bug class chaos hunts
+
+``violation`` and ``crash`` fail the campaign; everything else is the
+contract working as designed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..core.api import AnalyzedProgram, analyze
+from ..errors import ReproError, SanitizerViolation
+from ..interp.machine import Machine, RunOptions
+from ..rtsj.faults import (FaultPlan, FaultRecord, ReplayInjector,
+                           fault_key, load_schedule, save_schedule)
+
+#: chaos runs bound the clock tightly: an injected fault that degrades
+#: a producer/consumer pair into a busy-wait should end in a prompt
+#: DeadlockError ("cleanly diagnosed"), not a wall-clock explosion
+DEFAULT_MAX_CYCLES = 5_000_000
+
+#: keys of a diagnostic dict that are stable across in-process runs
+#: (messages embed object ids from a process-global counter, so they
+#: are excluded from replay identity)
+_ERROR_IDENTITY_KEYS = ("type", "site", "injected", "thread", "cycle",
+                       "invariant", "checkpoint")
+
+
+def _error_identity(diag: Optional[Dict[str, Any]]) \
+        -> Optional[Dict[str, Any]]:
+    if diag is None:
+        return None
+    return {k: diag[k] for k in _ERROR_IDENTITY_KEYS if k in diag}
+
+
+def _output_sha(output: Sequence[str]) -> str:
+    digest = hashlib.sha256()
+    for line in output:
+        digest.update(line.encode("utf-8"))
+        digest.update(b"\n")
+    return digest.hexdigest()
+
+
+@dataclass
+class ChaosOutcome:
+    """What one seeded run did, in replay-comparable terms."""
+
+    program: str
+    seed: int
+    status: str                      # clean|recovered|diagnosed|...
+    cycles: int
+    faults: List[FaultRecord] = field(default_factory=list)
+    #: degrade-mode thread aborts (run still completed)
+    diagnostics: List[Dict[str, Any]] = field(default_factory=list)
+    #: the terminal diagnostic when the run failed
+    error: Optional[Dict[str, Any]] = None
+    output: List[str] = field(default_factory=list)
+    summary: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.status not in ("violation", "crash")
+
+    def identity(self) -> Dict[str, Any]:
+        """The replay-comparable projection of this outcome."""
+        return {
+            "faults": fault_key(self.faults),
+            "status": self.status,
+            "cycles": self.cycles,
+            "output_sha256": _output_sha(self.output),
+            "summary": self.summary,
+            "error": _error_identity(self.error),
+            "diagnostics": [_error_identity(d)
+                            for d in self.diagnostics],
+        }
+
+
+def run_one(program: Union[str, AnalyzedProgram],
+            plan: Optional[FaultPlan] = None,
+            injector: Optional[Any] = None,
+            label: str = "<program>",
+            max_cycles: int = DEFAULT_MAX_CYCLES) -> ChaosOutcome:
+    """Execute one program under one fault plan (or explicit injector),
+    sanitizer armed, degradation on.  Never raises for simulated
+    failures — they land in the outcome."""
+    analyzed = analyze(program) if isinstance(program, str) else program
+    if analyzed.errors:
+        raise analyzed.errors[0]
+    options = RunOptions(checks_enabled=True, validate=True,
+                         fault_plan=plan, fault_injector=injector,
+                         sanitize=True, degrade=True,
+                         max_cycles=max_cycles)
+    machine = Machine(analyzed, options)
+    status = "clean"
+    error: Optional[Dict[str, Any]] = None
+    try:
+        machine.run()
+    except SanitizerViolation as err:
+        status, error = "violation", err.diagnostic()
+    except ReproError as err:
+        status, error = "diagnosed", err.diagnostic()
+    except Exception as err:  # noqa: BLE001 - the bug class chaos hunts
+        status = "crash"
+        error = {"type": type(err).__name__, "message": str(err)}
+    faults = (list(machine.fault_injector.injected)
+              if machine.fault_injector is not None else [])
+    diagnostics = [d.diagnostic()
+                   for d in machine.scheduler.diagnostics]
+    if status == "clean" and (faults or diagnostics):
+        status = "recovered"
+    return ChaosOutcome(
+        program=label,
+        seed=plan.seed if plan is not None else -1,
+        status=status,
+        cycles=machine.stats.cycles,
+        faults=faults,
+        diagnostics=diagnostics,
+        error=error,
+        output=list(machine.output),
+        summary=machine.stats.summary())
+
+
+def verify_replay(program: Union[str, AnalyzedProgram],
+                  plan: FaultPlan, baseline: ChaosOutcome,
+                  max_cycles: int = DEFAULT_MAX_CYCLES) -> List[str]:
+    """Re-run ``baseline``'s recorded schedule through a
+    :class:`ReplayInjector` and diff the replay-comparable identity.
+    Returns the list of mismatches (empty = bit-for-bit replay)."""
+    injector = ReplayInjector(baseline.faults, plan)
+    replay = run_one(program, injector=injector, label=baseline.program,
+                     max_cycles=max_cycles)
+    mismatches: List[str] = []
+    want, got = baseline.identity(), replay.identity()
+    for key in want:
+        if want[key] != got[key]:
+            mismatches.append(
+                f"{key}: recorded {want[key]!r} != replayed "
+                f"{got[key]!r}")
+    return mismatches
+
+
+def run_chaos(corpus: Sequence[Tuple[str, str]],
+              seeds: Sequence[int],
+              rate: float = 0.02,
+              rates: Optional[Dict[str, float]] = None,
+              sites: Optional[Tuple[str, ...]] = None,
+              gc_spike_factor: int = 8,
+              max_cycles: int = DEFAULT_MAX_CYCLES,
+              verify: bool = True,
+              schedule_dir: Optional[str] = None) -> Dict[str, Any]:
+    """Run every (label, source) program under every seed; optionally
+    verify replay and persist the schedules.  Returns a report dict
+    with per-run outcomes and campaign-level pass/fail."""
+    import os
+    results: List[Dict[str, Any]] = []
+    failures: List[str] = []
+    for label, source in corpus:
+        analyzed = analyze(source)
+        if analyzed.errors:
+            raise analyzed.errors[0]
+        for seed in seeds:
+            plan = FaultPlan(seed=seed, rate=rate, rates=rates or {},
+                             sites=sites,
+                             gc_spike_factor=gc_spike_factor)
+            outcome = run_one(analyzed, plan=plan, label=label,
+                              max_cycles=max_cycles)
+            entry: Dict[str, Any] = {
+                "program": label,
+                "seed": seed,
+                "status": outcome.status,
+                "cycles": outcome.cycles,
+                "faults": len(outcome.faults),
+                "threads_aborted": outcome.summary.get(
+                    "threads_aborted", 0),
+                "error": outcome.error,
+            }
+            if not outcome.ok:
+                failures.append(
+                    f"{label} seed={seed}: {outcome.status} "
+                    f"({(outcome.error or {}).get('type')})")
+            if verify:
+                mismatches = verify_replay(analyzed, plan, outcome,
+                                           max_cycles=max_cycles)
+                entry["replay_ok"] = not mismatches
+                if mismatches:
+                    failures.append(
+                        f"{label} seed={seed}: non-replayable schedule "
+                        f"({'; '.join(mismatches)})")
+            if schedule_dir is not None:
+                safe = label.replace("/", "_").replace(".", "_")
+                path = os.path.join(schedule_dir,
+                                    f"{safe}-seed{seed}.schedule.jsonl")
+                save_schedule(path, plan, outcome.faults, meta={
+                    "program": label,
+                    "source": source,
+                    "max_cycles": max_cycles,
+                    "identity": outcome.identity(),
+                })
+                entry["schedule"] = path
+            results.append(entry)
+    statuses: Dict[str, int] = {}
+    total_faults = 0
+    for entry in results:
+        statuses[entry["status"]] = statuses.get(entry["status"], 0) + 1
+        total_faults += entry["faults"]
+    return {
+        "runs": len(results),
+        "statuses": statuses,
+        "faults_injected": total_faults,
+        "failures": failures,
+        "ok": not failures,
+        "results": results,
+    }
+
+
+def replay_schedule(path: str,
+                    source: Optional[str] = None) -> Dict[str, Any]:
+    """Re-execute a persisted schedule file.  The program source
+    embedded in the schedule's metadata is used unless ``source``
+    overrides it.  Returns {ok, mismatches, outcome}."""
+    plan, records, meta = load_schedule(path)
+    program = source if source is not None else meta.get("source")
+    if not program:
+        raise ValueError(
+            f"schedule {path} embeds no program source; pass the "
+            "program explicitly")
+    max_cycles = int(meta.get("max_cycles", DEFAULT_MAX_CYCLES))
+    injector = ReplayInjector(records, plan)
+    outcome = run_one(program, injector=injector,
+                      label=str(meta.get("program", path)),
+                      max_cycles=max_cycles)
+    mismatches: List[str] = []
+    recorded = meta.get("identity")
+    if recorded is not None:
+        got = outcome.identity()
+        for key, want in recorded.items():
+            have = got.get(key)
+            if key == "faults":
+                # JSON round-trip turns the (site, seq) tuples into lists
+                have = [list(pair) for pair in have]
+            if want != have:
+                mismatches.append(
+                    f"{key}: recorded {want!r} != replayed {have!r}")
+    return {"ok": not mismatches, "mismatches": mismatches,
+            "outcome": outcome}

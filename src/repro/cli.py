@@ -11,6 +11,8 @@ Commands
 ``graph``      run and emit the Figure 6 ownership graph as Graphviz dot
 ``bench``      wall-clock benchmarks: interpreter and static frontend
                (CI regression gates)
+``chaos``      seeded fault-injection campaign over the example corpus
+               with sanitizer + deterministic replay verification
 
 Inputs are core-language source files; a ``.py`` driver script (like the
 ones under ``examples/``) is also accepted — the embedded ``PROGRAM``
@@ -272,6 +274,76 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    import glob
+    import os
+
+    from .chaos import replay_schedule, run_chaos
+    from .rtsj.faults import FAULT_SITES
+
+    if args.replay:
+        report = replay_schedule(args.replay)
+        outcome = report["outcome"]
+        print(f"{outcome.program}: replayed {len(outcome.faults)} "
+              f"fault(s), status={outcome.status}, "
+              f"cycles={outcome.cycles}")
+        for mismatch in report["mismatches"]:
+            print(f"replay mismatch: {mismatch}", file=sys.stderr)
+        return 0 if report["ok"] else 4
+
+    if args.sites:
+        unknown = [s for s in args.sites if s not in FAULT_SITES]
+        if unknown:
+            print(f"error: unknown fault site(s) {unknown}; known: "
+                  f"{list(FAULT_SITES)}", file=sys.stderr)
+            return 1
+    paths = args.paths or sorted(glob.glob(
+        os.path.join("examples", "*.py")))
+    corpus = []
+    for path in paths:
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        if path.endswith(".py"):
+            match = _EMBEDDED_PROGRAM.search(text)
+            if match is None:
+                print(f"chaos: skipping {path} (no embedded PROGRAM)",
+                      file=sys.stderr)
+                continue
+            text = match.group(1)
+        corpus.append((os.path.basename(path), text))
+    if not corpus:
+        print("error: no programs to run", file=sys.stderr)
+        return 1
+    if args.schedule_out:
+        os.makedirs(args.schedule_out, exist_ok=True)
+    seeds = [args.seed_base + i for i in range(args.seeds)]
+    report = run_chaos(corpus, seeds, rate=args.rate,
+                       sites=tuple(args.sites) if args.sites else None,
+                       gc_spike_factor=args.gc_spike,
+                       max_cycles=args.max_cycles,
+                       verify=not args.no_verify,
+                       schedule_dir=args.schedule_out or None)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        for entry in report["results"]:
+            replayed = ""
+            if "replay_ok" in entry:
+                replayed = (" replay=ok" if entry["replay_ok"]
+                            else " replay=MISMATCH")
+            print(f"{entry['program']} seed={entry['seed']}: "
+                  f"{entry['status']} ({entry['faults']} faults, "
+                  f"{entry['cycles']} cycles{replayed})")
+        counts = ", ".join(f"{k}={v}" for k, v
+                           in sorted(report["statuses"].items()))
+        print(f"--- {report['runs']} runs: {counts}, "
+              f"{report['faults_injected']} faults injected",
+              file=sys.stderr)
+    for failure in report["failures"]:
+        print(f"chaos failure: {failure}", file=sys.stderr)
+    return 0 if report["ok"] else 4
+
+
 def cmd_graph(args) -> int:
     analyzed = _analyze_or_report(_read(args.file), args.file)
     if analyzed.errors:
@@ -408,6 +480,40 @@ def build_parser() -> argparse.ArgumentParser:
                          help="print the payload as JSON instead of a "
                               "table")
     p_bench.set_defaults(func=cmd_bench)
+
+    p_chaos = sub.add_parser(
+        "chaos", help="seeded fault-injection campaign with sanitizer "
+                      "and replay verification")
+    p_chaos.add_argument("paths", nargs="*",
+                         help="programs to perturb (default: "
+                              "examples/*.py with an embedded PROGRAM)")
+    p_chaos.add_argument("--seeds", type=int, default=5,
+                         help="fault plans per program (default 5)")
+    p_chaos.add_argument("--seed-base", type=int, default=0,
+                         help="first seed (default 0)")
+    p_chaos.add_argument("--rate", type=float, default=0.02,
+                         help="per-consult injection probability at "
+                              "every site (default 0.02)")
+    p_chaos.add_argument("--sites", nargs="+", metavar="SITE",
+                         help="restrict injection to these fault sites")
+    p_chaos.add_argument("--gc-spike", type=int, default=8,
+                         help="GC pause multiplier for gc_pause_spike "
+                              "(default 8)")
+    p_chaos.add_argument("--max-cycles", type=int,
+                         default=5_000_000,
+                         help="per-run clock bound (default 5M; keeps "
+                              "degraded runs from running away)")
+    p_chaos.add_argument("--no-verify", action="store_true",
+                         help="skip the deterministic-replay check")
+    p_chaos.add_argument("--schedule-out", metavar="DIR",
+                         help="persist each run's fault schedule as a "
+                              "replayable JSONL file under DIR")
+    p_chaos.add_argument("--replay", metavar="FILE",
+                         help="re-execute one persisted schedule "
+                              "bit-for-bit instead of a campaign")
+    p_chaos.add_argument("--json", action="store_true",
+                         help="print the campaign report as JSON")
+    p_chaos.set_defaults(func=cmd_chaos)
 
     p_graph = sub.add_parser("graph",
                              help="emit the ownership graph (dot)")

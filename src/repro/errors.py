@@ -11,13 +11,44 @@ test suite asserts exactly that.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Dict, Optional
 
 from .source import Span
 
 
 class ReproError(Exception):
-    """Root of every error raised by this library."""
+    """Root of every error raised by this library.
+
+    Every instance can render itself as a *structured diagnostic* — a
+    plain dict with the error type, message, and (when the failure
+    happened inside a simulated run) the fault site, thread, and cycle
+    it occurred at.  The fault-injection plane (:mod:`repro.rtsj.faults`)
+    and the chaos driver rely on this: a run must never end in a bare
+    traceback, only in a diagnosable record.
+    """
+
+    #: fault site this error is associated with (``lt_alloc``,
+    #: ``vt_chunk``, ``region_enter``, ``portal_write``,
+    #: ``thread_spawn``, ...) or None for organic static/runtime errors
+    site: Optional[str] = None
+    #: True when the failure was injected by a :class:`FaultInjector`
+    #: rather than arising organically
+    injected: bool = False
+    #: simulated thread the failure occurred on (filled by the scheduler)
+    thread: Optional[str] = None
+    #: global simulated-clock value at failure (filled by the scheduler)
+    cycle: Optional[int] = None
+
+    def diagnostic(self) -> Dict[str, Any]:
+        """The structured, JSON-able view of this failure."""
+        return {
+            "type": type(self).__name__,
+            "message": str(self),
+            "site": self.site,
+            "injected": self.injected,
+            "thread": self.thread,
+            "cycle": self.cycle,
+        }
 
 
 # ---------------------------------------------------------------------------
@@ -98,6 +129,30 @@ class RealtimeViolationError(RuntimeCheckError):
     (heap allocation, VT allocation, region creation, GC-blocked wait)."""
 
 
+class RegionEnterError(RuntimeCheckError):
+    """Entering a (sub)region failed transiently (the RTSJ analogue of a
+    scope stack under teardown or a denied enter).  Recoverable: the
+    interpreter retries with exponential backoff before giving up."""
+
+    site = "region_enter"
+
+
+class PortalWriteError(RuntimeCheckError):
+    """A portal store failed transiently — the model of a portal
+    teardown race, where the owning region is being flushed while a
+    writer holds a handle.  Recoverable via bounded retry."""
+
+    site = "portal_write"
+
+
+class ThreadSpawnError(RuntimeCheckError):
+    """The platform denied a thread spawn (thread table pressure).
+    Recoverable via bounded retry; persistent denial surfaces as a
+    structured diagnostic rather than a silently missing thread."""
+
+    site = "thread_spawn"
+
+
 class InterpreterError(ReproError):
     """Internal interpreter failure (null dereference of the simulated
     program, missing method, ...)."""
@@ -105,6 +160,48 @@ class InterpreterError(ReproError):
 
 class SimulatedNullPointerError(InterpreterError):
     """The simulated program dereferenced null."""
+
+
+class ThreadCrashError(InterpreterError):
+    """A simulated thread raised a non-simulated (host-level) exception.
+
+    The scheduler wraps the crash so the run surfaces a structured
+    diagnostic — naming the thread and the original exception — instead
+    of a bare traceback that abandons the run queue mid-flight."""
+
+    def __init__(self, message: str,
+                 cause: Optional[BaseException] = None) -> None:
+        super().__init__(message)
+        self.cause = cause
+
+    def diagnostic(self) -> Dict[str, Any]:
+        out = super().diagnostic()
+        if self.cause is not None:
+            out["cause"] = type(self.cause).__name__
+        return out
+
+
+class SanitizerViolation(ReproError):
+    """The runtime region sanitizer found a broken invariant.
+
+    ``invariant`` names the paper rule that failed (``O1``..``O3``,
+    ``R1``..``R3``, ``F1``..``F3`` for the three flush conditions) and
+    ``path`` is the offending area/object chain, so a violation is
+    immediately diagnosable."""
+
+    def __init__(self, invariant: str, path: str, message: str,
+                 checkpoint: str = "") -> None:
+        self.invariant = invariant
+        self.path = path
+        self.checkpoint = checkpoint
+        super().__init__(f"[{invariant}] {message} (at {path})")
+
+    def diagnostic(self) -> Dict[str, Any]:
+        out = super().diagnostic()
+        out["invariant"] = self.invariant
+        out["path"] = self.path
+        out["checkpoint"] = self.checkpoint
+        return out
 
 
 class DeadlockError(ReproError):

@@ -53,7 +53,9 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 from ..core.kinds import Kind
 from ..core.owners import Owner
 from ..errors import (InterpreterError, MemoryAccessError,
-                      RealtimeViolationError, SimulatedNullPointerError)
+                      RealtimeViolationError, RegionEnterError,
+                      ReproError, SimulatedNullPointerError,
+                      ThreadSpawnError)
 from ..lang import ast
 from ..rtsj.objects import ArrayStorage, ObjRef, make_array
 from ..rtsj.regions import LT, MemoryArea, VT, release_shared
@@ -167,6 +169,18 @@ class Interpreter:
             self._static_read = self._static_read_unchecked
             self._portal_write = self._portal_write_unchecked
             self._portal_read = self._portal_read_unchecked
+
+        # robustness plane: all three are None/inert on a plain run, so
+        # the closures compiled below carry no fault or sanitizer code
+        # on their hot paths (byte-identical behaviour when disabled)
+        self._injector = machine.fault_injector
+        self._recovery = machine.recovery
+        self._sanitizer = machine.sanitizer
+        if self._injector is not None:
+            # portal stores gain the teardown-race guard + retry; bound
+            # here so fault-free runs keep the direct helper
+            self._portal_write = self._wrap_portal_faults(
+                self._portal_write)
 
         # compiled-code caches, keyed by node identity (the analyzed AST
         # outlives the interpreter; ``_hold`` pins ad-hoc nodes compiled
@@ -1021,6 +1035,9 @@ class Interpreter:
         region_exit = self.cost.region_exit
         charge_direct = self.machine.charge_direct
         tracer = stats.tracer
+        injector = self._injector
+        enter_guard = self._region_enter_guard
+        sanitizer = self._sanitizer
 
         def run(frame, region, thread):
             stats.steps += 1
@@ -1029,6 +1046,10 @@ class Interpreter:
                 raise RealtimeViolationError(
                     "real-time thread attempted to create a region "
                     f"'{region_name}'")
+            if injector is not None:
+                # consulted before any side effect: a denied enter
+                # leaves no half-created area behind
+                yield from enter_guard(region_name, thread)
             ancestors = set(region.ancestor_ids) | {region.area_id}
             for entered in thread.shared_stack:
                 ancestors |= entered.ancestor_ids | {entered.area_id}
@@ -1065,6 +1086,8 @@ class Interpreter:
                                 thread=thread.name)
                 _restore(frame.owners, region_name, saved_owner)
                 _restore(frame.vars, handle_name, saved_var)
+                if sanitizer is not None:
+                    sanitizer.on_region_exit(area)
         return run
 
     def _build_subregion_stmt(self, stmt: ast.SubregionStmt):
@@ -1077,6 +1100,9 @@ class Interpreter:
         create_area = self._create_area
         charge_direct = self.machine.charge_direct
         tracer = stats.tracer
+        injector = self._injector
+        enter_guard = self._region_enter_guard
+        sanitizer = self._sanitizer
         body_code = self._compile_block(stmt.body)
         sub_name = stmt.subregion_name
         region_name = stmt.region_name
@@ -1139,6 +1165,10 @@ class Interpreter:
                     raise RealtimeViolationError(
                         "regular thread entered RT subregion "
                         f"'{slot.name}'")
+            if injector is not None:
+                # the persistent subregion slot stays valid on denial;
+                # only this thread's entry is refused
+                yield from enter_guard(slot.name, thread)
             yield region_enter
             stats.region_cycles += region_enter
             stats.region_enters += 1
@@ -1160,12 +1190,17 @@ class Interpreter:
                 thread.shared_stack.remove(slot)
                 before = slot.generation
                 stats.objects_freed += release_shared(slot)
-                if slot.generation != before:
+                flushed = slot.generation != before
+                if flushed:
                     stats.region_flushes += 1
                     stats.event("region-flushed", slot.name,
                                 thread=thread.name)
                 _restore(frame.owners, region_name, saved_owner)
                 _restore(frame.vars, handle_name, saved_var)
+                if sanitizer is not None:
+                    if flushed:
+                        sanitizer.on_flush(slot)
+                    sanitizer.on_region_exit(slot)
         return run
 
     # -- field access -------------------------------------------------------
@@ -1395,6 +1430,140 @@ class Interpreter:
                 cycles += child_cycles
         return area, cycles
 
+    # -- fault recovery -----------------------------------------------------
+    #
+    # These generators exist only on chaos runs (the compiled closures
+    # call them solely when an injector is bound).  Backoff is charged
+    # to the simulated clock by *yielding* the cycles, so recovery has
+    # an honest cost in the Figure-12 currency and is preemptible.
+
+    def _backoff(self, attempt: int):
+        """Charge the exponential backoff before retry ``attempt``."""
+        stats = self.stats
+        backoff = self._recovery.backoff_cycles(attempt)
+        stats.recovery_retries += 1
+        stats.recovery_backoff_cycles += backoff
+        yield backoff
+
+    def _alloc_with_recovery(self, target: MemoryArea, obj,
+                             thread: SimThread):
+        """``target.allocate(obj)`` under the recovery policy: injected
+        denials are retried with backoff; an exhausted VT denial spills
+        the object to the closest longer-lived area (parent chain, then
+        immortal/heap) so the allocation still succeeds with every
+        previously-checked reference remaining safe (the spill target
+        outlives the denied region).  Exhausted LT denials propagate —
+        the LT watchdog (scheduler degrade mode) turns them into a
+        thread abort rather than a wedged run.
+
+        Returns ``(fresh_chunks, area)`` where ``area`` is where the
+        object actually landed."""
+        policy = self._recovery
+        stats = self.stats
+        attempt = 0
+        while True:
+            try:
+                fresh = target.allocate(obj)
+                if attempt:
+                    stats.faults_recovered += 1
+                return fresh, target
+            except ReproError as err:
+                if not err.injected:
+                    raise
+                if attempt < policy.max_retries:
+                    yield from self._backoff(attempt)
+                    attempt += 1
+                    continue
+                if err.site != "vt_chunk" or not policy.vt_spill:
+                    raise
+                spill = target.parent
+                while spill is not None and not spill.live:
+                    spill = spill.parent
+                if spill is None or not spill.outlives(target):
+                    spill = self._immortal if thread.realtime \
+                        else self._heap
+                # rebind the object to its landing area; the weaker
+                # placement is marked so the sanitizer checks outlives
+                # instead of O2 co-location
+                obj.area = spill
+                obj.generation = spill.generation
+                obj.spilled = True
+                fresh = spill.allocate(obj)
+                stats.vt_spills += 1
+                stats.faults_recovered += 1
+                stats.tracer.emit(
+                    "vt-spill", f"{obj.class_name} -> {spill.name}",
+                    cycle=stats.cycles, thread=thread.name,
+                    attrs={"denied": target.name, "spill": spill.name,
+                           "bytes": obj.size_bytes})
+                return fresh, spill
+
+    def _region_enter_guard(self, area_name: str, thread: SimThread):
+        """Injected region-enter denials, retried under the policy."""
+        policy = self._recovery
+        injector = self._injector
+        attempt = 0
+        while injector.fire("region_enter", area_name):
+            err = RegionEnterError(
+                f"injected fault: enter of region '{area_name}' denied")
+            err.injected = True
+            err.thread = thread.name
+            if attempt >= policy.max_retries:
+                raise err
+            yield from self._backoff(attempt)
+            attempt += 1
+        if attempt:
+            self.stats.faults_recovered += 1
+
+    def _wrap_portal_faults(self, inner):
+        """Bind the portal-write fault guard in front of the selected
+        (checked/unchecked) portal-write helper."""
+        guard = self.checks.portal_write_guard
+        policy = self._recovery
+        backoff = self._backoff
+        stats = self.stats
+
+        def wrapped(area, field_name, value, thread, span):
+            attempt = 0
+            while True:
+                try:
+                    guard(area, thread.name)
+                    if attempt:
+                        stats.faults_recovered += 1
+                    break
+                except ReproError as err:
+                    if not err.injected or attempt >= policy.max_retries:
+                        raise
+                    yield from backoff(attempt)
+                    attempt += 1
+            return (yield from inner(area, field_name, value, thread,
+                                     span))
+        return wrapped
+
+    def _spawn_with_retry(self, child: SimThread, thread: SimThread):
+        """Injected spawn denials, retried; on exhaustion the inherited
+        shared-region counts are rolled back so the never-started child
+        leaves no trace in the region state."""
+        policy = self._recovery
+        stats = self.stats
+        scheduler = self.machine.scheduler
+        attempt = 0
+        while True:
+            try:
+                scheduler.spawn(child)
+                if attempt:
+                    stats.faults_recovered += 1
+                return
+            except ThreadSpawnError as err:
+                if not err.injected or attempt >= policy.max_retries:
+                    for area in child.shared_stack:
+                        area.thread_count -= 1
+                    child.shared_stack.clear()
+                    child.coroutine.close()
+                    raise
+                yield from self._backoff(attempt)
+                attempt += 1
+
     # -- fork ---------------------------------------------------------------
 
     def _exec_fork(self, stmt: ast.Fork, frame: Frame, region: MemoryArea,
@@ -1434,7 +1603,10 @@ class Interpreter:
             cycle=self.stats.cycles, thread=thread.name,
             attrs={"child": name, "realtime": stmt.realtime,
                    "method": call.method_name})
-        self.machine.scheduler.spawn(child)
+        if self._injector is None:
+            self.machine.scheduler.spawn(child)
+        else:
+            yield from self._spawn_with_retry(child, thread)
 
     # ------------------------------------------------------------------
     # expression builders
@@ -1486,6 +1658,8 @@ class Interpreter:
         tracer = stats.tracer
         class_name = expr.class_name
         line = expr.span.start.line
+        injector = self._injector
+        alloc_recover = self._alloc_with_recovery
         resolvers = tuple(self._owner_resolver(o.name)
                           for o in expr.owners)
         is_array = class_name in ("IntArray", "FloatArray")
@@ -1523,7 +1697,11 @@ class Interpreter:
                     fields = obj.fields
                     for fname, init in inits:
                         fields[fname] = init
-            fresh_chunks = target.allocate(obj)
+            if injector is None:
+                fresh_chunks = target.allocate(obj)
+            else:
+                fresh_chunks, target = yield from alloc_recover(
+                    target, obj, thread)
             size = obj.size_bytes
             cycles = alloc_base + alloc_per_byte * size
             if target.policy == VT:

@@ -21,12 +21,14 @@ from typing import Any, Dict, List, Optional, Tuple, Union
 
 from ..core.api import AnalyzedProgram, analyze
 from ..core.relations import RelationGraph
-from ..errors import OwnershipTypeError
+from ..errors import OwnershipTypeError, ReproError
 from ..obs import MetricsRegistry, ProfileCollector, Tracer
 from ..rtsj.checks import CheckEngine
+from ..rtsj.faults import FaultInjector, FaultPlan, RecoveryPolicy
 from ..rtsj.gc import GarbageCollector
 from ..rtsj.objects import ArrayStorage, ObjRef
 from ..rtsj.regions import RegionManager
+from ..rtsj.sanitizer import RegionSanitizer, SanitizerConfig
 from ..rtsj.stats import CostModel, Stats
 from ..rtsj.threads import Scheduler, SimThread
 from .interpreter import Frame, Interpreter
@@ -61,6 +63,20 @@ class RunOptions:
     #: measurements exclude observability overhead.  Explicitly passed
     #: ``tracer``/``metrics`` objects take precedence.
     instrument: bool = True
+    # -- robustness plane (all off by default: a plain run compiles in
+    #    none of the fault/sanitizer code paths) --
+    #: seeded fault-injection plan; builds a FaultInjector for the run
+    fault_plan: Optional[FaultPlan] = None
+    #: pre-built injector (e.g. a ReplayInjector); wins over fault_plan
+    fault_injector: Optional[Any] = None
+    #: retry/backoff/spill policy used when an injector is active
+    recovery: RecoveryPolicy = field(default_factory=RecoveryPolicy)
+    #: run the region sanitizer at checkpoints
+    sanitize: bool = False
+    sanitizer_config: Optional[SanitizerConfig] = None
+    #: graceful degradation: a failing thread is finished with a
+    #: structured diagnostic instead of aborting the whole run
+    degrade: bool = False
 
 
 @dataclass
@@ -68,6 +84,10 @@ class RunResult:
     output: List[str]
     stats: Stats
     options: RunOptions
+    #: structured diagnostics of threads aborted in degrade mode
+    diagnostics: List[ReproError] = field(default_factory=list)
+    #: faults injected during the run (replayable schedule)
+    fault_records: List[Any] = field(default_factory=list)
 
     @property
     def cycles(self) -> int:
@@ -97,16 +117,42 @@ class Machine:
         self.stats = Stats(tracer=tracer, metrics=metrics,
                            profile=profile)
         self.regions = RegionManager()
+        # fault-injection plane: an explicit injector (replay) wins
+        # over a plan; both default to None so plain runs carry no hooks
+        self.fault_injector = self.options.fault_injector
+        if self.fault_injector is None \
+                and self.options.fault_plan is not None:
+            self.fault_injector = FaultInjector(self.options.fault_plan)
+        self.recovery = self.options.recovery
+        if self.fault_injector is not None:
+            self.fault_injector.stats = self.stats
+            self.regions.attach_injector(self.fault_injector)
         self.checks = CheckEngine(self.cost_model, self.stats,
                                   enabled=self.options.checks_enabled,
                                   validate=self.options.validate)
+        self.checks.fault_injector = self.fault_injector
         self.gc = GarbageCollector(self.regions, self.cost_model,
                                    self.stats,
-                                   self.options.gc_trigger_bytes)
+                                   self.options.gc_trigger_bytes,
+                                   fault_injector=self.fault_injector)
+        self.sanitizer: Optional[RegionSanitizer] = None
+        if self.options.sanitize \
+                or self.options.sanitizer_config is not None:
+            self.sanitizer = RegionSanitizer(
+                self.regions, self.stats,
+                config=self.options.sanitizer_config)
         self.scheduler = Scheduler(self.stats,
                                    quantum=self.options.quantum,
                                    max_cycles=self.options.max_cycles,
-                                   gc_hook=self._maybe_collect)
+                                   gc_hook=self._maybe_collect,
+                                   checkpoint_hook=(
+                                       self.sanitizer.on_quantum
+                                       if self.sanitizer is not None
+                                       else None),
+                                   degrade=self.options.degrade,
+                                   fault_injector=self.fault_injector)
+        if self.sanitizer is not None:
+            self.sanitizer.scheduler = self.scheduler
         self.statics: Dict[Tuple[str, str], Any] = {}
         self.output: List[str] = []
         self.interpreter = Interpreter(self)
@@ -155,17 +201,45 @@ class Machine:
 
     # ------------------------------------------------------------------
 
+    def _spawn_main(self, main_thread: SimThread) -> None:
+        """Spawn the main thread under the recovery policy: injected
+        denials are retried with backoff charged to the clock, same as
+        fork-site denials inside the interpreter."""
+        from ..errors import ThreadSpawnError
+        attempt = 0
+        while True:
+            try:
+                self.scheduler.spawn(main_thread)
+                if attempt:
+                    self.stats.faults_recovered += 1
+                return
+            except ThreadSpawnError as err:
+                if not err.injected \
+                        or attempt >= self.recovery.max_retries:
+                    raise
+                backoff = self.recovery.backoff_cycles(attempt)
+                attempt += 1
+                self.stats.recovery_retries += 1
+                self.stats.recovery_backoff_cycles += backoff
+                self.stats.charge(backoff, "main")
+
     def run(self) -> RunResult:
         main_thread = SimThread(name="main", coroutine=iter(()))
         main_thread.coroutine = self.interpreter.main_coroutine(main_thread)
-        self.scheduler.spawn(main_thread)
         try:
+            self._spawn_main(main_thread)
             self.scheduler.run()
+            if self.sanitizer is not None:
+                self.sanitizer.on_end()
         finally:
             # publish end-of-run gauges even when the run failed: the
             # trace/metrics files are most valuable for a crashed run
             self.finalize_metrics()
-        return RunResult(self.output, self.stats, self.options)
+        return RunResult(
+            self.output, self.stats, self.options,
+            diagnostics=list(self.scheduler.diagnostics),
+            fault_records=(list(self.fault_injector.injected)
+                           if self.fault_injector is not None else []))
 
     def finalize_metrics(self) -> None:
         """Mirror the flat counters and per-region/per-thread state into

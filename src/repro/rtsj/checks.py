@@ -34,7 +34,8 @@ from __future__ import annotations
 
 from typing import Any, Optional
 
-from ..errors import IllegalAssignmentError, MemoryAccessError
+from ..errors import (IllegalAssignmentError, MemoryAccessError,
+                      PortalWriteError)
 from .objects import ObjRef
 from .regions import MemoryArea
 from .stats import CostModel, Stats
@@ -47,6 +48,9 @@ class CheckEngine:
         self.stats = stats
         self.enabled = enabled
         self.validate = validate
+        #: fault-injection plane hook; set by the Machine when a fault
+        #: plan is active, consulted on the portal-write path only
+        self.fault_injector: Optional[Any] = None
         #: either mode needs the check performed at all
         self.active = enabled or validate
         # hoisted per-check constants (attribute chains are expensive in
@@ -113,6 +117,22 @@ class CheckEngine:
                     f"'{value.area.name}') into area "
                     f"'{target_area.name}' would dangle")
         return cycles
+
+    def portal_write_guard(self, area: MemoryArea,
+                           thread: str = "main") -> None:
+        """Fault-injection consult on a portal store: models the store
+        being denied by a concurrent region-teardown race.  No-op unless
+        an injector is attached (the interpreter binds the guarded
+        portal path only in that case)."""
+        injector = self.fault_injector
+        if injector is not None and injector.fire("portal_write",
+                                                  area.name):
+            err = PortalWriteError(
+                f"injected fault: portal write into region "
+                f"'{area.name}' denied (teardown race)")
+            err.injected = True
+            err.thread = thread
+            raise err
 
     def read_cost(self, realtime: bool, value: Any,
                   old_value: Any = None, line: int = 0,

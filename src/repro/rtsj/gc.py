@@ -9,7 +9,7 @@ references out of non-heap areas into the heap.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, List
+from typing import Any, Iterable, List, Optional
 
 from .objects import ArrayStorage, ObjRef
 from .regions import MemoryArea, RegionManager
@@ -24,11 +24,13 @@ def _scan_value(value: Any, frontier: List[ObjRef]) -> None:
 
 class GarbageCollector:
     def __init__(self, regions: RegionManager, cost_model: CostModel,
-                 stats: Stats, trigger_bytes: int) -> None:
+                 stats: Stats, trigger_bytes: int,
+                 fault_injector: Optional[Any] = None) -> None:
         self.regions = regions
         self.cost = cost_model
         self.stats = stats
         self.trigger_bytes = trigger_bytes
+        self.fault_injector = fault_injector
         self._h_pause = stats.metrics.histogram(
             "repro_gc_pause_cycles",
             "stop-the-world pause length per collection",
@@ -80,6 +82,18 @@ class GarbageCollector:
         pause = (self.cost.gc_base
                  + self.cost.gc_per_live_object * len(live)
                  + self.cost.gc_per_dead_object * dead)
+        injector = self.fault_injector
+        if injector is not None and injector.fire(
+                "gc_pause_spike", f"pause={pause}"):
+            # a pause spike models an unlucky collection (fragmented
+            # heap, finalizer storm).  Regular threads eat the longer
+            # pause; RT threads stay unpaused — the latency histogram
+            # asserts the paper's claim survives the spike.
+            pause *= injector.gc_spike_factor
+            self.stats.tracer.emit(
+                "fault-injected", "gc_pause_spike",
+                cycle=self.stats.cycles, thread="<gc>",
+                attrs={"site": "gc_pause_spike", "pause": pause})
         self.stats.tracer.emit(
             "gc", f"collected {dead}, live {len(live)}",
             cycle=self.stats.cycles, thread="<gc>",

@@ -24,7 +24,7 @@ class ObjRef:
     """A simulated object reference."""
 
     __slots__ = ("oid", "class_name", "owners", "fields", "area",
-                 "generation", "size_bytes", "gc_mark")
+                 "generation", "size_bytes", "gc_mark", "spilled")
 
     def __init__(self, class_name: str, owners: Tuple[Any, ...],
                  field_names, area) -> None:
@@ -38,6 +38,12 @@ class ObjRef:
         self.generation = area.generation
         self.size_bytes = HEADER_BYTES + FIELD_BYTES * len(self.fields)
         self.gc_mark = False
+        #: True when a VT chunk denial spilled this object into a
+        #: longer-lived area than its owner names (graceful
+        #: degradation; the sanitizer exempts spilled objects from the
+        #: O2 owner-co-location invariant — the outlives relation still
+        #: guarantees R1-R3)
+        self.spilled = False
 
     @property
     def alive(self) -> bool:

@@ -26,13 +26,17 @@ from __future__ import annotations
 import itertools
 from typing import Any, Dict, List, Optional, Set
 
-from ..errors import OutOfRegionMemoryError
+from ..errors import OutOfMemoryError, OutOfRegionMemoryError
 from .objects import ObjRef
 
 HEAP_AREA_NAME = "heap"
 IMMORTAL_AREA_NAME = "immortal"
 
-_area_ids = itertools.count(1)
+#: fallback id source for areas constructed without a RegionManager
+#: (ad-hoc tests); manager-owned areas draw from the manager's own
+#: counter so ids are identical run-to-run within one process — a
+#: requirement for replayable fault schedules and golden traces
+_area_ids = itertools.count(1 << 20)
 
 #: allocation policies
 LT, VT, HEAP_POLICY, IMMORTAL_POLICY = "LT", "VT", "HEAP", "IMMORTAL"
@@ -45,14 +49,16 @@ class MemoryArea:
                  "bytes_used", "peak_bytes", "chunks", "live",
                  "generation", "parent", "ancestor_ids", "depth",
                  "thread_count", "portals", "subregions",
-                 "realtime_only", "objects", "subregion_meta")
+                 "realtime_only", "objects", "subregion_meta",
+                 "fault_injector")
 
     def __init__(self, name: str, kind_name: str, policy: str,
                  lt_budget: int = 0,
                  ancestors: Optional[Set[int]] = None,
                  parent: Optional["MemoryArea"] = None,
-                 realtime_only: bool = False) -> None:
-        self.area_id = next(_area_ids)
+                 realtime_only: bool = False,
+                 area_id: Optional[int] = None) -> None:
+        self.area_id = next(_area_ids) if area_id is None else area_id
         self.name = name
         self.kind_name = kind_name          # region kind (static)
         self.policy = policy                # LT / VT / HEAP / IMMORTAL
@@ -77,6 +83,9 @@ class MemoryArea:
         self.objects: List[ObjRef] = []
         #: static subregion declarations, filled in by the interpreter
         self.subregion_meta: Dict[str, Any] = {}
+        #: fault-injection plane (None outside chaos runs); consulted on
+        #: the allocation path (`lt_alloc` / `vt_chunk` sites)
+        self.fault_injector: Optional[Any] = None
 
     # ------------------------------------------------------------------
 
@@ -123,14 +132,31 @@ class MemoryArea:
         if not self.live:
             raise OutOfRegionMemoryError(
                 f"allocation in dead region '{self.name}'")
+        injector = self.fault_injector
         fresh_chunks = 0
         if self.policy == LT:
+            if injector is not None and injector.fire("lt_alloc",
+                                                      self.name):
+                err = OutOfRegionMemoryError(
+                    f"injected fault: LT allocation denied in region "
+                    f"'{self.name}'")
+                err.site, err.injected = "lt_alloc", True
+                raise err
             if self.bytes_used + obj.size_bytes > self.lt_budget:
-                raise OutOfRegionMemoryError(
+                err = OutOfRegionMemoryError(
                     f"LT region '{self.name}' of size {self.lt_budget} "
                     f"bytes cannot fit {obj.size_bytes} more bytes "
                     f"(used {self.bytes_used})")
+                err.site = "lt_alloc"
+                raise err
         elif self.policy == VT:
+            if injector is not None and injector.fire("vt_chunk",
+                                                      self.name):
+                err = OutOfMemoryError(
+                    f"injected fault: VT chunk denied for region "
+                    f"'{self.name}'")
+                err.site, err.injected = "vt_chunk", True
+                raise err
             before = (self.bytes_used + self.VT_CHUNK_BYTES - 1) \
                 // self.VT_CHUNK_BYTES
             after = (self.bytes_used + obj.size_bytes
@@ -224,10 +250,20 @@ class RegionManager:
     PRUNE_THRESHOLD = 512
 
     def __init__(self) -> None:
-        self.heap = MemoryArea(HEAP_AREA_NAME, "GCRegion", HEAP_POLICY)
+        #: manager-scoped id counter: every RegionManager hands out the
+        #: same id sequence, so two in-process runs of the same program
+        #: produce identical area ids (replay / golden-trace
+        #: determinism; a process-global counter leaked state between
+        #: runs)
+        self._area_ids = itertools.count(1)
+        self.heap = MemoryArea(HEAP_AREA_NAME, "GCRegion", HEAP_POLICY,
+                               area_id=next(self._area_ids))
         self.immortal = MemoryArea(IMMORTAL_AREA_NAME, "SharedRegion",
-                                   IMMORTAL_POLICY)
+                                   IMMORTAL_POLICY,
+                                   area_id=next(self._area_ids))
         self.areas: List[MemoryArea] = [self.heap, self.immortal]
+        #: fault plane propagated onto every area (None outside chaos)
+        self.fault_injector: Optional[Any] = None
         #: dead areas dropped from ``areas`` (their aggregate footprint)
         self.pruned_dead = 0
         self.pruned_peak_bytes = 0
@@ -283,12 +319,21 @@ class RegionManager:
             peak.labels(region="<dead>", policy="", kind="") \
                 .set_max(dead_peak)
 
+    def attach_injector(self, injector: Any) -> None:
+        """Wire the fault-injection plane into every area (existing and
+        future) so the allocation path can consult it."""
+        self.fault_injector = injector
+        for area in self.areas:
+            area.fault_injector = injector
+
     def create(self, name: str, kind_name: str, policy: str,
                lt_budget: int, ancestors: Set[int],
                parent: Optional[MemoryArea] = None,
                realtime_only: bool = False) -> MemoryArea:
         area = MemoryArea(name, kind_name, policy, lt_budget,
-                          ancestors, parent, realtime_only)
+                          ancestors, parent, realtime_only,
+                          area_id=next(self._area_ids))
+        area.fault_injector = self.fault_injector
         area.ancestor_ids |= {self.heap.area_id, self.immortal.area_id}
         area.depth = len(area.ancestor_ids)
         self.areas.append(area)

@@ -107,6 +107,15 @@ class Stats:
     threads_spawned: int = 0
     peak_heap_bytes: int = 0
 
+    # robustness plane (fault injection / recovery / sanitizer)
+    faults_injected: int = 0
+    faults_recovered: int = 0     # faults survived via retry/spill
+    recovery_retries: int = 0
+    recovery_backoff_cycles: int = 0
+    vt_spills: int = 0            # allocations spilled to parent/heap
+    threads_aborted: int = 0      # degrade-mode thread aborts (watchdog)
+    sanitizer_checks: int = 0
+
     # cycle attribution by category (``repro profile``); the remainder
     # of ``cycles`` not claimed below is plain compute
     alloc_cycles: int = 0
@@ -162,5 +171,12 @@ class Stats:
             "gc_pause_cycles": self.gc_pause_cycles,
             "threads_spawned": self.threads_spawned,
             "peak_heap_bytes": self.peak_heap_bytes,
+            "faults_injected": self.faults_injected,
+            "faults_recovered": self.faults_recovered,
+            "recovery_retries": self.recovery_retries,
+            "recovery_backoff_cycles": self.recovery_backoff_cycles,
+            "vt_spills": self.vt_spills,
+            "threads_aborted": self.threads_aborted,
+            "sanitizer_checks": self.sanitizer_checks,
             "cycles_by_thread": dict(self.cycles_by_thread),
         }

@@ -17,7 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Generator, List, Optional
 
-from ..errors import DeadlockError, ReproError
+from ..errors import (DeadlockError, ReproError, SanitizerViolation,
+                      ThreadCrashError, ThreadSpawnError)
 from .regions import MemoryArea
 from .stats import Stats
 
@@ -52,12 +53,25 @@ class SimThread:
 class Scheduler:
     def __init__(self, stats: Stats, quantum: int = 2000,
                  max_cycles: int = 2_000_000_000,
-                 gc_hook: Optional[Callable[[], int]] = None) -> None:
+                 gc_hook: Optional[Callable[[], int]] = None,
+                 checkpoint_hook: Optional[Callable[[], None]] = None,
+                 degrade: bool = False,
+                 fault_injector: Optional[Any] = None) -> None:
         self.stats = stats
         self.quantum = quantum
         self.max_cycles = max_cycles
         self.threads: List[SimThread] = []
         self.gc_hook = gc_hook  # returns pause cycles, or 0 if no GC ran
+        #: sanitizer entry point, called once per scheduling round
+        self.checkpoint_hook = checkpoint_hook
+        #: graceful degradation: a failing thread is finished with a
+        #: structured diagnostic and the run queue keeps draining;
+        #: False (the default) preserves fail-stop semantics — the
+        #: first failure aborts the run
+        self.degrade = degrade
+        #: structured diagnostics of threads that failed (degrade mode)
+        self.diagnostics: List[ReproError] = []
+        self.fault_injector = fault_injector
         self.failure: Optional[BaseException] = None
         # dispatch latency (cycles a runnable thread waited for the
         # CPU) — the metric the paper's real-time claims are about
@@ -70,6 +84,14 @@ class Scheduler:
         self._observe_latency = not stats.metrics.null
 
     def spawn(self, thread: SimThread) -> None:
+        injector = self.fault_injector
+        if injector is not None and injector.fire("thread_spawn",
+                                                  thread.name):
+            err = ThreadSpawnError(
+                f"injected fault: spawn of thread '{thread.name}' "
+                "denied")
+            err.injected = True
+            raise err
         thread.last_scheduled = self.stats.cycles
         self.threads.append(thread)
         self.stats.threads_spawned += 1
@@ -90,6 +112,29 @@ class Scheduler:
                 self.stats.event("region-destroyed", area.name,
                                  thread=thread.name)
         thread.shared_stack.clear()
+
+    def _fail(self, thread: SimThread, err: BaseException) -> None:
+        """A simulated thread failed: stamp the diagnostic, finish the
+        thread, and either record it (degrade mode) or arm fail-stop."""
+        if isinstance(err, ReproError):
+            if err.thread is None:
+                err.thread = thread.name
+            if err.cycle is None:
+                err.cycle = self.stats.cycles
+        self.stats.tracer.emit(
+            "thread-failed", thread.name, cycle=self.stats.cycles,
+            thread=thread.name,
+            attrs={"error": type(err).__name__, "message": str(err)})
+        self._finish(thread)
+        # a sanitizer violation means runtime state is already corrupt:
+        # degrading past it would sanitize nothing, so it stays fatal
+        if (self.degrade and isinstance(err, ReproError)
+                and not isinstance(err, SanitizerViolation)):
+            self.diagnostics.append(err)
+            self.stats.threads_aborted += 1
+            return
+        if self.failure is None:
+            self.failure = err
 
     def _run_slice(self, thread: SimThread) -> None:
         latency = self.stats.cycles - thread.last_scheduled
@@ -123,15 +168,23 @@ class Scheduler:
                     # platform's StackOverflowError equivalent
                     from ..errors import InterpreterError
                     spent = self._commit(thread, spent)
-                    self._finish(thread)
-                    self.failure = InterpreterError(
+                    self._fail(thread, InterpreterError(
                         f"simulated call stack overflow in thread "
-                        f"'{thread.name}' (deep recursion)")
+                        f"'{thread.name}' (deep recursion)"))
                     return
                 except ReproError as err:
                     spent = self._commit(thread, spent)
-                    self._finish(thread)
-                    self.failure = err
+                    self._fail(thread, err)
+                    return
+                except Exception as exc:
+                    # a host-level crash inside one simulated thread
+                    # must not abandon the whole run queue with a bare
+                    # traceback: finish the thread and surface a
+                    # structured diagnostic instead
+                    spent = self._commit(thread, spent)
+                    self._fail(thread, ThreadCrashError(
+                        f"thread '{thread.name}' crashed: "
+                        f"{type(exc).__name__}: {exc}", cause=exc))
                     return
                 if item is YIELD:
                     break
@@ -152,9 +205,33 @@ class Scheduler:
                 by_thread.get(thread.name, 0) + spent
         return 0
 
+    def _shutdown(self) -> None:
+        """Abort path: close every unfinished coroutine so region
+        ``finally`` blocks run, shared regions are released, and thread
+        counts return to zero.  Region epilogues charge cycles directly
+        (they never yield), so ``close()`` cannot trip on a yield inside
+        a ``finally``."""
+        for thread in self.threads:
+            if thread.done:
+                continue
+            try:
+                thread.coroutine.close()
+            except Exception:
+                pass  # teardown is best-effort; the diagnostic is set
+            self._finish(thread)
+
     def run(self) -> None:
         """Run until every thread finishes.  Re-raises the first simulated
-        runtime failure after stopping all threads."""
+        runtime failure after stopping all threads (in degrade mode,
+        per-thread failures land in ``diagnostics`` instead and the
+        queue keeps draining)."""
+        try:
+            self._run_loop()
+        except BaseException:
+            self._shutdown()
+            raise
+
+    def _run_loop(self) -> None:
         while True:
             if self.failure is not None:
                 raise self.failure
@@ -165,6 +242,8 @@ class Scheduler:
                 raise DeadlockError(
                     f"simulation exceeded {self.max_cycles} cycles "
                     "(runaway program?)")
+            if self.checkpoint_hook is not None:
+                self.checkpoint_hook()
             if self.gc_hook is not None:
                 pause = self.gc_hook()
                 if pause:

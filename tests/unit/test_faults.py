@@ -1,0 +1,149 @@
+"""Unit tests for the deterministic fault-injection plane
+(:mod:`repro.rtsj.faults`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.rtsj.faults import (FAULT_SITES, FaultInjector, FaultPlan,
+                               FaultRecord, RecoveryPolicy,
+                               ReplayInjector, fault_key, load_schedule,
+                               save_schedule)
+
+
+class TestFaultPlan:
+    def test_unknown_site_in_rates_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault site"):
+            FaultPlan(rates={"bogus_site": 0.5})
+
+    def test_unknown_site_in_filter_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault site"):
+            FaultPlan(sites=("lt_alloc", "nope"))
+
+    def test_rate_for_respects_filter_and_overrides(self):
+        plan = FaultPlan(rate=0.1, rates={"vt_chunk": 0.9},
+                         sites=("lt_alloc", "vt_chunk"))
+        assert plan.rate_for("lt_alloc") == 0.1
+        assert plan.rate_for("vt_chunk") == 0.9
+        # filtered out entirely
+        assert plan.rate_for("gc_pause_spike") == 0.0
+
+    def test_dict_roundtrip(self):
+        plan = FaultPlan(seed=7, rate=0.25, rates={"lt_alloc": 1.0},
+                         sites=("lt_alloc",), max_faults=3,
+                         gc_spike_factor=16)
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+
+def _drive(injector, consults=200):
+    """Consult every site round-robin ``consults`` times; returns the
+    schedule."""
+    for i in range(consults):
+        for site in FAULT_SITES:
+            injector.fire(site, f"consult-{i}")
+    return list(injector.injected)
+
+
+class TestFaultInjector:
+    def test_same_plan_same_schedule(self):
+        plan = FaultPlan(seed=42, rate=0.1)
+        first = _drive(FaultInjector(plan))
+        second = _drive(FaultInjector(plan))
+        assert fault_key(first) == fault_key(second)
+        assert first  # a 10% rate over 1200 consults injects something
+
+    def test_different_seed_different_schedule(self):
+        a = _drive(FaultInjector(FaultPlan(seed=1, rate=0.1)))
+        b = _drive(FaultInjector(FaultPlan(seed=2, rate=0.1)))
+        assert fault_key(a) != fault_key(b)
+
+    def test_zero_rate_never_fires_but_counts_consults(self):
+        injector = FaultInjector(FaultPlan(seed=3, rate=0.0))
+        assert not _drive(injector)
+        assert injector.site_counts["lt_alloc"] == 200
+
+    def test_disabled_site_does_not_perturb_enabled_ones(self):
+        # the PRNG draws only at enabled sites, so enabling an extra
+        # site must not reshuffle decisions taken at the others
+        base = FaultPlan(seed=5, rate=0.2, sites=("lt_alloc",))
+        wider = FaultPlan(seed=5, rate=0.2,
+                          sites=("lt_alloc", "vt_chunk"))
+
+        def lt_only(plan):
+            injector = FaultInjector(plan)
+            for i in range(100):
+                injector.fire("lt_alloc", "")
+            return fault_key(injector.injected)
+
+        assert lt_only(base) == lt_only(wider)
+
+    def test_max_faults_caps_schedule(self):
+        injector = FaultInjector(FaultPlan(seed=0, rate=1.0,
+                                           max_faults=4))
+        _drive(injector, consults=10)
+        assert len(injector.injected) == 4
+
+    def test_records_carry_site_seq_and_detail(self):
+        injector = FaultInjector(FaultPlan(seed=0, rate=1.0,
+                                           sites=("vt_chunk",)))
+        injector.fire("lt_alloc", "ignored")
+        assert injector.fire("vt_chunk", "regionA")
+        record = injector.injected[0]
+        assert record.site == "vt_chunk"
+        assert record.seq == 0
+        assert record.detail == "regionA"
+        assert record.index == 0
+
+
+class TestReplayInjector:
+    def test_refires_exactly_the_recorded_schedule(self):
+        plan = FaultPlan(seed=11, rate=0.15)
+        recorded = _drive(FaultInjector(plan))
+        replay = ReplayInjector(recorded, plan)
+        replayed = _drive(replay)
+        assert fault_key(replayed) == fault_key(recorded)
+
+    def test_no_randomness_involved(self):
+        records = [FaultRecord(index=0, site="lt_alloc", seq=2)]
+        replay = ReplayInjector(records)
+        assert not replay.fire("lt_alloc")   # seq 0
+        assert not replay.fire("lt_alloc")   # seq 1
+        assert replay.fire("lt_alloc")       # seq 2: the recorded one
+        assert not replay.fire("lt_alloc")   # seq 3
+
+
+class TestRecoveryPolicy:
+    def test_backoff_is_exponential(self):
+        policy = RecoveryPolicy(backoff_base=64)
+        assert [policy.backoff_cycles(i) for i in range(4)] == \
+            [64, 128, 256, 512]
+
+    def test_backoff_shift_is_clamped(self):
+        policy = RecoveryPolicy(backoff_base=1)
+        assert policy.backoff_cycles(100) == 1 << 16
+
+
+class TestSchedulePersistence:
+    def test_roundtrip(self, tmp_path):
+        plan = FaultPlan(seed=9, rate=0.5, sites=("lt_alloc",))
+        records = _drive(FaultInjector(plan), consults=20)
+        path = str(tmp_path / "run.schedule.jsonl")
+        save_schedule(path, plan, records,
+                      meta={"program": "demo", "source": "x"})
+        loaded_plan, loaded_records, meta = load_schedule(path)
+        assert loaded_plan == plan
+        assert loaded_records == records
+        assert meta["program"] == "demo"
+        assert meta["source"] == "x"
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"version": 99, "plan": {}}\n')
+        with pytest.raises(ValueError, match="unsupported schedule"):
+            load_schedule(str(path))
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty fault schedule"):
+            load_schedule(str(path))
