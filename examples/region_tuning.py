@@ -18,7 +18,7 @@ pipeline and walks the three tools over it:
 from repro import RunOptions, analyze
 from repro.interp.machine import Machine
 from repro.tools import advise, format_report, lint_effects
-from repro.tools.timeline import render_timeline
+from repro.tools.timeline import events_between, render_timeline
 
 PROGRAM = """
 regionKind Camera extends SharedRegion {
@@ -104,7 +104,8 @@ def main() -> None:
     print(render_timeline(machine.stats,
                           kinds=["region-created", "region-flushed",
                                  "region-destroyed"]))
-    flushes = [e for e in machine.stats.events
+    flushes = [e for e in events_between(machine.stats, 0,
+                                          machine.stats.cycles)
                if e[1] == "region-flushed"]
     assert len(flushes) == 5, "one flush per frame — no leak"
     print(f"\n  -> {len(flushes)} flushes for 5 frames: the LT area is "

@@ -82,6 +82,10 @@ class ChaosOutcome:
     error: Optional[Dict[str, Any]] = None
     output: List[str] = field(default_factory=list)
     summary: Dict[str, Any] = field(default_factory=dict)
+    #: the run's flight recorder (when recording was requested); not
+    #: part of the replay identity — recording is cycle-neutral
+    recorder: Optional[Any] = field(default=None, repr=False,
+                                    compare=False)
 
     @property
     def ok(self) -> bool:
@@ -105,17 +109,19 @@ def run_one(program: Union[str, AnalyzedProgram],
             plan: Optional[FaultPlan] = None,
             injector: Optional[Any] = None,
             label: str = "<program>",
-            max_cycles: int = DEFAULT_MAX_CYCLES) -> ChaosOutcome:
+            max_cycles: int = DEFAULT_MAX_CYCLES,
+            record: bool = False) -> ChaosOutcome:
     """Execute one program under one fault plan (or explicit injector),
     sanitizer armed, degradation on.  Never raises for simulated
-    failures — they land in the outcome."""
+    failures — they land in the outcome.  ``record`` arms the flight
+    recorder (cycle-neutral, so replay identity is unaffected)."""
     analyzed = analyze(program) if isinstance(program, str) else program
     if analyzed.errors:
         raise analyzed.errors[0]
     options = RunOptions(checks_enabled=True, validate=True,
                          fault_plan=plan, fault_injector=injector,
                          sanitize=True, degrade=True,
-                         max_cycles=max_cycles)
+                         max_cycles=max_cycles, record=record)
     machine = Machine(analyzed, options)
     status = "clean"
     error: Optional[Dict[str, Any]] = None
@@ -143,7 +149,8 @@ def run_one(program: Union[str, AnalyzedProgram],
         diagnostics=diagnostics,
         error=error,
         output=list(machine.output),
-        summary=machine.stats.summary())
+        summary=machine.stats.summary(),
+        recorder=machine.recorder)
 
 
 def verify_replay(program: Union[str, AnalyzedProgram],
@@ -189,7 +196,8 @@ def run_chaos(corpus: Sequence[Tuple[str, str]],
                              sites=sites,
                              gc_spike_factor=gc_spike_factor)
             outcome = run_one(analyzed, plan=plan, label=label,
-                              max_cycles=max_cycles)
+                              max_cycles=max_cycles,
+                              record=schedule_dir is not None)
             entry: Dict[str, Any] = {
                 "program": label,
                 "seed": seed,
@@ -223,6 +231,25 @@ def run_chaos(corpus: Sequence[Tuple[str, str]],
                     "identity": outcome.identity(),
                 })
                 entry["schedule"] = path
+                # post-mortem: any run that failed (terminal error) or
+                # broke the contract dumps its flight record next to
+                # the schedule, so `repro inspect --schedule` can join
+                # the two and map each injected fault to its reaction
+                if (outcome.recorder is not None
+                        and (outcome.error is not None
+                             or not outcome.ok)):
+                    from ..obs.flightrec import dump_flight
+                    flight_path = os.path.join(
+                        schedule_dir, f"{safe}-seed{seed}.flight.jsonl")
+                    dump_flight(outcome.recorder, flight_path, meta={
+                        "mode": "chaos",
+                        "program": label,
+                        "seed": seed,
+                        "status": outcome.status,
+                        "error": outcome.error,
+                        "summary": outcome.summary,
+                    })
+                    entry["flight"] = flight_path
             results.append(entry)
     statuses: Dict[str, int] = {}
     total_faults = 0

@@ -13,6 +13,9 @@ Commands
                (CI regression gates)
 ``chaos``      seeded fault-injection campaign over the example corpus
                with sanitizer + deterministic replay verification
+``inspect``    post-mortem analysis of a flight-recorder dump: region
+               timelines, leak suspects, portal contention, and the
+               check-elimination ledger (Figure 12)
 
 Inputs are core-language source files; a ``.py`` driver script (like the
 ones under ``examples/``) is also accepted — the embedded ``PROGRAM``
@@ -101,8 +104,11 @@ def cmd_run(args) -> int:
         return 1
     options = RunOptions(checks_enabled=args.dynamic_checks,
                          validate=not args.no_validate,
-                         tracer=tracer, metrics=metrics)
+                         tracer=tracer, metrics=metrics,
+                         record=bool(args.record_out),
+                         record_capacity=args.record_capacity)
     machine = Machine(analyzed, options)
+    mode = "dynamic" if args.dynamic_checks else "static"
     failure: Optional[ReproError] = None
     try:
         result = machine.run()
@@ -115,12 +121,18 @@ def cmd_run(args) -> int:
             write_trace(machine.stats.tracer, args.trace_out)
         if args.metrics_out:
             write_metrics(machine.stats.metrics, args.metrics_out)
+        if args.record_out and machine.recorder is not None:
+            from .obs import dump_flight
+            dump_flight(machine.recorder, args.record_out, meta={
+                "mode": mode,
+                "program": args.file,
+                "summary": machine.stats.summary(),
+            })
     if failure is not None:
         print(f"runtime error: {failure}", file=sys.stderr)
         return 2
     for line in result.output:
         print(line)
-    mode = "dynamic" if args.dynamic_checks else "static"
     if args.stats:
         print(f"--- {mode}-checks run: {result.cycles} cycles, "
               f"{result.stats.assignment_checks} assignment checks, "
@@ -344,6 +356,59 @@ def cmd_chaos(args) -> int:
     return 0 if report["ok"] else 4
 
 
+def cmd_inspect(args) -> int:
+    from .obs.analyze import build_report, report_json
+    from .obs.flightrec import load_flight, validate_flight
+
+    try:
+        header, records = load_flight(args.dump)
+    except (OSError, ValueError, KeyError) as err:
+        print(f"invalid flight record: {err}", file=sys.stderr)
+        return 1
+    problems = validate_flight(header, records)
+    if problems:
+        for problem in problems:
+            print(f"invalid flight record: {problem}", file=sys.stderr)
+        return 1
+    compare = None
+    if args.compare:
+        try:
+            compare_header, compare_records = load_flight(args.compare)
+        except (OSError, ValueError, KeyError) as err:
+            print(f"invalid flight record (--compare): {err}",
+                  file=sys.stderr)
+            return 1
+        compare_problems = validate_flight(compare_header,
+                                           compare_records)
+        if compare_problems:
+            for problem in compare_problems:
+                print(f"invalid flight record (--compare): {problem}",
+                      file=sys.stderr)
+            return 1
+        compare = compare_header
+    schedule = None
+    if args.schedule:
+        from .rtsj.faults import load_schedule
+        _, schedule, _ = load_schedule(args.schedule)
+    report = build_report(header, records, schedule=schedule,
+                          compare=compare)
+    if args.html:
+        with open(args.html, "w", encoding="utf-8") as handle:
+            handle.write(report.to_html())
+        print(f"wrote {args.html}", file=sys.stderr)
+    if args.json:
+        print(report_json(report))
+    elif args.ledger:
+        print(report.format_ledger())
+    elif not args.html:
+        print(report.format())
+    if report.mismatches:
+        for problem in report.mismatches:
+            print(f"inspect: {problem}", file=sys.stderr)
+        return 2
+    return 0
+
+
 def cmd_graph(args) -> int:
     analyzed = _analyze_or_report(_read(args.file), args.file)
     if analyzed.errors:
@@ -390,6 +455,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="persist the incremental analysis cache "
                             "under DIR; re-runs after an edit only "
                             "re-check the classes that changed")
+    p_run.add_argument("--record-out", metavar="FILE",
+                       help="arm the flight recorder and dump the "
+                            "post-mortem event ring as JSONL (cycle-"
+                            "neutral; feed the file to `repro inspect`)")
+    p_run.add_argument("--record-capacity", type=int, default=1 << 16,
+                       help="flight-recorder ring size in records "
+                            "(default 65536)")
     p_run.set_defaults(func=cmd_run)
 
     p_prof = sub.add_parser(
@@ -514,6 +586,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument("--json", action="store_true",
                          help="print the campaign report as JSON")
     p_chaos.set_defaults(func=cmd_chaos)
+
+    p_ins = sub.add_parser(
+        "inspect", help="post-mortem analysis of a flight-recorder "
+                        "dump: region lifetimes, leak suspects, portal "
+                        "contention, stall attribution, and the check-"
+                        "elimination ledger")
+    p_ins.add_argument("dump", help="a *.flight.jsonl file from "
+                                    "`repro run --record-out` or a "
+                                    "chaos auto-dump")
+    p_ins.add_argument("--compare", metavar="DUMP",
+                       help="a second dump (the other check mode) for "
+                            "the Figure 12 dynamic-vs-static comparison")
+    p_ins.add_argument("--schedule", metavar="FILE",
+                       help="join a chaos *.schedule.jsonl: map each "
+                            "injected fault to its recovery/crash "
+                            "events")
+    p_ins.add_argument("--ledger", action="store_true",
+                       help="print only the check-elimination ledger")
+    p_ins.add_argument("--json", action="store_true",
+                       help="emit the full report as JSON")
+    p_ins.add_argument("--html", metavar="FILE",
+                       help="write a self-contained HTML report")
+    p_ins.set_defaults(func=cmd_inspect)
 
     p_graph = sub.add_parser("graph",
                              help="emit the ownership graph (dot)")

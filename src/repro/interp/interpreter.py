@@ -153,9 +153,17 @@ class Interpreter:
         self._c_portal_read = cost.portal_read
         self._c_portal_write = cost.portal_write
 
+        #: flight recorder (None when post-mortem recording is off: the
+        #: closures compiled below then carry no recording code at all)
+        self._recorder = machine.recorder
+
         # "checks compiled out": bind the access-path helpers once.  The
-        # unchecked variants never touch the check engine at all.
-        if self.checks.active:
+        # unchecked variants never touch the check engine at all.  A
+        # recording run keeps the checked paths even with the engine
+        # inactive: the engine then charges nothing and raises nothing
+        # (cycle-identical to unchecked) but credits every elided check
+        # to the static path for the elimination ledger.
+        if self.checks.active or self._recorder is not None:
             self._field_write = self._field_write_checked
             self._field_read = self._field_read_checked
             self._static_write = self._static_write_checked
@@ -181,6 +189,14 @@ class Interpreter:
             # here so fault-free runs keep the direct helper
             self._portal_write = self._wrap_portal_faults(
                 self._portal_write)
+        if self._recorder is not None:
+            # portal traffic is a flight-recorder channel (contention
+            # analysis); wrapped here so plain runs keep the direct
+            # helpers
+            self._portal_write = self._wrap_portal_record(
+                self._portal_write, "portal-write")
+            self._portal_read = self._wrap_portal_record(
+                self._portal_read, "portal-read")
 
         # compiled-code caches, keyed by node identity (the analyzed AST
         # outlives the interpreter; ``_hold`` pins ad-hoc nodes compiled
@@ -1035,6 +1051,7 @@ class Interpreter:
         region_exit = self.cost.region_exit
         charge_direct = self.machine.charge_direct
         tracer = stats.tracer
+        rec = self._recorder
         injector = self._injector
         enter_guard = self._region_enter_guard
         sanitizer = self._sanitizer
@@ -1067,6 +1084,9 @@ class Interpreter:
                 thread.shared_stack.append(area)
             tracer.begin("region-enter", area.name, cycle=stats.cycles,
                          thread=thread.name, attrs={"scoped": True})
+            if rec is not None:
+                rec.push("region-enter", area.name, cycle=stats.cycles,
+                         thread=thread.name, attrs={"scoped": True})
             try:
                 yield from body_code(frame, area, thread)
             finally:
@@ -1076,14 +1096,18 @@ class Interpreter:
                 stats.region_cycles += region_exit
                 tracer.end("region-exit", area.name, cycle=stats.cycles,
                            thread=thread.name)
+                if rec is not None:
+                    rec.pop("region-exit", area.name, cycle=stats.cycles,
+                            thread=thread.name)
                 if shared:
                     thread.shared_stack.remove(area)
-                    stats.objects_freed += release_shared(area)
+                    stats.objects_freed += release_shared(
+                        area, thread.name)
                 else:
-                    stats.objects_freed += area.destroy()
+                    stats.objects_freed += area.destroy(thread.name)
                 if not area.live:
-                    stats.event("region-destroyed", area.name,
-                                thread=thread.name)
+                    tracer.emit("region-destroyed", area.name,
+                                cycle=stats.cycles, thread=thread.name)
                 _restore(frame.owners, region_name, saved_owner)
                 _restore(frame.vars, handle_name, saved_var)
                 if sanitizer is not None:
@@ -1100,6 +1124,7 @@ class Interpreter:
         create_area = self._create_area
         charge_direct = self.machine.charge_direct
         tracer = stats.tracer
+        rec = self._recorder
         injector = self._injector
         enter_guard = self._region_enter_guard
         sanitizer = self._sanitizer
@@ -1148,7 +1173,7 @@ class Interpreter:
                         f"subregion '{sub_name}'")
                 policy = LT if sub.policy.kind == "LT" else VT
                 if slot is not None and slot.live and fresh:
-                    slot.destroy()
+                    slot.destroy(thread.name)
                 slot, cycles = create_area(
                     f"{parent.name}.{sub_name}", sub.kind.name,
                     policy, sub.policy.size, set(), parent,
@@ -1176,6 +1201,9 @@ class Interpreter:
             thread.shared_stack.append(slot)
             tracer.begin("region-enter", slot.name, cycle=stats.cycles,
                          thread=thread.name, attrs={"scoped": False})
+            if rec is not None:
+                rec.push("region-enter", slot.name, cycle=stats.cycles,
+                         thread=thread.name, attrs={"scoped": False})
             saved_owner = frame.owners.get(region_name)
             saved_var = frame.vars.get(handle_name)
             frame.owners[region_name] = slot
@@ -1187,14 +1215,17 @@ class Interpreter:
                 stats.region_cycles += region_exit
                 tracer.end("region-exit", slot.name, cycle=stats.cycles,
                            thread=thread.name)
+                if rec is not None:
+                    rec.pop("region-exit", slot.name, cycle=stats.cycles,
+                            thread=thread.name)
                 thread.shared_stack.remove(slot)
                 before = slot.generation
-                stats.objects_freed += release_shared(slot)
+                stats.objects_freed += release_shared(slot, thread.name)
                 flushed = slot.generation != before
                 if flushed:
                     stats.region_flushes += 1
-                    stats.event("region-flushed", slot.name,
-                                thread=thread.name)
+                    tracer.emit("region-flushed", slot.name,
+                                cycle=stats.cycles, thread=thread.name)
                 _restore(frame.owners, region_name, saved_owner)
                 _restore(frame.vars, handle_name, saved_var)
                 if sanitizer is not None:
@@ -1414,6 +1445,12 @@ class Interpreter:
             cycle=stats.cycles, thread=thread.name,
             attrs={"region": name, "policy": policy, "kind": kind_name,
                    "lt_budget": budget})
+        rec = self._recorder
+        if rec is not None:
+            rec.record("region-created", name, cycle=stats.cycles,
+                       thread=thread.name,
+                       attrs={"region": name, "policy": policy,
+                              "kind": kind_name, "lt_budget": budget})
         cycles = self.cost.region_create
         if policy == LT:
             cycles += self.cost.lt_prealloc_per_byte * budget
@@ -1437,12 +1474,17 @@ class Interpreter:
     # to the simulated clock by *yielding* the cycles, so recovery has
     # an honest cost in the Figure-12 currency and is preemptible.
 
-    def _backoff(self, attempt: int):
+    def _backoff(self, attempt: int, thread_name: str = "main"):
         """Charge the exponential backoff before retry ``attempt``."""
         stats = self.stats
         backoff = self._recovery.backoff_cycles(attempt)
         stats.recovery_retries += 1
         stats.recovery_backoff_cycles += backoff
+        rec = self._recorder
+        if rec is not None:
+            rec.record("recovery", f"retry {attempt}",
+                       cycle=stats.cycles, thread=thread_name,
+                       attrs={"backoff": backoff, "attempt": attempt})
         yield backoff
 
     def _alloc_with_recovery(self, target: MemoryArea, obj,
@@ -1471,7 +1513,7 @@ class Interpreter:
                 if not err.injected:
                     raise
                 if attempt < policy.max_retries:
-                    yield from self._backoff(attempt)
+                    yield from self._backoff(attempt, thread.name)
                     attempt += 1
                     continue
                 if err.site != "vt_chunk" or not policy.vt_spill:
@@ -1496,6 +1538,14 @@ class Interpreter:
                     cycle=stats.cycles, thread=thread.name,
                     attrs={"denied": target.name, "spill": spill.name,
                            "bytes": obj.size_bytes})
+                rec = self._recorder
+                if rec is not None:
+                    rec.record(
+                        "vt-spill", f"{obj.class_name} -> {spill.name}",
+                        cycle=stats.cycles, thread=thread.name,
+                        attrs={"denied": target.name,
+                               "spill": spill.name,
+                               "bytes": obj.size_bytes})
                 return fresh, spill
 
     def _region_enter_guard(self, area_name: str, thread: SimThread):
@@ -1510,7 +1560,7 @@ class Interpreter:
             err.thread = thread.name
             if attempt >= policy.max_retries:
                 raise err
-            yield from self._backoff(attempt)
+            yield from self._backoff(attempt, thread.name)
             attempt += 1
         if attempt:
             self.stats.faults_recovered += 1
@@ -1534,10 +1584,28 @@ class Interpreter:
                 except ReproError as err:
                     if not err.injected or attempt >= policy.max_retries:
                         raise
-                    yield from backoff(attempt)
+                    yield from backoff(attempt, thread.name)
                     attempt += 1
             return (yield from inner(area, field_name, value, thread,
                                      span))
+        return wrapped
+
+    def _wrap_portal_record(self, inner, kind: str):
+        """Bind flight recording around a (checked/unchecked, possibly
+        fault-guarded) portal helper.  The record lands after the inner
+        helper succeeds, so denied/retried stores are not counted as
+        traffic."""
+        rec = self._recorder
+        stats = self.stats
+
+        def wrapped(area, field_name, *rest):
+            result = yield from inner(area, field_name, *rest)
+            # both portal helpers end with (thread, span)
+            thread = rest[-2]
+            rec.record(kind, f"{area.name}.{field_name}",
+                       cycle=stats.cycles, thread=thread.name,
+                       attrs={"region": area.name, "field": field_name})
+            return result
         return wrapped
 
     def _spawn_with_retry(self, child: SimThread, thread: SimThread):
@@ -1561,7 +1629,7 @@ class Interpreter:
                     child.shared_stack.clear()
                     child.coroutine.close()
                     raise
-                yield from self._backoff(attempt)
+                yield from self._backoff(attempt, thread.name)
                 attempt += 1
 
     # -- fork ---------------------------------------------------------------
@@ -1603,6 +1671,15 @@ class Interpreter:
             cycle=self.stats.cycles, thread=thread.name,
             attrs={"child": name, "realtime": stmt.realtime,
                    "method": call.method_name})
+        rec = self._recorder
+        if rec is not None:
+            # the spawn event becomes the child's causal root
+            eid = rec.record("thread-spawned", name,
+                             cycle=self.stats.cycles, thread=thread.name,
+                             attrs={"child": name,
+                                    "realtime": stmt.realtime,
+                                    "method": call.method_name})
+            rec.seed(name, eid)
         if self._injector is None:
             self.machine.scheduler.spawn(child)
         else:
@@ -1656,6 +1733,7 @@ class Interpreter:
         profile = stats.profile
         do_profile = not profile.null
         tracer = stats.tracer
+        rec = self._recorder
         class_name = expr.class_name
         line = expr.span.start.line
         injector = self._injector
@@ -1722,6 +1800,15 @@ class Interpreter:
                     attrs={"bytes": size, "policy": target.policy,
                            "region": target.name, "line": line,
                            "fresh_chunks": fresh_chunks})
+            if rec is not None:
+                owner0 = owner_values[0]
+                owner_label = owner0.name if isinstance(
+                    owner0, MemoryArea) else repr(owner0)
+                rec.record("alloc", f"{class_name} -> {target.name}",
+                           cycle=stats.cycles, thread=thread.name,
+                           attrs={"bytes": size, "region": target.name,
+                                  "policy": target.policy,
+                                  "owner": owner_label, "line": line})
             # pin before yielding the allocation cost: a GC at this very
             # preemption point must see the newborn object
             frame.temps.append(obj)

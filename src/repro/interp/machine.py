@@ -77,6 +77,16 @@ class RunOptions:
     #: graceful degradation: a failing thread is finished with a
     #: structured diagnostic instead of aborting the whole run
     degrade: bool = False
+    # -- flight recorder (post-mortem ring buffer, off by default: a
+    #    plain run carries ``recorder is None`` through every compiled
+    #    closure and cycle counts stay byte-identical) --
+    #: record causally-linked events into a bounded ring buffer
+    record: bool = False
+    #: ring capacity when ``record`` builds the recorder
+    record_capacity: int = 1 << 16
+    #: pre-built recorder (wins over ``record``); a
+    #: ``NullFlightRecorder`` counts as recording-off
+    recorder: Optional[Any] = None
 
 
 @dataclass
@@ -114,9 +124,21 @@ class Machine:
             profile = NullProfile()
         if self.options.trace_detail:
             tracer.detailed = True
+        # flight recorder: None unless asked for, so every subsystem's
+        # ``recorder is not None`` test compiles the hooks out
+        recorder = self.options.recorder
+        if recorder is None and self.options.record:
+            from ..obs import FlightRecorder
+            recorder = FlightRecorder(self.options.record_capacity)
+        if recorder is not None and not recorder.enabled:
+            recorder = None
+        self.recorder = recorder
         self.stats = Stats(tracer=tracer, metrics=metrics,
-                           profile=profile)
+                           profile=profile, recorder=recorder)
         self.regions = RegionManager()
+        if recorder is not None:
+            recorder.bind_clock(self.stats)
+            self.regions.attach_recorder(recorder)
         # fault-injection plane: an explicit injector (replay) wins
         # over a plan; both default to None so plain runs carry no hooks
         self.fault_injector = self.options.fault_injector
@@ -216,16 +238,31 @@ class Machine:
             except ThreadSpawnError as err:
                 if not err.injected \
                         or attempt >= self.recovery.max_retries:
+                    if self.recorder is not None:
+                        self.recorder.record(
+                            "thread-aborted", "main",
+                            cycle=self.stats.cycles, thread="main",
+                            attrs={"error": type(err).__name__})
                     raise
                 backoff = self.recovery.backoff_cycles(attempt)
-                attempt += 1
                 self.stats.recovery_retries += 1
                 self.stats.recovery_backoff_cycles += backoff
+                if self.recorder is not None:
+                    self.recorder.record(
+                        "recovery", f"retry {attempt}",
+                        cycle=self.stats.cycles, thread="main",
+                        attrs={"backoff": backoff, "attempt": attempt})
+                attempt += 1
                 self.stats.charge(backoff, "main")
 
     def run(self) -> RunResult:
         main_thread = SimThread(name="main", coroutine=iter(()))
         main_thread.coroutine = self.interpreter.main_coroutine(main_thread)
+        if self.recorder is not None:
+            eid = self.recorder.record(
+                "thread-spawned", "main", cycle=0, thread="main",
+                attrs={"realtime": False, "method": "<main>"})
+            self.recorder.seed("main", eid)
         try:
             self._spawn_main(main_thread)
             self.scheduler.run()

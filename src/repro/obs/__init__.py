@@ -9,7 +9,11 @@ imports *us*, never the reverse):
   :class:`MetricsRegistry`;
 * :mod:`repro.obs.exporters` — JSON Lines traces and Prometheus text;
 * :mod:`repro.obs.profile` — per-region / per-call-site / per-category
-  cycle attribution behind ``repro profile``.
+  cycle attribution behind ``repro profile``;
+* :mod:`repro.obs.flightrec` — the bounded, causal flight recorder
+  dumped post-mortem (``repro run --record-out``, chaos auto-dumps);
+* :mod:`repro.obs.analyze` — the ``repro inspect`` analysis engine
+  over flight-recorder dumps.
 
 See ``docs/OBSERVABILITY.md`` for the event schema and metric names.
 """
@@ -17,6 +21,9 @@ See ``docs/OBSERVABILITY.md`` for the event schema and metric names.
 from .events import BEGIN, END, INSTANT, NullTracer, TraceEvent, Tracer
 from .exporters import (to_prometheus, trace_lines, write_metrics,
                         write_trace)
+from .flightrec import (FLIGHT_SCHEMA, FlightRecord, FlightRecorder,
+                        NullFlightRecorder, dump_flight, flight_lines,
+                        load_flight, validate_flight)
 from .metrics import (Counter, DEFAULT_CYCLE_BUCKETS, Gauge, Histogram,
                       MetricsRegistry, NullMetricsRegistry)
 from .profile import (CATEGORIES, NullProfile, ProfileCollector,
@@ -29,4 +36,7 @@ __all__ = [
     "trace_lines", "write_trace", "to_prometheus", "write_metrics",
     "ProfileCollector", "NullProfile", "ProfileReport", "build_report",
     "CATEGORIES",
+    "FlightRecorder", "NullFlightRecorder", "FlightRecord",
+    "FLIGHT_SCHEMA", "flight_lines", "dump_flight", "load_flight",
+    "validate_flight",
 ]

@@ -4,9 +4,9 @@ The simulator used to keep a flat list of ``(cycle, kind, subject)``
 tuples on :class:`~repro.rtsj.stats.Stats`.  This module replaces that
 with :class:`TraceEvent` records — each carries its simulated-cycle
 timestamp, the emitting thread, a *phase* marking it as an instant event
-or the begin/end of a span, and free-form attributes — while
-``Stats.events`` survives as a read-only compatibility shim derived from
-the same records.
+or the begin/end of a span, and free-form attributes.  (The old
+``Stats.events`` shim is gone; the tracer is the one event source, and
+post-mortem recording lives in :mod:`repro.obs.flightrec`.)
 
 Two emission channels keep tracing cheap enough to leave on:
 
@@ -74,11 +74,21 @@ class Tracer:
         self.detailed = detailed
         self.max_records = max_records
         self.dropped = 0
+        #: per-thread stack of currently-open spans ``(kind, subject)``,
+        #: so :meth:`close_abandoned` can repair traces when a thread is
+        #: killed mid-span (LT watchdog abort, ``ThreadCrashError``)
+        self._open: Dict[str, List[Tuple[str, str]]] = {}
 
     # ------------------------------------------------------------------
 
     def _record(self, cycle: int, kind: str, subject: str, thread: str,
                 phase: str, attrs: Optional[Dict[str, Any]]) -> None:
+        if phase == BEGIN:
+            self._open.setdefault(thread, []).append((kind, subject))
+        elif phase == END:
+            stack = self._open.get(thread)
+            if stack:
+                stack.pop()
         if len(self.records) >= self.max_records:
             self.dropped += 1
             return
@@ -108,13 +118,30 @@ class Tracer:
             attrs: Optional[Dict[str, Any]] = None) -> None:
         self.emit_detail(kind, subject, cycle, thread, END, attrs)
 
+    def close_abandoned(self, thread: str, cycle: int = 0) -> int:
+        """Close every span ``thread`` left open, innermost first.
+
+        Called when a thread is killed mid-span (LT watchdog abort,
+        ``ThreadCrashError``, scheduler shutdown): without this, the
+        thread's ``B`` events never meet an ``E`` and the exported JSONL
+        trace stops being well-nested.  Each synthesized end record
+        carries ``aborted: true`` so consumers can tell a repair from a
+        real exit.  Returns the number of spans closed.
+        """
+        stack = self._open.get(thread)
+        closed = 0
+        while stack:
+            kind, subject = stack[-1]
+            end_kind = "region-exit" if kind == "region-enter" else kind
+            # _record pops the open-span entry itself
+            self._record(cycle, end_kind, subject, thread, END,
+                         {"aborted": True})
+            closed += 1
+        return closed
+
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
-
-    def legacy_events(self) -> List[Tuple[int, str, str]]:
-        """The old ``Stats.events`` view: ``(cycle, kind, subject)``."""
-        return [(e.cycle, e.kind, e.subject) for e in self.records]
 
     def kinds(self) -> Dict[str, int]:
         out: Dict[str, int] = {}

@@ -56,8 +56,16 @@ def write_trace(tracer: Tracer, dest: Union[str, IO[str]]) -> int:
 # ---------------------------------------------------------------------------
 
 def _escape_label_value(value: str) -> str:
+    # exposition format: label values escape backslash, double-quote,
+    # and line feed (backslash first so the others stay single-escaped)
     return (value.replace("\\", "\\\\").replace('"', '\\"')
             .replace("\n", "\\n"))
+
+
+def _escape_help(text: str) -> str:
+    # HELP text escapes only backslash and line feed (no quote escaping
+    # — HELP is not quoted in the exposition format)
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
 
 
 def _format_labels(labels: dict, extra: dict = None) -> str:
@@ -83,7 +91,7 @@ def to_prometheus(registry: MetricsRegistry) -> str:
     """Render the whole registry in Prometheus text exposition format."""
     lines = []
     for inst in registry.instruments():
-        lines.append(f"# HELP {inst.name} {inst.help_text}")
+        lines.append(f"# HELP {inst.name} {_escape_help(inst.help_text)}")
         lines.append(f"# TYPE {inst.name} {inst.metric_type}")
         for key, child in inst.children():
             labels = dict(key)

@@ -65,6 +65,11 @@ class CheckEngine:
         metrics = stats.metrics
         self._observe = not (metrics.null and stats.tracer.null
                              and stats.profile.null)
+        #: flight recorder (None when post-mortem recording is off):
+        #: records every check performed, and — the other half of the
+        #: Figure 12 ledger — every check the static path *elided*,
+        #: with the cycles the dynamic mode would have charged
+        self._rec = stats.recorder
         self._h_assign = metrics.histogram(
             "repro_check_assign_cycles",
             "cycle cost of individual RTSJ assignment checks")
@@ -84,7 +89,11 @@ class CheckEngine:
         are compiled out).  Raises on violation when checking is on in
         either mode.  ``line`` attributes the cost to the source line
         executing the store (``repro profile``)."""
+        rec = self._rec
         if not self.active:
+            if rec is not None:
+                self._record_elided_assign(rec, target_area, value, line,
+                                           thread)
             return 0
         cycles = 0
         if self.enabled:
@@ -110,6 +119,16 @@ class CheckEngine:
                         cycle=stats.cycles, thread=thread,
                         attrs={"cycles": cycles, "depth": depth,
                                "line": line})
+            if rec is not None:
+                rec.record("check-assign", target_area.name,
+                           cycle=stats.cycles, thread=thread,
+                           attrs={"cycles": cycles, "depth": depth,
+                                  "line": line})
+        elif rec is not None:
+            # validate mode: the check runs for free — from the ledger's
+            # point of view that is still an elided dynamic check
+            self._record_elided_assign(rec, target_area, value, line,
+                                       thread)
         if isinstance(value, ObjRef):
             if not value.area.outlives(target_area):
                 raise IllegalAssignmentError(
@@ -117,6 +136,23 @@ class CheckEngine:
                     f"'{value.area.name}') into area "
                     f"'{target_area.name}' would dangle")
         return cycles
+
+    def _record_elided_assign(self, rec: Any, target_area: MemoryArea,
+                              value: Any, line: int,
+                              thread: str) -> None:
+        """Credit one elided assignment check to the static path, with
+        the exact cycles the dynamic mode would have charged (same
+        formula, same per-store call conditions — so the elide count of
+        a static run equals the performed count of the dynamic run)."""
+        depth = 0
+        saved = self._assign_base
+        if isinstance(value, ObjRef):
+            depth = value.area.ancestry_distance(target_area)
+            saved += self._assign_per_level * depth
+        rec.record("check-elide-assign", target_area.name,
+                   cycle=self.stats.cycles, thread=thread,
+                   attrs={"cycles_saved": saved, "depth": depth,
+                          "line": line})
 
     def portal_write_guard(self, area: MemoryArea,
                            thread: str = "main") -> None:
@@ -139,7 +175,15 @@ class CheckEngine:
                   thread: str = "main") -> int:
         """Cycles charged for the no-heap read/overwrite check on a
         reference touched by a real-time thread."""
-        if not realtime or not self.active:
+        if not realtime:
+            return 0
+        rec = self._rec
+        if not self.active:
+            if rec is not None:
+                rec.record("check-elide-read", thread,
+                           cycle=self.stats.cycles, thread=thread,
+                           attrs={"cycles_saved": self._read_base,
+                                  "line": line})
             return 0
         cycles = 0
         if self.enabled:
@@ -156,6 +200,15 @@ class CheckEngine:
                         "check-read", thread, cycle=stats.cycles,
                         thread=thread,
                         attrs={"cycles": cycles, "line": line})
+            if rec is not None:
+                rec.record("check-read", thread, cycle=stats.cycles,
+                           thread=thread,
+                           attrs={"cycles": cycles, "line": line})
+        elif rec is not None:
+            rec.record("check-elide-read", thread,
+                       cycle=self.stats.cycles, thread=thread,
+                       attrs={"cycles_saved": self._read_base,
+                              "line": line})
         for v in (value, old_value):
             if isinstance(v, ObjRef) and v.area.is_heap:
                 raise MemoryAccessError(

@@ -171,6 +171,12 @@ class FaultInjector:
                         detail=detail))
         if self.stats is not None:
             self.stats.faults_injected += 1
+            rec = self.stats.recorder
+            if rec is not None:
+                rec.record("fault-injected", site,
+                           cycle=self.stats.cycles, thread="<fault>",
+                           attrs={"site": site, "seq": seq,
+                                  "detail": detail})
         return True
 
 
@@ -201,6 +207,12 @@ class ReplayInjector:
                         detail=detail))
         if self.stats is not None:
             self.stats.faults_injected += 1
+            rec = self.stats.recorder
+            if rec is not None:
+                rec.record("fault-injected", site,
+                           cycle=self.stats.cycles, thread="<fault>",
+                           attrs={"site": site, "seq": seq,
+                                  "detail": detail})
         return True
 
 

@@ -99,6 +99,13 @@ class GarbageCollector:
             cycle=self.stats.cycles, thread="<gc>",
             attrs={"collected": dead, "live": len(live), "pause": pause,
                    "heap_bytes": heap.bytes_used})
+        rec = self.stats.recorder
+        if rec is not None:
+            rec.record("gc", f"collected {dead}",
+                       cycle=self.stats.cycles, thread="<gc>",
+                       attrs={"collected": dead, "live": len(live),
+                              "pause": pause,
+                              "heap_bytes": heap.bytes_used})
         self._h_pause.observe(pause)
         self._g_heap.set(heap.bytes_used)
         self.stats.gc_runs += 1

@@ -50,7 +50,7 @@ class MemoryArea:
                  "generation", "parent", "ancestor_ids", "depth",
                  "thread_count", "portals", "subregions",
                  "realtime_only", "objects", "subregion_meta",
-                 "fault_injector")
+                 "fault_injector", "recorder")
 
     def __init__(self, name: str, kind_name: str, policy: str,
                  lt_budget: int = 0,
@@ -86,6 +86,10 @@ class MemoryArea:
         #: fault-injection plane (None outside chaos runs); consulted on
         #: the allocation path (`lt_alloc` / `vt_chunk` sites)
         self.fault_injector: Optional[Any] = None
+        #: flight recorder (None when post-mortem recording is off);
+        #: flush/destroy and LT/VT policy decisions are recorded here,
+        #: at the one place every code path funnels through
+        self.recorder: Optional[Any] = None
 
     # ------------------------------------------------------------------
 
@@ -143,6 +147,13 @@ class MemoryArea:
                 err.site, err.injected = "lt_alloc", True
                 raise err
             if self.bytes_used + obj.size_bytes > self.lt_budget:
+                rec = self.recorder
+                if rec is not None:
+                    rec.record("policy", self.name,
+                               attrs={"decision": "lt-deny",
+                                      "bytes": obj.size_bytes,
+                                      "used": self.bytes_used,
+                                      "budget": self.lt_budget})
                 err = OutOfRegionMemoryError(
                     f"LT region '{self.name}' of size {self.lt_budget} "
                     f"bytes cannot fit {obj.size_bytes} more bytes "
@@ -163,6 +174,13 @@ class MemoryArea:
                      + self.VT_CHUNK_BYTES - 1) // self.VT_CHUNK_BYTES
             fresh_chunks = max(after - before, 1 if self.chunks == 0 else 0)
             self.chunks = max(self.chunks, after)
+            if fresh_chunks:
+                rec = self.recorder
+                if rec is not None:
+                    rec.record("policy", self.name,
+                               attrs={"decision": "vt-chunk",
+                                      "chunks": fresh_chunks,
+                                      "total_chunks": self.chunks})
         self.bytes_used += obj.size_bytes
         self.peak_bytes = max(self.peak_bytes, self.bytes_used)
         self.objects.append(obj)
@@ -172,23 +190,35 @@ class MemoryArea:
         """Heap sweep support: return one object's bytes."""
         self.bytes_used -= obj.size_bytes
 
-    def flush(self) -> int:
+    def flush(self, thread: str = "<region>", _event: bool = True) -> int:
         """Delete all objects; returns the number of objects flushed.
         LT keeps its preallocated memory (pointer reset); VT returns its
         chunks."""
         freed = len(self.objects)
+        before = self.bytes_used
         self.generation += 1
         self.bytes_used = 0
         self.objects.clear()
         if self.policy == VT:
             self.chunks = 0
+        if _event:
+            rec = self.recorder
+            if rec is not None:
+                rec.record("region-flushed", self.name, thread=thread,
+                           attrs={"bytes": before, "objects": freed,
+                                  "generation": self.generation})
         return freed
 
-    def destroy(self) -> int:
+    def destroy(self, thread: str = "<region>") -> int:
         """Scoped-region exit / shared count reaching zero: the region is
         deleted, freeing all objects stored therein."""
-        freed = self.flush()
+        before = self.bytes_used
+        freed = self.flush(thread, _event=False)
         self.live = False
+        rec = self.recorder
+        if rec is not None:
+            rec.record("region-destroyed", self.name, thread=thread,
+                       attrs={"bytes": before, "objects": freed})
         return freed
 
     # ------------------------------------------------------------------
@@ -214,7 +244,7 @@ class MemoryArea:
                 f"policy={self.policy} used={self.bytes_used}>")
 
 
-def release_shared(area: MemoryArea) -> int:
+def release_shared(area: MemoryArea, thread: str = "<region>") -> int:
     """One thread leaves a shared region (block exit or thread death).
 
     Top-level shared regions are deleted when the last thread exits
@@ -225,9 +255,9 @@ def release_shared(area: MemoryArea) -> int:
     if area.thread_count > 0 or not area.live:
         return 0
     if area.parent is None:
-        return area.destroy()
+        return area.destroy(thread)
     if area.can_flush() and not area.is_flushed:
-        return area.flush()
+        return area.flush(thread)
     return 0
 
 
@@ -264,6 +294,8 @@ class RegionManager:
         self.areas: List[MemoryArea] = [self.heap, self.immortal]
         #: fault plane propagated onto every area (None outside chaos)
         self.fault_injector: Optional[Any] = None
+        #: flight recorder propagated onto every area (None when off)
+        self.recorder: Optional[Any] = None
         #: dead areas dropped from ``areas`` (their aggregate footprint)
         self.pruned_dead = 0
         self.pruned_peak_bytes = 0
@@ -326,6 +358,14 @@ class RegionManager:
         for area in self.areas:
             area.fault_injector = injector
 
+    def attach_recorder(self, recorder: Any) -> None:
+        """Wire the flight recorder into every area (existing and
+        future) so flushes, destroys, and LT/VT policy decisions are
+        recorded at their single funnel points."""
+        self.recorder = recorder
+        for area in self.areas:
+            area.recorder = recorder
+
     def create(self, name: str, kind_name: str, policy: str,
                lt_budget: int, ancestors: Set[int],
                parent: Optional[MemoryArea] = None,
@@ -334,6 +374,7 @@ class RegionManager:
                           ancestors, parent, realtime_only,
                           area_id=next(self._area_ids))
         area.fault_injector = self.fault_injector
+        area.recorder = self.recorder
         area.ancestor_ids |= {self.heap.area_id, self.immortal.area_id}
         area.depth = len(area.ancestor_ids)
         self.areas.append(area)

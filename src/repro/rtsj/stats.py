@@ -17,9 +17,8 @@ The constants are deliberately round numbers in the ratio ballpark of a
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, Optional
 
 from ..obs import MetricsRegistry, ProfileCollector, Tracer
 
@@ -80,9 +79,11 @@ class Stats:
     Structured observability (the :mod:`repro.obs` subsystem) hangs off
     this object: ``tracer`` is the event bus, ``metrics`` the registry
     of counters/gauges/histograms, ``profile`` the per-site/per-region
-    attribution.  The historic ``Stats.events`` tuple list is now a
-    read-only view derived from ``tracer.records`` (deprecated — new
-    code should read the tracer directly).
+    attribution, and ``recorder`` the post-mortem flight recorder
+    (``None`` on runs that did not ask for recording, so hot paths can
+    test ``recorder is not None`` at closure-compile time).  The
+    historic ``Stats.events`` tuple-list shim has been removed; the
+    tracer is the single event source.
     """
 
     cycles: int = 0                       # global simulated clock
@@ -128,27 +129,9 @@ class Stats:
                                      repr=False)
     profile: ProfileCollector = field(default_factory=ProfileCollector,
                                       repr=False)
-
-    #: process-wide latch so the ``Stats.events`` deprecation fires once,
-    #: not on every access (a tight loop over the shim would otherwise
-    #: flood the warning machinery)
-    _events_warned = False
-
-    @property
-    def events(self) -> List[Tuple[int, str, str]]:
-        """Deprecated ``(cycle, kind, subject)`` view of the trace."""
-        if not Stats._events_warned:
-            Stats._events_warned = True
-            warnings.warn(
-                "Stats.events is deprecated; read Stats.tracer.records "
-                "(or tracer.legacy_events()) instead",
-                DeprecationWarning, stacklevel=2)
-        return self.tracer.legacy_events()
-
-    def event(self, kind: str, subject: str,
-              thread: str = "main") -> None:
-        """Deprecated shim over :meth:`repro.obs.Tracer.emit`."""
-        self.tracer.emit(kind, subject, cycle=self.cycles, thread=thread)
+    #: the flight recorder, or None when post-mortem recording is off
+    #: (typed ``Any`` to keep :mod:`repro.obs` imports one-directional)
+    recorder: Optional[Any] = field(default=None, repr=False)
 
     def charge(self, cycles: int, thread_name: str = "main") -> None:
         self.cycles += cycles

@@ -82,6 +82,8 @@ class Scheduler:
         # pre-bound: skip the labels()/observe() pair per slice when the
         # registry is a null implementation (`repro bench` runs)
         self._observe_latency = not stats.metrics.null
+        #: flight recorder (None when post-mortem recording is off)
+        self._rec = stats.recorder
 
     def spawn(self, thread: SimThread) -> None:
         injector = self.fault_injector
@@ -106,11 +108,17 @@ class Scheduler:
             thread=thread.name,
             attrs={"cycles": thread.cycles,
                    "max_dispatch_latency": thread.max_dispatch_latency})
+        rec = self._rec
+        if rec is not None:
+            rec.record("thread-finished", thread.name,
+                       cycle=self.stats.cycles, thread=thread.name,
+                       attrs={"cycles": thread.cycles})
         # a terminating thread exits all its shared regions (Section 2.2)
         for area in reversed(thread.shared_stack):
-            if release_shared(area) or not area.live:
-                self.stats.event("region-destroyed", area.name,
-                                 thread=thread.name)
+            if release_shared(area, thread.name) or not area.live:
+                self.stats.tracer.emit(
+                    "region-destroyed", area.name,
+                    cycle=self.stats.cycles, thread=thread.name)
         thread.shared_stack.clear()
 
     def _fail(self, thread: SimThread, err: BaseException) -> None:
@@ -125,6 +133,17 @@ class Scheduler:
             "thread-failed", thread.name, cycle=self.stats.cycles,
             thread=thread.name,
             attrs={"error": type(err).__name__, "message": str(err)})
+        # an aborted thread may die inside open trace spans (LT watchdog
+        # abort, ThreadCrashError mid-region): close them so exported
+        # traces stay well-nested
+        self.stats.tracer.close_abandoned(thread.name,
+                                          cycle=self.stats.cycles)
+        rec = self._rec
+        if rec is not None:
+            rec.record("thread-aborted", thread.name,
+                       cycle=self.stats.cycles, thread=thread.name,
+                       attrs={"error": type(err).__name__,
+                              "message": str(err)})
         self._finish(thread)
         # a sanitizer violation means runtime state is already corrupt:
         # degrading past it would sanitize nothing, so it stays fatal
@@ -218,6 +237,10 @@ class Scheduler:
                 thread.coroutine.close()
             except Exception:
                 pass  # teardown is best-effort; the diagnostic is set
+            # close() runs region finallys, but a finally that raised
+            # (swallowed above) can still leave spans open
+            self.stats.tracer.close_abandoned(thread.name,
+                                              cycle=self.stats.cycles)
             self._finish(thread)
 
     def run(self) -> None:

@@ -1,12 +1,19 @@
 """Execution timeline: render the machine's event log as text.
 
-The simulator records structured :class:`repro.obs.TraceEvent` records
-(region/thread lifecycle, GC, and — when detailed tracing is on —
-region enter/exit spans, allocations, and individual checks).  This
-module renders them as an aligned text timeline — the quickest way to
-*see* the paper's memory model working: subregions flushing every
-iteration, scratch regions dying with their phase, the collector firing
-while the real-time thread's events continue undisturbed.
+The simulator records structured events in two places: the tracer
+(:class:`repro.obs.TraceEvent`, when tracing was requested) and the
+flight recorder (:class:`repro.obs.FlightRecord`, when post-mortem
+recording was requested).  This module renders either as an aligned
+text timeline — the quickest way to *see* the paper's memory model
+working: subregions flushing every iteration, scratch regions dying
+with their phase, the collector firing while the real-time thread's
+events continue undisturbed.
+
+When a run carried a flight recorder, it is the preferred source — it
+captures every event kind (policy decisions, faults, check elisions)
+regardless of trace detail level.  Otherwise the tracer's records are
+used.  Both record shapes expose ``cycle``/``kind``/``subject``, so
+the rendering is source-agnostic.
 
 Marks and the legend both derive from the single :data:`MARKS` table,
 so adding an event kind in the obs layer means adding exactly one row
@@ -15,7 +22,7 @@ here.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ..rtsj.stats import Stats
 
@@ -30,14 +37,33 @@ MARKS = {
     "alloc": (".", "allocation"),
     "check-assign": ("!", "assignment check"),
     "check-read": ("?", "read check"),
+    "check-elide-assign": ("e", "assign check elided"),
+    "check-elide-read": ("r", "read check elided"),
     "thread-spawned": (">", "thread spawned"),
     "thread-finished": ("<", "thread finished"),
+    "thread-aborted": ("x", "thread aborted"),
+    "thread-failed": ("x", "thread failed"),
     "gc": ("#", "gc run"),
+    "fault-injected": ("F", "fault injected"),
+    "recovery": ("R", "recovery retry"),
+    "vt-spill": ("S", "VT overflow spill"),
+    "portal-read": ("p", "portal read"),
+    "portal-write": ("P", "portal write"),
+    "policy": ("%", "policy decision"),
     "checker-phase": ("@", "checker phase"),
 }
 
 #: mark used for kinds missing from :data:`MARKS`
 UNKNOWN_MARK = "*"
+
+
+def timeline_events(stats: Stats) -> Sequence:
+    """The run's event records, preferring the flight recorder (full
+    kind coverage) over the tracer."""
+    recorder = stats.recorder
+    if recorder is not None and recorder.total:
+        return recorder.records()
+    return stats.tracer.records
 
 
 def _legend(kinds_present) -> str:
@@ -65,7 +91,7 @@ def render_timeline(stats: Stats, width: int = 60,
     proportionally to time along a ``width``-column gutter, then the
     kind and subject.  ``kinds`` filters to a subset of event kinds.
     """
-    events = stats.tracer.records
+    events = timeline_events(stats)
     if kinds is not None:
         wanted = set(kinds)
         events = [e for e in events if e.kind in wanted]
@@ -85,10 +111,14 @@ def render_timeline(stats: Stats, width: int = 60,
 
 
 def event_counts(stats: Stats) -> dict:
+    recorder = stats.recorder
+    if recorder is not None and recorder.total:
+        return recorder.kinds()
     return stats.tracer.kinds()
 
 
 def events_between(stats: Stats, start: int,
                    end: int) -> List[Tuple[int, str, str]]:
-    return [e for e in stats.tracer.legacy_events()
-            if start <= e[0] <= end]
+    """``(cycle, kind, subject)`` triples inside a cycle window."""
+    return [(e.cycle, e.kind, e.subject) for e in timeline_events(stats)
+            if start <= e.cycle <= end]

@@ -109,8 +109,10 @@ class TestTraceIntegration:
                    if e.kind == "region-enter"}
         assert "thread-1" in threads and "thread-2" in threads
 
-    def test_legacy_events_shim_still_works(self, traced_machine):
-        events = traced_machine.stats.events
+    def test_events_between_is_time_ordered(self, traced_machine):
+        from repro.tools.timeline import events_between
+        stats = traced_machine.stats
+        events = events_between(stats, 0, stats.cycles)
         assert events and all(len(e) == 3 for e in events)
         cycles = [cycle for cycle, _k, _s in events]
         assert cycles == sorted(cycles)
@@ -292,7 +294,7 @@ class TestTimelineCoverage:
         from repro.tools.timeline import UNKNOWN_MARK, render_timeline
         stats = Stats()
         stats.cycles = 10
-        stats.event("mystery-kind", "x")
+        stats.tracer.emit("mystery-kind", "x", cycle=10)
         text = render_timeline(stats)
         assert UNKNOWN_MARK in text
         assert "other" in text

@@ -128,7 +128,8 @@ class Worker<Buf r> {
         assert counts["region-destroyed"] >= 1
 
     def test_events_are_time_ordered(self, machine):
-        cycles = [cycle for cycle, _k, _s in machine.stats.events]
+        window = events_between(machine.stats, 0, machine.stats.cycles)
+        cycles = [cycle for cycle, _k, _s in window]
         assert cycles == sorted(cycles)
 
     def test_render_contains_marks_and_legend(self, machine):
@@ -144,7 +145,9 @@ class Worker<Buf r> {
 
     def test_events_between(self, machine):
         window = events_between(machine.stats, 0, machine.stats.cycles)
-        assert window == machine.stats.events
+        assert window == [(e.cycle, e.kind, e.subject)
+                          for e in machine.stats.tracer.records]
+        assert events_between(machine.stats, -1, -1) == []
 
     def test_empty_timeline(self):
         from repro.rtsj.stats import Stats

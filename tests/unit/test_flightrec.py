@@ -1,0 +1,171 @@
+"""Unit tests for the flight recorder: ring semantics, causal context,
+aggregate counters, and the JSONL dump format."""
+
+import io
+
+import pytest
+
+from repro.obs import (FLIGHT_SCHEMA, FlightRecord, FlightRecorder,
+                       NullFlightRecorder, dump_flight, load_flight,
+                       validate_flight)
+
+
+class TestRing:
+    def test_records_are_chronological_with_increasing_ids(self):
+        rec = FlightRecorder(capacity=16)
+        for i in range(5):
+            rec.record("alloc", f"o{i}", cycle=i * 10)
+        records = rec.records()
+        assert [r.id for r in records] == [1, 2, 3, 4, 5]
+        assert [r.cycle for r in records] == [0, 10, 20, 30, 40]
+        assert rec.total == 5 and rec.stored == 5 and rec.dropped == 0
+
+    def test_ring_evicts_oldest_first(self):
+        rec = FlightRecorder(capacity=4)
+        for i in range(10):
+            rec.record("alloc", f"o{i}", cycle=i)
+        assert rec.total == 10
+        assert rec.stored == 4
+        assert rec.dropped == 6
+        window = rec.records()
+        assert [r.id for r in window] == [7, 8, 9, 10]
+        assert [r.subject for r in window] == ["o6", "o7", "o8", "o9"]
+
+    def test_kind_counts_survive_eviction(self):
+        rec = FlightRecorder(capacity=2)
+        for i in range(7):
+            rec.record("alloc", "x", cycle=i)
+        rec.record("gc", "y", cycle=99)
+        assert rec.kind_counts == {"alloc": 7, "gc": 1}
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+
+class TestCausalContext:
+    def test_parent_defaults_to_innermost_open_context(self):
+        rec = FlightRecorder()
+        root = rec.record("region-created", "r")
+        enter = rec.push("region-enter", "r", thread="main")
+        child = rec.record("alloc", "Obj -> r", thread="main")
+        exit_id = rec.pop("region-exit", "r", thread="main")
+        after = rec.record("gc", "z", thread="main")
+        records = {r.id: r for r in rec.records()}
+        assert records[root].parent == 0
+        assert records[enter].parent == 0
+        assert records[child].parent == enter
+        assert records[exit_id].parent == enter
+        assert records[after].parent == 0
+
+    def test_nested_regions_nest_parents(self):
+        rec = FlightRecorder()
+        outer = rec.push("region-enter", "outer")
+        inner = rec.push("region-enter", "inner")
+        leaf = rec.record("alloc", "x")
+        records = {r.id: r for r in rec.records()}
+        assert records[inner].parent == outer
+        assert records[leaf].parent == inner
+        rec.pop("region-exit", "inner")
+        sibling = rec.record("alloc", "y")
+        assert {r.id: r for r in rec.records()}[sibling].parent == outer
+
+    def test_seed_roots_a_thread_at_its_spawn_event(self):
+        rec = FlightRecorder()
+        spawn = rec.record("thread-spawned", "worker", thread="main")
+        rec.seed("worker", spawn)
+        first = rec.record("alloc", "x", thread="worker")
+        assert {r.id: r for r in rec.records()}[first].parent == spawn
+
+    def test_contexts_are_per_thread(self):
+        rec = FlightRecorder()
+        a = rec.push("region-enter", "ra", thread="a")
+        b = rec.record("alloc", "x", thread="b")
+        records = {r.id: r for r in rec.records()}
+        assert records[b].parent == 0
+        assert records[a].parent == 0
+
+
+class TestAggregates:
+    def test_check_totals_use_cycles_or_cycles_saved(self):
+        rec = FlightRecorder(capacity=2)  # forces eviction
+        for _ in range(5):
+            rec.record("check-assign", "r", attrs={"cycles": 32})
+        for _ in range(3):
+            rec.record("check-elide-read", "r",
+                       attrs={"cycles_saved": 8})
+        assert rec.check_totals == {"check-assign": [5, 160],
+                                    "check-elide-read": [3, 24]}
+
+    def test_bind_clock_stamps_cycles(self):
+        class FakeStats:
+            cycles = 1234
+        rec = FlightRecorder()
+        rec.bind_clock(FakeStats())
+        rec.record("region-flushed", "r")
+        assert rec.records()[0].cycle == 1234
+        rec.record("region-flushed", "r", cycle=9)  # explicit wins
+        assert rec.records()[1].cycle == 9
+
+
+class TestNullRecorder:
+    def test_null_recorder_records_nothing(self):
+        rec = NullFlightRecorder()
+        assert rec.enabled is False
+        assert rec.record("alloc", "x") == 0
+        assert rec.push("region-enter", "r") == 0
+        assert rec.pop("region-exit", "r") == 0
+        rec.seed("t", 1)
+        assert rec.total == 0
+        assert rec.records() == []
+
+
+class TestDumpFormat:
+    def _recorder(self):
+        rec = FlightRecorder(capacity=8)
+        rec.record("region-created", "r", cycle=1)
+        eid = rec.push("region-enter", "r", cycle=2)
+        rec.record("check-assign", "r", cycle=3, attrs={"cycles": 28})
+        rec.pop("region-exit", "r", cycle=4)
+        return rec, eid
+
+    def test_dump_load_roundtrip(self):
+        rec, _ = self._recorder()
+        buf = io.StringIO()
+        lines = dump_flight(rec, buf, meta={"mode": "dynamic"})
+        assert lines == 1 + rec.stored
+        buf.seek(0)
+        header, records = load_flight(buf)
+        assert header["schema"] == FLIGHT_SCHEMA
+        assert header["total"] == rec.total
+        assert header["kind_counts"] == rec.kind_counts
+        assert header["check_totals"] == {"check-assign": [1, 28]}
+        assert header["meta"] == {"mode": "dynamic"}
+        assert [r.to_dict() for r in records] \
+            == [r.to_dict() for r in rec.records()]
+
+    def test_validate_accepts_real_dump(self):
+        rec, _ = self._recorder()
+        buf = io.StringIO()
+        dump_flight(rec, buf)
+        buf.seek(0)
+        header, records = load_flight(buf)
+        assert validate_flight(header, records) == []
+
+    def test_load_rejects_wrong_schema(self):
+        buf = io.StringIO('{"schema": "something-else/9"}\n')
+        with pytest.raises(ValueError):
+            load_flight(buf)
+
+    def test_validate_flags_broken_invariants(self):
+        header = {"schema": FLIGHT_SCHEMA, "stored": 2}
+        good = FlightRecord(1, 0, 5, "main", "alloc", "x", None)
+        assert validate_flight(header, [good])  # stored mismatch
+        backwards = [good,
+                     FlightRecord(2, 0, 3, "main", "alloc", "y", None)]
+        assert any("back in time" in p
+                   for p in validate_flight(header, backwards))
+        acausal = [good,
+                   FlightRecord(2, 2, 6, "main", "alloc", "y", None)]
+        assert any("non-causal" in p
+                   for p in validate_flight(header, acausal))

@@ -28,10 +28,18 @@ class TestTracer:
         tracer.emit_detail("alloc", "x", cycle=1)
         assert len(tracer.records) == 1
 
-    def test_legacy_events_view(self):
-        tracer = Tracer()
-        tracer.emit("gc", "collected 3", cycle=10)
-        assert tracer.legacy_events() == [(10, "gc", "collected 3")]
+    def test_close_abandoned_ends_open_spans(self):
+        tracer = Tracer(detailed=True)
+        tracer.begin("region-enter", "r1", cycle=1, thread="t1")
+        tracer.begin("region-enter", "r1.sub", cycle=2, thread="t1")
+        closed = tracer.close_abandoned("t1", cycle=9)
+        assert closed == 2
+        ends = [e for e in tracer.records if e.phase == "E"]
+        assert [e.subject for e in ends] == ["r1.sub", "r1"]
+        assert all(e.kind == "region-exit" for e in ends)
+        assert all((e.attrs or {}).get("aborted") for e in ends)
+        # idempotent: nothing left open
+        assert tracer.close_abandoned("t1", cycle=9) == 0
 
     def test_max_records_drops_and_counts(self):
         tracer = Tracer(max_records=2)
@@ -233,3 +241,93 @@ class TestProfileCollector:
         assert report.categories["compute"] == 200
         assert report.attributed_fraction == 1.0
         assert "compute" in report.format()
+
+
+# ---------------------------------------------------------------------------
+# Prometheus exposition round-trip (exporter fidelity)
+# ---------------------------------------------------------------------------
+
+def _parse_prometheus(text):
+    """A minimal exposition-format parser: returns
+    (help, types, samples) where samples maps
+    (name, frozenset(labels.items())) -> float value."""
+    import re
+    help_text, types, samples = {}, {}, {}
+    label_re = re.compile(r'(\w+)="((?:[^"\\]|\\.)*)"')
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            name, _, rest = line[len("# HELP "):].partition(" ")
+            help_text[name] = (rest.replace("\\n", "\n")
+                               .replace("\\\\", "\\"))
+            continue
+        if line.startswith("# TYPE "):
+            name, _, kind = line[len("# TYPE "):].partition(" ")
+            types[name] = kind
+            continue
+        assert not line.startswith("#"), f"unparsed comment: {line!r}"
+        if "{" in line:
+            name, _, rest = line.partition("{")
+            body, _, value = rest.rpartition("} ")
+            labels = {}
+            for key, raw in label_re.findall(body):
+                labels[key] = (raw.replace("\\\\", "\x00")
+                               .replace('\\"', '"').replace("\\n", "\n")
+                               .replace("\x00", "\\"))
+        else:
+            name, _, value = line.partition(" ")
+            labels = {}
+        samples[(name, frozenset(labels.items()))] = float(value)
+    return help_text, types, samples
+
+
+class TestPrometheusRoundTrip:
+    HOSTILE = 'sp ace\\"quote\\back\nnew"line{brace}'
+
+    def test_help_text_escaped_and_recovered(self):
+        registry = MetricsRegistry()
+        registry.counter("hostile_help",
+                         'first\nsecond "quoted" back\\slash').inc()
+        text = to_prometheus(registry)
+        # the rendered exposition must stay line-oriented: the newline
+        # in the help text may not produce an unparseable bare line
+        for line in text.splitlines():
+            assert line.startswith(("#", "hostile_help"))
+        help_text, _, _ = _parse_prometheus(text)
+        assert help_text["hostile_help"] \
+            == 'first\nsecond "quoted" back\\slash'
+
+    def test_hostile_label_values_roundtrip(self):
+        registry = MetricsRegistry()
+        registry.gauge("g", "h").labels(region=self.HOSTILE).set(7)
+        text = to_prometheus(registry)
+        _, _, samples = _parse_prometheus(text)
+        key = ("g", frozenset({("region", self.HOSTILE)}))
+        assert samples[key] == 7.0
+
+    def test_counter_gauge_histogram_fidelity(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "count").labels(k="a").inc(3)
+        registry.counter("c_total", "count").labels(k="b").inc(5)
+        registry.gauge("g_bytes", "gauge").set(12.5)
+        hist = registry.histogram("h_cycles", "hist", buckets=(1, 10, 100))
+        for v in (0, 5, 5, 50, 500):
+            hist.observe(v)
+        help_text, types, samples = _parse_prometheus(
+            to_prometheus(registry))
+        assert types == {"c_total": "counter", "g_bytes": "gauge",
+                         "h_cycles": "histogram"}
+        assert help_text["h_cycles"] == "hist"
+        assert samples[("c_total", frozenset({("k", "a")}))] == 3.0
+        assert samples[("c_total", frozenset({("k", "b")}))] == 5.0
+        assert samples[("g_bytes", frozenset())] == 12.5
+        buckets = [samples[("h_cycles_bucket",
+                            frozenset({("le", le)}))]
+                   for le in ("1", "10", "100", "+Inf")]
+        # cumulative buckets are monotone non-decreasing
+        assert buckets == sorted(buckets)
+        assert buckets == [1.0, 3.0, 4.0, 5.0]
+        # +Inf bucket == _count; _sum matches the observations
+        assert buckets[-1] == samples[("h_cycles_count", frozenset())]
+        assert samples[("h_cycles_sum", frozenset())] == 560.0

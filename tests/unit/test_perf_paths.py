@@ -8,8 +8,6 @@ the once-only ``Stats.events`` deprecation shim.
 
 from __future__ import annotations
 
-import warnings
-
 import pytest
 
 from repro import RunOptions, analyze, run_source
@@ -147,31 +145,14 @@ def test_export_metrics_aggregates_dead_regions():
 
 
 # ---------------------------------------------------------------------------
-# Stats.events deprecation shim
+# single event source: the Stats.events shim is gone
 # ---------------------------------------------------------------------------
 
-def test_stats_events_warns_exactly_once_and_mirrors_tracer():
-    tracer = Tracer()
-    stats = Stats(tracer=tracer)
-    stats.event("region-created", "r1")
-    stats.charge(5)
-    stats.event("region-destroyed", "r1")
-    Stats._events_warned = False
-    try:
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            first = stats.events
-            second = stats.events
-            third = stats.events
-        deprecations = [w for w in caught
-                        if issubclass(w.category, DeprecationWarning)]
-        assert len(deprecations) == 1
-        assert "Stats.events is deprecated" in str(deprecations[0].message)
-        assert first == second == third == tracer.legacy_events()
-        assert [(kind, subject) for _, kind, subject in first] == \
-            [("region-created", "r1"), ("region-destroyed", "r1")]
-        # the view tracks the live tracer, it is not a stale copy
-        stats.event("gc", "heap")
-        assert stats.events[-1][1] == "gc"
-    finally:
-        Stats._events_warned = True
+def test_stats_has_single_event_source():
+    stats = Stats()
+    # the deprecated Stats.event()/Stats.events shim was removed: the
+    # tracer (and, when armed, the flight recorder) are the only event
+    # sinks, so nothing double-records
+    assert not hasattr(stats, "event")
+    assert not hasattr(stats, "events")
+    assert stats.recorder is None  # recording is strictly opt-in
