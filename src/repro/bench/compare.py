@@ -1,0 +1,131 @@
+"""Shared baseline-comparison primitives for the bench suites.
+
+``repro bench`` grew two compare implementations — the interpreter
+suite (:mod:`repro.bench.wallclock`) and the frontend suite
+(:mod:`repro.bench.frontend`) — with the same three judgments written
+twice: *wall-clock regression beyond a fractional threshold*,
+*determinism break* (a quantity that must be bit-identical changed),
+and *missing entry*.  The regression observatory (``repro report``)
+needs the same judgments a third time, plus robust statistics over a
+*history* of measurements rather than a single baseline pair.  This
+module is the single home for all of it:
+
+* message-formatting helpers (:func:`check_wall`, :func:`check_exact`,
+  :func:`check_missing`) so every suite reports regressions in the
+  same words;
+* robust statistics (:func:`median`, :func:`mad`,
+  :func:`robust_threshold`) — median/MAD are the standard estimators
+  for noisy timer data because a single outlier run cannot move them;
+* payload I/O (:func:`load_payload`, :func:`save_payload`) shared by
+  both suites and the observatory.
+
+The per-suite modules keep their public ``compare()`` signatures (CI
+and the integration tests call them) but delegate the shared judgments
+here.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Sequence
+
+#: default fractional wall-clock regression threshold (+30%) — generous
+#: because CI runners are noisy; the observatory widens it further from
+#: history spread (see :func:`robust_threshold`)
+DEFAULT_THRESHOLD = 0.30
+
+#: how many history MADs (relative to the median) widen the threshold;
+#: 3 MADs ~ 2 sigma for normal noise, conservative for heavier tails
+MAD_WIDENING = 3.0
+
+
+# ---------------------------------------------------------------------------
+# robust statistics
+# ---------------------------------------------------------------------------
+
+def median(values: Sequence[float]) -> float:
+    """The sample median; 0.0 for an empty sequence."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return float(ordered[mid])
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def mad(values: Sequence[float]) -> float:
+    """Median absolute deviation from the median; 0.0 when fewer than
+    two samples (no spread to estimate)."""
+    if len(values) < 2:
+        return 0.0
+    center = median(values)
+    return median([abs(v - center) for v in values])
+
+
+def robust_threshold(base: float, history: Sequence[float],
+                     widening: float = MAD_WIDENING) -> float:
+    """The effective fractional regression threshold given a history of
+    measurements: the base threshold widened by ``widening`` history
+    MADs relative to the history median.  A stable history leaves the
+    threshold at ``base``; a noisy one widens it so the observatory
+    does not page on noise the baseline pair cannot see."""
+    center = median(history)
+    if center <= 0:
+        return base
+    return base + widening * (mad(history) / center)
+
+
+# ---------------------------------------------------------------------------
+# the three shared judgments
+# ---------------------------------------------------------------------------
+
+def check_wall(label: str, base_s: float, cur_s: float,
+               threshold: float = DEFAULT_THRESHOLD,
+               quantity: str = "wall-clock") -> Optional[str]:
+    """Fractional-slowdown judgment; returns the failure message or
+    None.  A zero/missing baseline never fails (nothing to compare)."""
+    if not base_s or not cur_s:
+        return None
+    if cur_s <= base_s * (1.0 + threshold):
+        return None
+    slow = (cur_s / base_s - 1.0) * 100.0
+    return (f"{label}: {quantity} regression "
+            f"{base_s:.6f}s -> {cur_s:.6f}s "
+            f"(+{slow:.0f}%, threshold +{threshold * 100:.0f}%)")
+
+
+def check_exact(label: str, quantity: str, base: Any,
+                cur: Any) -> Optional[str]:
+    """Bit-identity judgment for quantities that must never drift
+    (simulated cycles, checker error counts); returns the failure
+    message or None."""
+    if base == cur:
+        return None
+    return (f"{label}: {quantity} changed {base} -> {cur} "
+            f"(determinism break)")
+
+
+def check_missing(label: str) -> str:
+    return f"{label}: missing from current results"
+
+
+# ---------------------------------------------------------------------------
+# payload I/O (one home for the JSON conventions)
+# ---------------------------------------------------------------------------
+
+def load_payload(path: str) -> Dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def save_payload(payload: Dict[str, Any], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def collect(failures: List[str], message: Optional[str]) -> None:
+    """Append ``message`` when a judgment failed (None = passed)."""
+    if message is not None:
+        failures.append(message)

@@ -25,7 +25,6 @@ informational and never compared against.
 
 from __future__ import annotations
 
-import json
 import os
 import platform
 import time
@@ -33,6 +32,12 @@ from typing import Any, Dict, Iterable, List, Optional
 
 from ..core.api import analyze
 from ..core.cache import AnalysisCache
+from .compare import (check_exact, check_missing, check_wall, collect,
+                      load_payload, save_payload)
+
+__all__ = ["SCHEMA", "SIZES", "MIN_WARM_SPEEDUP", "synth_program",
+           "edit_one_class", "measure", "measure_size", "compare",
+           "format_table", "load_payload", "save_payload"]
 
 #: payload schema identifier (bump when the JSON layout changes)
 SCHEMA = "repro-bench-frontend/1"
@@ -192,21 +197,15 @@ def compare(current: Dict[str, Any], baseline: Dict[str, Any],
     for size, base_row in base_rows.items():
         cur_row = cur_rows.get(size)
         if cur_row is None:
-            failures.append(f"size {size}: missing from current results")
+            failures.append(check_missing(f"size {size}"))
             continue
-        if base_row.get("n_errors") != cur_row.get("n_errors"):
-            failures.append(
-                f"size {size}: error count changed "
-                f"{base_row.get('n_errors')} -> "
-                f"{cur_row.get('n_errors')} (determinism break)")
-        base_cold = base_row.get("cold_s") or 0.0
-        cur_cold = cur_row.get("cold_s") or 0.0
-        if base_cold and cur_cold > base_cold * (1.0 + threshold):
-            slow = (cur_cold / base_cold - 1.0) * 100.0
-            failures.append(
-                f"size {size}: cold analysis regression "
-                f"{base_cold:.6f}s -> {cur_cold:.6f}s "
-                f"(+{slow:.0f}%, threshold +{threshold * 100:.0f}%)")
+        collect(failures, check_exact(
+            f"size {size}", "error count",
+            base_row.get("n_errors"), cur_row.get("n_errors")))
+        collect(failures, check_wall(
+            f"size {size}", base_row.get("cold_s") or 0.0,
+            cur_row.get("cold_s") or 0.0, threshold,
+            quantity="cold analysis"))
     if base_rows:
         largest = max(base_rows, key=int)
         cur_row = cur_rows.get(largest)
@@ -246,12 +245,5 @@ def format_table(payload: Dict[str, Any],
     return "\n".join(lines)
 
 
-def load_payload(path: str) -> Dict[str, Any]:
-    with open(path, "r", encoding="utf-8") as fh:
-        return json.load(fh)
-
-
-def save_payload(payload: Dict[str, Any], path: str) -> None:
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump(payload, fh, indent=2, sort_keys=True)
-        fh.write("\n")
+# load_payload / save_payload re-exported from .compare (shared JSON
+# conventions across both suites and the regression observatory)

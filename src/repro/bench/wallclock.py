@@ -26,14 +26,18 @@ judged against the regression threshold.
 from __future__ import annotations
 
 import hashlib
-import json
 import platform
 import time
 from typing import Any, Dict, Iterable, List, Optional
 
 from ..core.api import analyze
 from ..interp.machine import RunOptions, run_source
+from .compare import (check_exact, check_missing, check_wall, collect,
+                      load_payload, save_payload)
 from .suite import BENCHMARKS
+
+__all__ = ["SCHEMA", "MODES", "measure", "measure_benchmark", "compare",
+           "format_table", "load_payload", "save_payload"]
 
 #: payload schema identifier (bump when the JSON layout changes)
 SCHEMA = "repro-bench-interp/1"
@@ -131,27 +135,19 @@ def compare(current: Dict[str, Any], baseline: Dict[str, Any],
     for name, base_row in base_rows.items():
         cur_row = cur_rows.get(name)
         if cur_row is None:
-            failures.append(f"{name}: missing from current results")
+            failures.append(check_missing(name))
             continue
         for mode in MODES:
             base_mode = base_row.get(mode)
             cur_mode = cur_row.get(mode)
             if not base_mode or not cur_mode:
                 continue
-            if base_mode.get("cycles") != cur_mode.get("cycles"):
-                failures.append(
-                    f"{name}/{mode}: simulated cycles changed "
-                    f"{base_mode.get('cycles')} -> "
-                    f"{cur_mode.get('cycles')} (determinism break)")
-            base_wall = base_mode.get("wall_s") or 0.0
-            cur_wall = cur_mode.get("wall_s") or 0.0
-            if base_wall and cur_wall > base_wall * (1.0 + threshold):
-                slow = (cur_wall / base_wall - 1.0) * 100.0
-                failures.append(
-                    f"{name}/{mode}: wall-clock regression "
-                    f"{base_wall:.6f}s -> {cur_wall:.6f}s "
-                    f"(+{slow:.0f}%, threshold "
-                    f"+{threshold * 100:.0f}%)")
+            collect(failures, check_exact(
+                f"{name}/{mode}", "simulated cycles",
+                base_mode.get("cycles"), cur_mode.get("cycles")))
+            collect(failures, check_wall(
+                f"{name}/{mode}", base_mode.get("wall_s") or 0.0,
+                cur_mode.get("wall_s") or 0.0, threshold))
     return failures
 
 
@@ -188,12 +184,5 @@ def format_table(payload: Dict[str, Any],
     return "\n".join(lines)
 
 
-def load_payload(path: str) -> Dict[str, Any]:
-    with open(path, "r", encoding="utf-8") as fh:
-        return json.load(fh)
-
-
-def save_payload(payload: Dict[str, Any], path: str) -> None:
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump(payload, fh, indent=2, sort_keys=True)
-        fh.write("\n")
+# load_payload / save_payload re-exported from .compare (shared JSON
+# conventions across both suites and the regression observatory)

@@ -266,6 +266,34 @@ def run_chaos(corpus: Sequence[Tuple[str, str]],
     }
 
 
+def campaign_telemetry(report: Dict[str, Any]) -> Dict[str, Any]:
+    """The compact chaos taxonomy a telemetry envelope carries: the
+    campaign-level counts plus per-program status breakdown, without
+    the per-run detail (the full report stays in ``--json`` output and
+    schedule files)."""
+    by_program: Dict[str, Dict[str, int]] = {}
+    replay_checked = replay_ok = 0
+    for entry in report.get("results", []):
+        program = by_program.setdefault(entry["program"], {})
+        program[entry["status"]] = program.get(entry["status"], 0) + 1
+        if "replay_ok" in entry:
+            replay_checked += 1
+            if entry["replay_ok"]:
+                replay_ok += 1
+    taxonomy: Dict[str, Any] = {
+        "runs": report.get("runs", 0),
+        "statuses": dict(report.get("statuses", {})),
+        "faults_injected": report.get("faults_injected", 0),
+        "failures": len(report.get("failures", [])),
+        "ok": bool(report.get("ok")),
+        "by_program": by_program,
+    }
+    if replay_checked:
+        taxonomy["replay_checked"] = replay_checked
+        taxonomy["replay_ok"] = replay_ok
+    return taxonomy
+
+
 def replay_schedule(path: str,
                     source: Optional[str] = None) -> Dict[str, Any]:
     """Re-execute a persisted schedule file.  The program source

@@ -16,6 +16,16 @@ Commands
 ``inspect``    post-mortem analysis of a flight-recorder dump: region
                timelines, leak suspects, portal contention, and the
                check-elimination ledger (Figure 12)
+``metricsd``   serve the telemetry store over HTTP: ``/metrics``
+               (Prometheus text), ``/healthz``, ``/runs``
+``report``     cross-run regression observatory: judge the recorded
+               bench history against the committed baselines
+
+Continuous telemetry: ``run``/``profile``/``bench``/``chaos`` accept
+``--telemetry`` to append a versioned envelope (stats summary, metric
+snapshots, bench timings, chaos taxonomy) to the content-addressed
+store under ``.repro/telemetry/``, which ``metricsd`` serves and
+``report`` trends.
 
 Inputs are core-language source files; a ``.py`` driver script (like the
 ones under ``examples/``) is also accepted — the embedded ``PROGRAM``
@@ -68,6 +78,51 @@ def _open_cache(args):
     return AnalysisCache(os.path.join(directory, "analysis-cache.json"))
 
 
+def _telemetry_store(args):
+    """The :class:`TelemetryStore` for ``--telemetry`` runs, or None
+    when telemetry was not requested."""
+    store_dir = getattr(args, "telemetry_store", None)
+    if not (getattr(args, "telemetry", False) or store_dir):
+        return None
+    from .obs.telemetry import DEFAULT_STORE, TelemetryStore
+    return TelemetryStore(store_dir or DEFAULT_STORE)
+
+
+def _record_envelope(args, kind: str, **sections) -> None:
+    """Append one telemetry envelope when ``--telemetry`` was given.
+    Never raises: a full disk must not turn a green run red."""
+    store = _telemetry_store(args)
+    if store is None:
+        return
+    from .obs.telemetry import make_envelope
+    try:
+        sha = store.append(make_envelope(kind, **sections))
+    except (OSError, ValueError) as err:
+        print(f"telemetry: failed to record envelope: {err}",
+              file=sys.stderr)
+        return
+    print(f"telemetry: recorded {kind} envelope {sha[:12]} "
+          f"in {store.root}", file=sys.stderr)
+
+
+def _observability_overhead(stats, recorder) -> dict:
+    """The self-measured observability cost section of an envelope."""
+    overhead = {}
+    tracer = stats.tracer
+    if not tracer.null:
+        overhead["tracer_s"] = round(tracer.overhead_s, 6)
+        if tracer.sampled_out:
+            overhead["trace_sampled_out"] = tracer.sampled_out
+            overhead["trace_sample"] = tracer.sample
+    if recorder is not None:
+        overhead["flightrec_s"] = round(recorder.overhead_s, 6)
+        overhead["flight_events_seen"] = recorder.events_seen
+        if recorder.sampled_out:
+            overhead["flight_sampled_out"] = recorder.sampled_out
+            overhead["flight_sample"] = recorder.sample
+    return overhead
+
+
 def _analyze_or_report(source: str, path: str, tracer=None, cache=None,
                        metrics=None):
     analyzed = analyze(source, filename=path, tracer=tracer, cache=cache,
@@ -106,9 +161,22 @@ def cmd_run(args) -> int:
                          validate=not args.no_validate,
                          tracer=tracer, metrics=metrics,
                          record=bool(args.record_out),
-                         record_capacity=args.record_capacity)
+                         record_capacity=args.record_capacity,
+                         trace_sample=args.trace_sample,
+                         record_sample=args.record_sample)
     machine = Machine(analyzed, options)
     mode = "dynamic" if args.dynamic_checks else "static"
+    server = None
+    if args.serve_metrics is not None:
+        # live scrape endpoint for the duration of the run: /metrics
+        # renders the run's own registry on every request
+        from .obs.live import TelemetryServer
+        store = _telemetry_store(args)
+        server = TelemetryServer(store=store, registry=metrics,
+                                 port=args.serve_metrics)
+        server.serve_background()
+        print(f"serving /metrics on http://{server.host}:{server.port}",
+              file=sys.stderr)
     failure: Optional[ReproError] = None
     try:
         result = machine.run()
@@ -128,6 +196,18 @@ def cmd_run(args) -> int:
                 "program": args.file,
                 "summary": machine.stats.summary(),
             })
+        _record_envelope(
+            args, "run", label=args.file,
+            summary=machine.stats.summary(),
+            metrics=metrics.to_dict(),
+            flight=(machine.recorder.header()
+                    if machine.recorder is not None else None),
+            overhead=_observability_overhead(machine.stats,
+                                             machine.recorder),
+            meta={"mode": mode,
+                  "crashed": failure is not None})
+        if server is not None:
+            server.close()
     if failure is not None:
         print(f"runtime error: {failure}", file=sys.stderr)
         return 2
@@ -160,6 +240,12 @@ def cmd_profile(args) -> int:
         print(f"runtime error: {err}", file=sys.stderr)
         return 2
     report = build_report(machine.stats, machine.regions.areas)
+    _record_envelope(
+        args, "profile", label=args.file,
+        summary=machine.stats.summary(),
+        metrics=machine.stats.metrics.to_dict(),
+        meta={"profile": report.to_dict(),
+              "mode": ("static" if args.static_checks else "dynamic")})
     if args.json:
         print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
     else:
@@ -273,6 +359,8 @@ def cmd_bench(args) -> int:
     if args.out:
         suite_mod.save_payload(payload, args.out)
         print(f"wrote {args.out}", file=sys.stderr)
+    _record_envelope(args, "bench", label=args.suite,
+                     bench={"suite": args.suite, "payload": payload})
     if baseline is not None:
         failures = suite_mod.compare(payload, baseline,
                                      threshold=args.threshold)
@@ -353,6 +441,10 @@ def cmd_chaos(args) -> int:
               file=sys.stderr)
     for failure in report["failures"]:
         print(f"chaos failure: {failure}", file=sys.stderr)
+    from .chaos import campaign_telemetry
+    _record_envelope(args, "chaos", label=f"seeds={args.seeds}",
+                     seed=args.seed_base,
+                     chaos=campaign_telemetry(report))
     return 0 if report["ok"] else 4
 
 
@@ -409,6 +501,81 @@ def cmd_inspect(args) -> int:
     return 0
 
 
+def cmd_metricsd(args) -> int:
+    from .obs.live import TelemetryServer
+    from .obs.telemetry import TelemetryStore
+
+    store = TelemetryStore(args.store)
+    server = TelemetryServer(store=store, host=args.host,
+                             port=args.port)
+    print(f"repro metricsd: serving http://{server.host}:{server.port}"
+          f" (store: {store.root})", file=sys.stderr)
+    print(f"routes: /metrics /healthz /runs /runs/<sha>",
+          file=sys.stderr)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("repro metricsd: shutting down", file=sys.stderr)
+    finally:
+        server.close()
+    return 0
+
+
+def cmd_report(args) -> int:
+    import os
+
+    from .bench.compare import load_payload
+    from .obs.report import (BASELINE_FILES, RENDERERS, build_report)
+    from .obs.telemetry import TelemetryStore
+
+    store = TelemetryStore(args.store)
+    baselines = {}
+    for suite, default_path in BASELINE_FILES.items():
+        path = getattr(args, f"baseline_{suite}") or (
+            default_path if os.path.exists(default_path) else None)
+        if path:
+            try:
+                baselines[suite] = load_payload(path)
+            except (OSError, ValueError) as err:
+                print(f"error: cannot load baseline {path}: {err}",
+                      file=sys.stderr)
+                return 1
+    current = {}
+    for suite in BASELINE_FILES:
+        path = getattr(args, f"current_{suite}")
+        if path:
+            try:
+                current[suite] = load_payload(path)
+            except (OSError, ValueError) as err:
+                print(f"error: cannot load current payload {path}: "
+                      f"{err}", file=sys.stderr)
+                return 1
+    report = build_report(store, baselines=baselines,
+                          current=current or None,
+                          history=args.history,
+                          threshold=args.threshold)
+    if not report["suites"]:
+        print("repro report: nothing to judge (no committed baselines "
+              "and no recorded bench envelopes)", file=sys.stderr)
+        return 1
+    rendered = RENDERERS[args.format](report)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(rendered)
+        print(f"wrote {args.out}", file=sys.stderr)
+    else:
+        print(rendered, end="" if rendered.endswith("\n") else "\n")
+    if not report["ok"]:
+        for suite, data in report["suites"].items():
+            for failure in data["failures"]:
+                print(f"regression: {failure}", file=sys.stderr)
+        return 3
+    judged = sum(len(s["rows"]) for s in report["suites"].values())
+    print(f"no regression across {judged} benchmark(s)",
+          file=sys.stderr)
+    return 0
+
+
 def cmd_graph(args) -> int:
     analyzed = _analyze_or_report(_read(args.file), args.file)
     if analyzed.errors:
@@ -421,6 +588,16 @@ def cmd_graph(args) -> int:
         return 2
     print(machine.ownership_graph(include_dead=args.include_dead).to_dot())
     return 0
+
+
+def _add_telemetry_flags(parser) -> None:
+    parser.add_argument("--telemetry", action="store_true",
+                        help="append a telemetry envelope to the "
+                             "content-addressed store under "
+                             ".repro/telemetry/")
+    parser.add_argument("--telemetry-store", metavar="DIR",
+                        help="store root for --telemetry (implies it; "
+                             "default .repro/telemetry)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -462,6 +639,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--record-capacity", type=int, default=1 << 16,
                        help="flight-recorder ring size in records "
                             "(default 65536)")
+    p_run.add_argument("--trace-sample", type=int, default=1,
+                       metavar="N",
+                       help="store only every N-th instant detail "
+                            "trace event per kind (always-on tier; "
+                            "default 1 = everything)")
+    p_run.add_argument("--record-sample", type=int, default=1,
+                       metavar="N",
+                       help="store only every N-th high-volume flight "
+                            "record per kind; exact aggregates are "
+                            "kept regardless (default 1)")
+    p_run.add_argument("--serve-metrics", type=int, metavar="PORT",
+                       help="serve /metrics, /healthz and /runs over "
+                            "HTTP for the duration of the run "
+                            "(0 = ephemeral port)")
+    _add_telemetry_flags(p_run)
     p_run.set_defaults(func=cmd_run)
 
     p_prof = sub.add_parser(
@@ -478,6 +670,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_prof.add_argument("--analysis-cache", metavar="DIR",
                         help="persist the incremental analysis cache "
                              "under DIR (see `run --analysis-cache`)")
+    _add_telemetry_flags(p_prof)
     p_prof.set_defaults(func=cmd_profile)
 
     p_tr = sub.add_parser("translate",
@@ -551,6 +744,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--json", action="store_true",
                          help="print the payload as JSON instead of a "
                               "table")
+    _add_telemetry_flags(p_bench)
     p_bench.set_defaults(func=cmd_bench)
 
     p_chaos = sub.add_parser(
@@ -585,6 +779,7 @@ def build_parser() -> argparse.ArgumentParser:
                               "bit-for-bit instead of a campaign")
     p_chaos.add_argument("--json", action="store_true",
                          help="print the campaign report as JSON")
+    _add_telemetry_flags(p_chaos)
     p_chaos.set_defaults(func=cmd_chaos)
 
     p_ins = sub.add_parser(
@@ -609,6 +804,53 @@ def build_parser() -> argparse.ArgumentParser:
     p_ins.add_argument("--html", metavar="FILE",
                        help="write a self-contained HTML report")
     p_ins.set_defaults(func=cmd_inspect)
+
+    p_md = sub.add_parser(
+        "metricsd", help="serve the telemetry store over HTTP "
+                         "(/metrics, /healthz, /runs)")
+    p_md.add_argument("--host", default="127.0.0.1",
+                      help="bind address (default 127.0.0.1)")
+    p_md.add_argument("--port", type=int, default=9464,
+                      help="port (default 9464; 0 = ephemeral)")
+    p_md.add_argument("--store", metavar="DIR",
+                      default=".repro/telemetry",
+                      help="telemetry store root "
+                           "(default .repro/telemetry)")
+    p_md.set_defaults(func=cmd_metricsd)
+
+    p_rep = sub.add_parser(
+        "report", help="cross-run regression observatory over the "
+                       "telemetry store and committed bench baselines; "
+                       "exits 3 on regression")
+    p_rep.add_argument("--store", metavar="DIR",
+                       default=".repro/telemetry",
+                       help="telemetry store root "
+                            "(default .repro/telemetry)")
+    p_rep.add_argument("--baseline-interp", metavar="FILE",
+                       help="interp baseline payload (default "
+                            "BENCH_interp.json when present)")
+    p_rep.add_argument("--baseline-frontend", metavar="FILE",
+                       help="frontend baseline payload (default "
+                            "BENCH_frontend.json when present)")
+    p_rep.add_argument("--current-interp", metavar="FILE",
+                       help="judge this interp payload instead of the "
+                            "newest recorded bench envelope")
+    p_rep.add_argument("--current-frontend", metavar="FILE",
+                       help="judge this frontend payload instead of "
+                            "the newest recorded bench envelope")
+    p_rep.add_argument("--history", type=int, default=50,
+                       help="recorded bench runs consulted per suite "
+                            "(default 50)")
+    p_rep.add_argument("--threshold", type=float, default=0.30,
+                       help="base fractional wall-clock threshold, "
+                            "widened by history spread (default 0.30)")
+    p_rep.add_argument("--format", choices=("text", "json", "html"),
+                       default="text",
+                       help="rendering (default text)")
+    p_rep.add_argument("--out", metavar="FILE",
+                       help="write the rendering to FILE instead of "
+                            "stdout")
+    p_rep.set_defaults(func=cmd_report)
 
     p_graph = sub.add_parser("graph",
                              help="emit the ownership graph (dot)")

@@ -87,6 +87,13 @@ class RunOptions:
     #: pre-built recorder (wins over ``record``); a
     #: ``NullFlightRecorder`` counts as recording-off
     recorder: Optional[Any] = None
+    # -- sampling tier (always-on observability at bounded cost) --
+    #: store only every N-th instant detail trace event per kind
+    #: (checks, allocs); 1 = store everything
+    trace_sample: int = 1
+    #: store only every N-th high-volume flight record per kind; exact
+    #: aggregates (kind_counts, check_totals) are kept regardless
+    record_sample: int = 1
 
 
 @dataclass
@@ -124,12 +131,15 @@ class Machine:
             profile = NullProfile()
         if self.options.trace_detail:
             tracer.detailed = True
+        if self.options.trace_sample > 1:
+            tracer.sample = self.options.trace_sample
         # flight recorder: None unless asked for, so every subsystem's
         # ``recorder is not None`` test compiles the hooks out
         recorder = self.options.recorder
         if recorder is None and self.options.record:
             from ..obs import FlightRecorder
-            recorder = FlightRecorder(self.options.record_capacity)
+            recorder = FlightRecorder(self.options.record_capacity,
+                                      sample=self.options.record_sample)
         if recorder is not None and not recorder.enabled:
             recorder = None
         self.recorder = recorder
@@ -292,6 +302,10 @@ class Machine:
                     "simulated cycles consumed per thread")
                 for thread_name, cycles in value.items():
                     gauge.labels(thread=thread_name).set(cycles)
+            elif name == "quantiles":
+                # derived estimates, already exported as per-histogram
+                # `{quantile="..."}` lines by the Prometheus renderer
+                continue
             else:
                 registry.gauge(f"repro_run_{name}",
                                f"final value of the '{name}' run "
@@ -309,6 +323,31 @@ class Machine:
                 thread=thread.name,
                 realtime="true" if thread.realtime else "false",
             ).set(thread.max_dispatch_latency)
+        # self-measured observability cost (host seconds, never charged
+        # to the simulated clock) — the "how much does watching cost"
+        # gauge the sampling tier exists to bound
+        overhead = registry.gauge(
+            "repro_observability_overhead_seconds",
+            "host seconds spent inside observability recording paths")
+        tracer = stats.tracer
+        if not tracer.null:
+            overhead.labels(component="tracer").set(
+                round(tracer.overhead_s, 6))
+            if tracer.sampled_out:
+                registry.gauge(
+                    "repro_trace_events_sampled_out",
+                    "detail trace events skipped by the sampling "
+                    "stride").set(tracer.sampled_out)
+        recorder = self.recorder
+        if recorder is not None:
+            overhead.labels(component="flightrec").set(
+                round(recorder.overhead_s, 6))
+            seen = registry.gauge(
+                "repro_flight_events",
+                "flight-recorder events by disposition")
+            seen.labels(disposition="seen").set(recorder.events_seen)
+            seen.labels(disposition="sampled_out").set(
+                recorder.sampled_out)
 
     # ------------------------------------------------------------------
     # Figure 6: ownership / outlives graph extraction

@@ -13,13 +13,20 @@ imports *us*, never the reverse):
 * :mod:`repro.obs.flightrec` — the bounded, causal flight recorder
   dumped post-mortem (``repro run --record-out``, chaos auto-dumps);
 * :mod:`repro.obs.analyze` — the ``repro inspect`` analysis engine
-  over flight-recorder dumps.
+  over flight-recorder dumps;
+* :mod:`repro.obs.telemetry` — the content-addressed cross-run
+  envelope store under ``.repro/telemetry/``;
+* :mod:`repro.obs.live` — the ``repro metricsd`` scrape endpoint
+  (``/metrics``, ``/healthz``, ``/runs``);
+* :mod:`repro.obs.report` — the ``repro report`` regression
+  observatory over the store and committed bench baselines.
 
 See ``docs/OBSERVABILITY.md`` for the event schema and metric names.
 """
 
 from .events import BEGIN, END, INSTANT, NullTracer, TraceEvent, Tracer
-from .exporters import (to_prometheus, trace_lines, write_metrics,
+from .exporters import (parse_prometheus, snapshot_to_prometheus,
+                        to_prometheus, trace_lines, write_metrics,
                         write_trace)
 from .flightrec import (FLIGHT_SCHEMA, FlightRecord, FlightRecorder,
                         NullFlightRecorder, dump_flight, flight_lines,
@@ -28,15 +35,20 @@ from .metrics import (Counter, DEFAULT_CYCLE_BUCKETS, Gauge, Histogram,
                       MetricsRegistry, NullMetricsRegistry)
 from .profile import (CATEGORIES, NullProfile, ProfileCollector,
                       ProfileReport, build_report)
+from .telemetry import (TELEMETRY_SCHEMA, TelemetryStore, make_envelope,
+                        validate_envelope)
 
 __all__ = [
     "Tracer", "TraceEvent", "NullTracer", "INSTANT", "BEGIN", "END",
     "MetricsRegistry", "NullMetricsRegistry", "Counter", "Gauge",
     "Histogram", "DEFAULT_CYCLE_BUCKETS",
     "trace_lines", "write_trace", "to_prometheus", "write_metrics",
+    "snapshot_to_prometheus", "parse_prometheus",
     "ProfileCollector", "NullProfile", "ProfileReport", "build_report",
     "CATEGORIES",
     "FlightRecorder", "NullFlightRecorder", "FlightRecord",
     "FLIGHT_SCHEMA", "flight_lines", "dump_flight", "load_flight",
     "validate_flight",
+    "TelemetryStore", "TELEMETRY_SCHEMA", "make_envelope",
+    "validate_envelope",
 ]

@@ -28,6 +28,7 @@ emission order so consumers can replay them with a per-thread stack.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter as _perf
 from typing import Any, Dict, List, Optional, Tuple
 
 #: phase markers (Chrome-trace inspired): instant, span begin, span end
@@ -62,6 +63,19 @@ class Tracer:
     ``records`` is append-only and time-ordered (the simulated clock
     never goes backwards).  ``max_records`` is a runaway guard: past it,
     further records are counted in ``dropped`` instead of stored.
+
+    ``sample`` is the always-on tier: with ``sample=N > 1``, only every
+    N-th *instant* detail event per kind is stored (checks, allocs);
+    span begin/end pairs are never sampled so nesting stays balanced,
+    and the skip count lands in ``sampled_out`` (the JSONL exporter
+    appends a ``trace-sampled`` marker).  Sampling is deterministic
+    (per-kind counters, no RNG) so traced runs stay replayable.
+
+    The tracer self-measures: ``overhead_s`` accumulates the host
+    seconds spent inside ``_record`` (building and storing payloads),
+    which `Machine.finalize_metrics` exports as the
+    ``repro_observability_overhead_seconds{component="tracer"}`` gauge.
+    Simulated cycles are never charged — tracing stays cycle-neutral.
     """
 
     #: False for recording tracers; :class:`NullTracer` flips it so hot
@@ -69,11 +83,22 @@ class Tracer:
     null = False
 
     def __init__(self, detailed: bool = False,
-                 max_records: int = 1_000_000) -> None:
+                 max_records: int = 1_000_000,
+                 sample: int = 1) -> None:
+        if sample < 1:
+            raise ValueError(f"trace sample stride must be >= 1, "
+                             f"got {sample}")
         self.records: List[TraceEvent] = []
         self.detailed = detailed
         self.max_records = max_records
         self.dropped = 0
+        self.sample = sample
+        #: instant detail events skipped by the 1-in-N sampling tier
+        self.sampled_out = 0
+        #: host seconds spent inside the recording path (self-measured)
+        self.overhead_s = 0.0
+        #: per-kind counters driving the deterministic sample stride
+        self._seen: Dict[str, int] = {}
         #: per-thread stack of currently-open spans ``(kind, subject)``,
         #: so :meth:`close_abandoned` can repair traces when a thread is
         #: killed mid-span (LT watchdog abort, ``ThreadCrashError``)
@@ -83,6 +108,7 @@ class Tracer:
 
     def _record(self, cycle: int, kind: str, subject: str, thread: str,
                 phase: str, attrs: Optional[Dict[str, Any]]) -> None:
+        start = _perf()
         if phase == BEGIN:
             self._open.setdefault(thread, []).append((kind, subject))
         elif phase == END:
@@ -91,9 +117,11 @@ class Tracer:
                 stack.pop()
         if len(self.records) >= self.max_records:
             self.dropped += 1
+            self.overhead_s += _perf() - start
             return
         self.records.append(
             TraceEvent(cycle, kind, subject, thread, phase, attrs))
+        self.overhead_s += _perf() - start
 
     def emit(self, kind: str, subject: str, cycle: int = 0,
              thread: str = "main", phase: str = INSTANT,
@@ -104,8 +132,16 @@ class Tracer:
     def emit_detail(self, kind: str, subject: str, cycle: int = 0,
                     thread: str = "main", phase: str = INSTANT,
                     attrs: Optional[Dict[str, Any]] = None) -> None:
-        """Record one high-volume event — only when ``detailed``."""
+        """Record one high-volume event — only when ``detailed``.
+        Instant events respect the 1-in-N sampling stride; span
+        begin/end events always record (nesting must stay balanced)."""
         if self.detailed:
+            if self.sample > 1 and phase == INSTANT:
+                seen = self._seen.get(kind, 0) + 1
+                self._seen[kind] = seen
+                if seen % self.sample != 1:
+                    self.sampled_out += 1
+                    return
             self._record(cycle, kind, subject, thread, phase, attrs)
 
     def begin(self, kind: str, subject: str, cycle: int = 0,

@@ -16,10 +16,11 @@ Two on-disk formats, both line-oriented and tool-friendly:
 from __future__ import annotations
 
 import json
-from typing import IO, Iterator, Union
+import re
+from typing import IO, Any, Dict, Iterator, Tuple, Union
 
 from .events import Tracer
-from .metrics import MetricsRegistry, _HistogramChild
+from .metrics import MetricsRegistry, QUANTILES, _HistogramChild
 
 
 # ---------------------------------------------------------------------------
@@ -30,6 +31,15 @@ def trace_lines(tracer: Tracer) -> Iterator[str]:
     """The trace as JSON Lines (no trailing newlines)."""
     for event in tracer.records:
         yield json.dumps(event.to_dict(), sort_keys=True)
+    if getattr(tracer, "sampled_out", 0):
+        yield json.dumps({"kind": "trace-sampled", "ph": "i",
+                          "cycle": -1, "thread": "<tracer>",
+                          "subject": f"{tracer.sampled_out} detail "
+                                     f"events sampled out (1-in-"
+                                     f"{tracer.sample})",
+                          "attrs": {"sampled_out": tracer.sampled_out,
+                                    "sample": tracer.sample}},
+                         sort_keys=True)
     if tracer.dropped:
         yield json.dumps({"kind": "trace-truncated", "ph": "i",
                           "cycle": -1, "thread": "<tracer>",
@@ -102,6 +112,16 @@ def to_prometheus(registry: MetricsRegistry) -> str:
                     suffix = _format_labels(labels, {"le": bound})
                     lines.append(
                         f"{inst.name}_bucket{suffix} {count}")
+                if child.count:
+                    # quantile estimates derived from the buckets, in
+                    # the summary-type `{quantile="..."}` convention —
+                    # no collection cost beyond what the buckets paid
+                    for q in QUANTILES:
+                        suffix = _format_labels(
+                            labels, {"quantile": _format_number(q)})
+                        lines.append(
+                            f"{inst.name}{suffix} "
+                            f"{_format_number(child.quantile(q))}")
                 lines.append(f"{inst.name}_sum{_format_labels(labels)} "
                              f"{_format_number(child.sum)}")
                 lines.append(f"{inst.name}_count{_format_labels(labels)} "
@@ -110,6 +130,96 @@ def to_prometheus(registry: MetricsRegistry) -> str:
                 lines.append(f"{inst.name}{_format_labels(labels)} "
                              f"{_format_number(child.value)}")
     return "\n".join(lines) + ("\n" if lines else "")
+
+
+def snapshot_to_prometheus(snapshot: Dict[str, Any]) -> str:
+    """Render a ``MetricsRegistry.to_dict()`` snapshot (e.g. the
+    ``metrics`` section of a telemetry envelope, after a JSON
+    round-trip) back into the Prometheus text exposition format.
+
+    The inverse-direction sibling of :func:`to_prometheus`: the
+    ``repro metricsd`` daemon uses it to serve ``/metrics`` for the
+    most recent run in the telemetry store.
+    """
+    lines = []
+    for name in sorted(snapshot):
+        family = snapshot[name] or {}
+        lines.append(
+            f"# HELP {name} {_escape_help(str(family.get('help', '')))}")
+        lines.append(f"# TYPE {name} {family.get('type', 'untyped')}")
+        for series in family.get("series", []):
+            labels = series.get("labels") or {}
+            if "buckets" in series:
+                buckets = series["buckets"]
+                finite = sorted((b for b in buckets if b != "+Inf"),
+                                key=float)
+                for bound in finite + ["+Inf"]:
+                    suffix = _format_labels(labels, {"le": bound})
+                    lines.append(
+                        f"{name}_bucket{suffix} {buckets[bound]}")
+                lines.append(f"{name}_sum{_format_labels(labels)} "
+                             f"{_format_number(series.get('sum', 0))}")
+                lines.append(f"{name}_count{_format_labels(labels)} "
+                             f"{series.get('count', 0)}")
+            else:
+                lines.append(f"{name}{_format_labels(labels)} "
+                             f"{_format_number(series.get('value', 0))}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+_LABEL_RE = re.compile(r'(\w+)="((?:[^"\\]|\\.)*)"')
+
+
+def _unescape_label_value(raw: str) -> str:
+    return (raw.replace("\\\\", "\x00").replace('\\"', '"')
+            .replace("\\n", "\n").replace("\x00", "\\"))
+
+
+def parse_prometheus(text: str) -> Tuple[Dict[str, str], Dict[str, str],
+                                         Dict[Tuple[str, Tuple[Tuple[str,
+                                              str], ...]], float]]:
+    """Parse the exposition format back into ``(help, types, samples)``.
+
+    ``samples`` maps ``(sample_name, sorted_label_items)`` to the float
+    value.  The exact inverse of :func:`to_prometheus` for everything it
+    emits; used by the CI scrape-validation job (and anyone else) to
+    round-trip a live ``/metrics`` response.  Raises ``ValueError`` on a
+    malformed line.
+    """
+    help_text: Dict[str, str] = {}
+    types: Dict[str, str] = {}
+    samples: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], float] = {}
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            name, _, rest = line[len("# HELP "):].partition(" ")
+            help_text[name] = (rest.replace("\\n", "\n")
+                               .replace("\\\\", "\\"))
+            continue
+        if line.startswith("# TYPE "):
+            name, _, kind = line[len("# TYPE "):].partition(" ")
+            types[name] = kind
+            continue
+        if line.startswith("#"):
+            continue  # other comments are legal exposition noise
+        if "{" in line:
+            name, _, rest = line.partition("{")
+            body, sep, value = rest.rpartition("} ")
+            if not sep:
+                raise ValueError(f"malformed sample line: {line!r}")
+            labels = {key: _unescape_label_value(raw)
+                      for key, raw in _LABEL_RE.findall(body)}
+        else:
+            name, sep, value = line.partition(" ")
+            if not sep:
+                raise ValueError(f"malformed sample line: {line!r}")
+            labels = {}
+        try:
+            samples[(name, tuple(sorted(labels.items())))] = float(value)
+        except ValueError:
+            raise ValueError(f"non-numeric sample value in {line!r}")
+    return help_text, types, samples
 
 
 def write_metrics(registry: MetricsRegistry,

@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass
+from time import perf_counter as _perf
 from typing import Any, Dict, IO, List, Optional, Tuple, Union
 
 #: on-disk schema tag; bump when the record shape changes
@@ -52,6 +53,11 @@ DEFAULT_CAPACITY = 1 << 16
 #: aggregated exactly (ring overwrites never lose these totals)
 CHECK_KINDS = ("check-assign", "check-read",
                "check-elide-assign", "check-elide-read")
+
+#: kinds eligible for the 1-in-N sampling tier: the per-event volume
+#: producers.  Everything else (region/thread lifecycle, GC, faults) is
+#: low-volume and always stored, so causal context never samples away.
+HIGH_VOLUME_KINDS = frozenset(CHECK_KINDS + ("alloc",))
 
 #: every kind the runtime emits, for schema validation and docs; the
 #: analyzer tolerates unknown kinds (forward compatibility), the
@@ -109,21 +115,40 @@ class FlightRecorder:
 
     enabled = True
 
-    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+    def __init__(self, capacity: int = DEFAULT_CAPACITY,
+                 sample: int = 1) -> None:
         if capacity <= 0:
             raise ValueError(f"flight-recorder capacity must be positive,"
                              f" got {capacity}")
+        if sample < 1:
+            raise ValueError(f"flight-recorder sample stride must be "
+                             f">= 1, got {sample}")
         self.capacity = capacity
+        #: 1-in-N sampling stride for :data:`HIGH_VOLUME_KINDS`.  The
+        #: aggregate counters below are maintained for *every* event —
+        #: sampling thins only the stored window, never the ledger.
+        #: Deterministic (per-kind counters, no RNG), so sampled
+        #: recording stays cycle-neutral and replay-stable.
+        self.sample = sample
         self._ring: List[Optional[FlightRecord]] = [None] * capacity
-        #: events ever recorded (ids run 1..total; the ring holds the
+        #: records ever *stored* (ids run 1..total; the ring holds the
         #: newest ``min(total, capacity)``)
         self.total = 0
-        #: per-kind event counts — aggregate, never evicted
+        #: every event seen, stored or sampled out — the exact universe
+        self.events_seen = 0
+        #: high-volume events skipped by the sampling stride
+        self.sampled_out = 0
+        #: host seconds spent inside the recording path (self-measured;
+        #: exported as repro_observability_overhead_seconds)
+        self.overhead_s = 0.0
+        #: per-kind event counts — aggregate, never evicted or sampled
         self.kind_counts: Dict[str, int] = {}
         #: per-check-kind ``[count, cycles]`` totals (``cycles`` is the
         #: cost charged for performed checks, the cost *saved* for
         #: elided ones) — the exact input to the elimination ledger
         self.check_totals: Dict[str, List[int]] = {}
+        #: per-kind counters driving the deterministic sample stride
+        self._hv_seen: Dict[str, int] = {}
         #: per-thread stack of open context event ids (region entries,
         #: thread spawns) — the source of ``parent`` stamps
         self._context: Dict[str, List[int]] = {}
@@ -146,16 +171,12 @@ class FlightRecorder:
                cycle: Optional[int] = None, thread: str = "main",
                attrs: Optional[Dict[str, Any]] = None,
                parent: Optional[int] = None) -> int:
-        """Append one record; returns its id."""
-        if cycle is None:
-            cycle = self._now()
-        if parent is None:
-            stack = self._context.get(thread)
-            parent = stack[-1] if stack else 0
-        eid = self.total + 1
-        self.total = eid
-        self._ring[(eid - 1) % self.capacity] = FlightRecord(
-            eid, parent, cycle, thread, kind, subject, attrs)
+        """Append one record; returns its id (0 when sampled out).
+
+        Aggregates (``kind_counts``, ``check_totals``) update for every
+        event regardless of sampling — only ring storage is thinned."""
+        start = _perf()
+        self.events_seen += 1
         self.kind_counts[kind] = self.kind_counts.get(kind, 0) + 1
         if attrs is not None and kind.startswith("check-"):
             totals = self.check_totals.get(kind)
@@ -166,6 +187,23 @@ class FlightRecorder:
             if cycles is None:
                 cycles = attrs.get("cycles_saved", 0)
             totals[1] += cycles
+        if self.sample > 1 and kind in HIGH_VOLUME_KINDS:
+            seen = self._hv_seen.get(kind, 0) + 1
+            self._hv_seen[kind] = seen
+            if seen % self.sample != 1:
+                self.sampled_out += 1
+                self.overhead_s += _perf() - start
+                return 0
+        if cycle is None:
+            cycle = self._now()
+        if parent is None:
+            stack = self._context.get(thread)
+            parent = stack[-1] if stack else 0
+        eid = self.total + 1
+        self.total = eid
+        self._ring[(eid - 1) % self.capacity] = FlightRecord(
+            eid, parent, cycle, thread, kind, subject, attrs)
+        self.overhead_s += _perf() - start
         return eid
 
     def push(self, kind: str, subject: str,
@@ -221,6 +259,10 @@ class FlightRecorder:
             "total": self.total,
             "stored": self.stored,
             "dropped": self.dropped,
+            "sample": self.sample,
+            "events_seen": self.events_seen,
+            "sampled_out": self.sampled_out,
+            "overhead_s": round(self.overhead_s, 6),
             "kind_counts": dict(self.kind_counts),
             "check_totals": {k: list(v)
                              for k, v in self.check_totals.items()},

@@ -25,9 +25,45 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 LabelKey = Tuple[Tuple[str, str], ...]
 
+#: per-metric cap on distinct label sets.  Past it, new label sets fold
+#: into one aggregated ``label="<other>"`` series so synthesized
+#: thousand-region workloads cannot grow the registry without bound;
+#: every folded observation is counted in :data:`LABELS_DROPPED_METRIC`.
+DEFAULT_MAX_LABEL_SETS = 1024
+
+#: the label value overflowing series are folded into
+OVERFLOW_LABEL_VALUE = "<other>"
+
+#: registry counter tracking observations folded by the cardinality cap
+LABELS_DROPPED_METRIC = "repro_metrics_labels_dropped"
+
+#: quantile estimates derived from histogram buckets at export time
+QUANTILES = (0.5, 0.95, 0.99)
+
 
 def _label_key(labels: Dict[str, str]) -> LabelKey:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def quantile_from_counts(bounds: Sequence[float], counts: Sequence[int],
+                         total: int, q: float) -> float:
+    """Upper-bound estimate of the q-quantile from (non-cumulative)
+    bucket counts.  Derived entirely from data the histogram already
+    collects — no extra cost on the observe path."""
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile {q} outside [0, 1]")
+    if not total:
+        return 0.0
+    target = q * total
+    running = 0
+    for i, c in enumerate(counts):
+        running += c
+        if running >= target:
+            if i < len(bounds):
+                return float(bounds[i])
+            break
+    # overflow bucket: all we know is it exceeds the last bound
+    return float(bounds[-1]) if bounds else 0.0
 
 
 class Instrument:
@@ -35,16 +71,39 @@ class Instrument:
 
     metric_type = "untyped"
 
+    #: distinct label sets allowed before folding (see module docs);
+    #: the registry may override per instance
+    max_label_sets = DEFAULT_MAX_LABEL_SETS
+    #: callback ``(metric_name) -> None`` invoked when an observation is
+    #: folded into the overflow series (set by the owning registry)
+    _on_drop = None
+
     def __init__(self, name: str, help_text: str = "") -> None:
         self.name = name
         self.help_text = help_text
         self._children: Dict[LabelKey, Any] = {}
 
     def labels(self, **labels: Any):
-        """The child instrument for one label set (created on demand)."""
+        """The child instrument for one label set (created on demand).
+
+        Past :attr:`max_label_sets` distinct sets, further *new* label
+        sets share one aggregated child whose every label value is
+        ``"<other>"`` — existing series keep updating normally, so the
+        cap bounds memory without losing any observation.
+        """
         key = _label_key({k: str(v) for k, v in labels.items()})
         child = self._children.get(key)
         if child is None:
+            if labels and len(self._children) >= self.max_label_sets:
+                okey = _label_key(
+                    {k: OVERFLOW_LABEL_VALUE for k in labels})
+                child = self._children.get(okey)
+                if child is None:
+                    child = self._make_child()
+                    self._children[okey] = child
+                if self._on_drop is not None:
+                    self._on_drop(self.name)
+                return child
             child = self._make_child()
             self._children[key] = child
         return child
@@ -162,20 +221,8 @@ class _HistogramChild:
 
     def quantile(self, q: float) -> float:
         """Upper-bound estimate of the q-quantile from bucket counts."""
-        if not 0.0 <= q <= 1.0:
-            raise ValueError(f"quantile {q} outside [0, 1]")
-        if not self.count:
-            return 0.0
-        target = q * self.count
-        running = 0
-        for i, c in enumerate(self.counts):
-            running += c
-            if running >= target:
-                if i < len(self.bounds):
-                    return float(self.bounds[i])
-                break
-        # overflow bucket: all we know is it exceeds the last bound
-        return float(self.bounds[-1]) if self.bounds else float(self.sum)
+        return quantile_from_counts(self.bounds, self.counts,
+                                    self.count, q)
 
 
 class Histogram(Instrument):
@@ -203,6 +250,23 @@ class Histogram(Instrument):
     def sum(self):
         return self._default().sum
 
+    def quantiles(self, qs: Sequence[float] = QUANTILES
+                  ) -> Dict[str, float]:
+        """p50/p95/p99-style estimates over *all* label series merged
+        (every child shares this family's buckets).  Empty when nothing
+        was observed."""
+        merged = [0] * (len(self.bounds) + 1)
+        total = 0
+        for _, child in self._children.items():
+            total += child.count
+            for i, c in enumerate(child.counts):
+                merged[i] += c
+        if not total:
+            return {}
+        return {f"p{round(q * 100):d}": quantile_from_counts(
+                    self.bounds, merged, total, q)
+                for q in qs}
+
 
 class MetricsRegistry:
     """All instruments of one simulated run, keyed by metric name."""
@@ -211,8 +275,16 @@ class MetricsRegistry:
     #: flips it so hot paths can pre-bind away ``observe`` calls
     null = False
 
-    def __init__(self) -> None:
+    def __init__(self,
+                 max_label_sets: int = DEFAULT_MAX_LABEL_SETS) -> None:
         self._instruments: Dict[str, Instrument] = {}
+        self.max_label_sets = max_label_sets
+
+    def _count_drop(self, name: str) -> None:
+        self.counter(
+            LABELS_DROPPED_METRIC,
+            "observations folded into the '<other>' series by the "
+            "per-metric label-cardinality cap").labels(metric=name).inc()
 
     def _get_or_create(self, cls, name: str, help_text: str,
                        **kwargs) -> Instrument:
@@ -224,6 +296,14 @@ class MetricsRegistry:
                     f"{existing.metric_type}, not {cls.metric_type}")
             return existing
         instrument = cls(name, help_text, **kwargs)
+        if name == LABELS_DROPPED_METRIC:
+            # the drop counter itself is exempt: its cardinality is
+            # bounded by the number of metric names, and capping it
+            # would recurse through its own _on_drop
+            instrument.max_label_sets = float("inf")
+        else:
+            instrument.max_label_sets = self.max_label_sets
+            instrument._on_drop = self._count_drop
         self._instruments[name] = instrument
         return instrument
 
@@ -313,6 +393,9 @@ class NullInstrument:
 
     def quantile(self, q: float) -> float:
         return 0.0
+
+    def quantiles(self, qs=QUANTILES) -> Dict[str, float]:
+        return {}
 
 
 _NULL_INSTRUMENT = NullInstrument()

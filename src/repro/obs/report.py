@@ -1,0 +1,343 @@
+"""The cross-run regression observatory behind ``repro report``.
+
+One run's bench payload answers "is this commit slower than the
+committed baseline?".  The observatory answers the longitudinal
+question: *how has each benchmark moved across the recorded runs, and
+is the latest measurement a statistically defensible regression?*  It
+joins three sources:
+
+* the committed baselines (``BENCH_interp.json``,
+  ``BENCH_frontend.json`` at the repo root) — the reference the
+  bench-smoke CI job already guards;
+* the telemetry store (:mod:`repro.obs.telemetry`) — every recorded
+  ``repro bench`` envelope contributes one point of history per
+  benchmark;
+* optionally an explicit *current* payload (``repro report
+  --current FILE``) — the measurement under judgment; without one the
+  newest bench envelope in the store is judged.
+
+Verdicts reuse the bench suites' shared judgments
+(:mod:`repro.bench.compare`) with one upgrade: the fractional
+regression threshold is **widened by the history's spread** (median
+absolute deviation), so a benchmark whose recorded history is noisy
+needs a proportionally larger slowdown to page, while a rock-stable
+one keeps the tight base threshold.  Determinism breaks (simulated
+cycles, checker error counts) stay binary — no amount of history
+excuses those.
+
+Renderings: aligned text (``--format text``), the raw report JSON
+(``--format json``), and a self-contained HTML page with inline
+sparklines (``--format html``).  ``repro report`` exits non-zero when
+``report["ok"]`` is false, which is how the report-gate CI job fails a
+PR that slowed a benchmark down.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from ..bench.compare import (DEFAULT_THRESHOLD, check_exact, mad,
+                             median, robust_threshold)
+from .telemetry import TelemetryStore
+
+#: report schema tag (the ``--format json`` output)
+REPORT_SCHEMA = "repro-report/1"
+
+#: default committed-baseline paths per suite, relative to the repo root
+BASELINE_FILES = {"interp": "BENCH_interp.json",
+                  "frontend": "BENCH_frontend.json"}
+
+#: history points consulted per benchmark (newest last)
+DEFAULT_HISTORY = 50
+
+_OK, _REGRESSION, _BREAK, _MISSING = ("ok", "regression",
+                                      "determinism-break", "missing")
+_NO_CURRENT, _NO_BASELINE = "no-current", "no-baseline"
+
+#: verdicts that fail the report (and the CI gate)
+FAILING_VERDICTS = frozenset((_REGRESSION, _BREAK, _MISSING))
+
+
+# ---------------------------------------------------------------------------
+# flattening payloads into comparable (label -> sample) series
+# ---------------------------------------------------------------------------
+
+def _interp_points(payload: Dict[str, Any]) -> Dict[str, Dict[str, Any]]:
+    """``benchmark/mode`` -> {wall_s, exact} for an interp payload."""
+    points: Dict[str, Dict[str, Any]] = {}
+    for name, row in (payload.get("benchmarks") or {}).items():
+        for mode in ("dynamic", "static"):
+            data = row.get(mode)
+            if not data:
+                continue
+            points[f"{name}/{mode}"] = {
+                "wall_s": data.get("wall_s") or 0.0,
+                "exact": ("simulated cycles", data.get("cycles")),
+            }
+    return points
+
+
+def _frontend_points(payload: Dict[str, Any]
+                     ) -> Dict[str, Dict[str, Any]]:
+    """``size N`` -> {wall_s, exact} for a frontend payload (cold
+    analysis is the guarded quantity, matching ``frontend.compare``)."""
+    points: Dict[str, Dict[str, Any]] = {}
+    for size, row in (payload.get("sizes") or {}).items():
+        points[f"size {size}"] = {
+            "wall_s": row.get("cold_s") or 0.0,
+            "exact": ("error count", row.get("n_errors")),
+        }
+    return points
+
+
+_FLATTEN = {"interp": _interp_points, "frontend": _frontend_points}
+
+
+def _bench_envelopes(store: TelemetryStore, suite: str,
+                     limit: int) -> List[Dict[str, Any]]:
+    """The newest ``limit`` bench payloads for one suite, oldest
+    first (so history series read left-to-right in time)."""
+    payloads: List[Dict[str, Any]] = []
+    for envelope in store.load_recent(limit, kind="bench"):
+        bench = envelope.get("bench") or {}
+        if bench.get("suite") == suite and bench.get("payload"):
+            payloads.append(bench["payload"])
+    payloads.reverse()
+    return payloads
+
+
+# ---------------------------------------------------------------------------
+# report construction
+# ---------------------------------------------------------------------------
+
+def _suite_report(suite: str, baseline: Optional[Dict[str, Any]],
+                  current: Optional[Dict[str, Any]],
+                  history_payloads: List[Dict[str, Any]],
+                  threshold: float,
+                  strict_missing: bool = True) -> Dict[str, Any]:
+    flatten = _FLATTEN[suite]
+    base_points = flatten(baseline) if baseline else {}
+    cur_points = flatten(current) if current else {}
+    history_points = [flatten(p) for p in history_payloads]
+
+    rows: List[Dict[str, Any]] = []
+    labels = sorted(set(base_points) | set(cur_points))
+    for label in labels:
+        base = base_points.get(label)
+        cur = cur_points.get(label)
+        history = [p[label]["wall_s"] for p in history_points
+                   if label in p and p[label]["wall_s"]]
+        row: Dict[str, Any] = {
+            "label": label,
+            "baseline_wall_s": base["wall_s"] if base else None,
+            "current_wall_s": cur["wall_s"] if cur else None,
+            "history": [round(v, 6) for v in history],
+            "history_median": round(median(history), 6),
+            "history_mad": round(mad(history), 6),
+        }
+        effective = robust_threshold(threshold, history)
+        row["threshold"] = round(threshold, 4)
+        row["effective_threshold"] = round(effective, 4)
+        verdict, message = _judge(label, base, cur, effective)
+        if verdict == _MISSING and not strict_missing:
+            # the judged payload came from the store and may be a
+            # deliberate subset run (`bench --only X --telemetry`);
+            # only an explicit --current payload must be complete
+            verdict, message = _NO_CURRENT, None
+        if (base and cur and base["wall_s"] and cur["wall_s"]):
+            row["delta_pct"] = round(
+                (cur["wall_s"] / base["wall_s"] - 1.0) * 100.0, 1)
+        row["verdict"] = verdict
+        if message:
+            row["message"] = message
+        rows.append(row)
+
+    failures = [row["message"] for row in rows
+                if row["verdict"] in FAILING_VERDICTS]
+    return {
+        "baseline": bool(baseline),
+        "current": bool(current),
+        "history_runs": len(history_payloads),
+        "rows": rows,
+        "failures": failures,
+    }
+
+
+def _judge(label: str, base: Optional[Dict[str, Any]],
+           cur: Optional[Dict[str, Any]],
+           effective_threshold: float):
+    """One benchmark's verdict: determinism first, then the widened
+    wall threshold, mirroring the bench suites' ``compare()`` order."""
+    if base is None:
+        return _NO_BASELINE, None
+    if cur is None:
+        return _MISSING, f"{label}: missing from current results"
+    quantity, base_exact = base["exact"]
+    broke = check_exact(label, quantity, base_exact, cur["exact"][1])
+    if broke is not None:
+        return _BREAK, broke
+    base_wall, cur_wall = base["wall_s"], cur["wall_s"]
+    if base_wall and cur_wall \
+            and cur_wall > base_wall * (1.0 + effective_threshold):
+        slow = (cur_wall / base_wall - 1.0) * 100.0
+        return _REGRESSION, (
+            f"{label}: wall-clock regression {base_wall:.6f}s -> "
+            f"{cur_wall:.6f}s (+{slow:.0f}%, effective threshold "
+            f"+{effective_threshold * 100:.0f}%)")
+    if not cur_wall:
+        return _NO_CURRENT, None
+    return _OK, None
+
+
+def build_report(store: Optional[TelemetryStore] = None,
+                 baselines: Optional[Dict[str, Dict[str, Any]]] = None,
+                 current: Optional[Dict[str, Dict[str, Any]]] = None,
+                 history: int = DEFAULT_HISTORY,
+                 threshold: float = DEFAULT_THRESHOLD
+                 ) -> Dict[str, Any]:
+    """Assemble the full observatory report.
+
+    ``baselines`` / ``current`` map suite name (``interp`` /
+    ``frontend``) to a bench payload; suites absent from ``current``
+    fall back to the newest matching bench envelope in the store.
+    """
+    store = store if store is not None else TelemetryStore()
+    baselines = baselines or {}
+    current = current or {}
+    suites: Dict[str, Any] = {}
+    for suite in sorted(_FLATTEN):
+        baseline = baselines.get(suite)
+        history_payloads = _bench_envelopes(store, suite, history)
+        cur = current.get(suite)
+        strict_missing = cur is not None
+        if cur is None and history_payloads:
+            cur = history_payloads[-1]
+            history_payloads = history_payloads[:-1]
+        if baseline is None and cur is None:
+            continue  # nothing recorded and nothing committed: skip
+        suites[suite] = _suite_report(suite, baseline, cur,
+                                      history_payloads, threshold,
+                                      strict_missing=strict_missing)
+    regressions = sum(len(s["failures"]) for s in suites.values())
+    return {
+        "schema": REPORT_SCHEMA,
+        "store": store.root,
+        "threshold": threshold,
+        "suites": suites,
+        "regressions": regressions,
+        "ok": regressions == 0,
+    }
+
+
+# ---------------------------------------------------------------------------
+# renderings
+# ---------------------------------------------------------------------------
+
+def render_text(report: Dict[str, Any]) -> str:
+    lines: List[str] = []
+    for suite, data in report["suites"].items():
+        lines.append(f"== {suite} "
+                     f"(history: {data['history_runs']} runs) ==")
+        lines.append(f"{'benchmark':<16} {'base s':>10} {'cur s':>10} "
+                     f"{'delta':>7} {'thresh':>7} {'n':>3} verdict")
+        for row in data["rows"]:
+            base = row["baseline_wall_s"]
+            cur = row["current_wall_s"]
+            delta = row.get("delta_pct")
+            lines.append(
+                f"{row['label']:<16} "
+                + (f"{base:>10.6f}" if base is not None else f"{'-':>10}")
+                + " "
+                + (f"{cur:>10.6f}" if cur is not None else f"{'-':>10}")
+                + " "
+                + (f"{delta:>+6.1f}%" if delta is not None
+                   else f"{'-':>7}")
+                + f" {row['effective_threshold'] * 100:>+6.1f}%"
+                + f" {len(row['history']):>3}"
+                + f" {row['verdict']}")
+        for failure in data["failures"]:
+            lines.append(f"  FAIL {failure}")
+        lines.append("")
+    lines.append(f"regressions: {report['regressions']} "
+                 f"({'ok' if report['ok'] else 'FAILING'})")
+    return "\n".join(lines)
+
+
+def render_json(report: Dict[str, Any]) -> str:
+    return json.dumps(report, indent=2, sort_keys=True) + "\n"
+
+
+def _sparkline_svg(values: List[float], width: int = 120,
+                   height: int = 24) -> str:
+    """A tiny inline SVG polyline of the history series."""
+    if len(values) < 2:
+        return ""
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    step = width / (len(values) - 1)
+    points = " ".join(
+        f"{i * step:.1f},{height - 2 - (v - lo) / span * (height - 4):.1f}"
+        for i, v in enumerate(values))
+    return (f'<svg width="{width}" height="{height}">'
+            f'<polyline fill="none" stroke="#57f" stroke-width="1.5" '
+            f'points="{points}"/></svg>')
+
+
+_HTML_STYLE = """
+body { font: 14px system-ui, sans-serif; margin: 2em; color: #222; }
+table { border-collapse: collapse; margin: 1em 0; }
+th, td { padding: 4px 10px; border-bottom: 1px solid #ddd;
+         text-align: right; }
+th { border-bottom: 2px solid #999; }
+td.label, th.label { text-align: left; font-family: monospace; }
+td.v-ok { color: #2a7; }
+td.v-regression, td.v-determinism-break, td.v-missing {
+    color: #c33; font-weight: bold; }
+td.v-no-baseline, td.v-no-current { color: #888; }
+.fail { color: #c33; font-family: monospace; }
+"""
+
+
+def render_html(report: Dict[str, Any]) -> str:
+    parts = ["<!doctype html><html><head><meta charset='utf-8'>",
+             "<title>repro report</title>",
+             f"<style>{_HTML_STYLE}</style></head><body>",
+             "<h1>repro regression observatory</h1>",
+             f"<p>store: <code>{report['store']}</code> — "
+             f"regressions: <b>{report['regressions']}</b> "
+             f"({'ok' if report['ok'] else 'FAILING'})</p>"]
+    for suite, data in report["suites"].items():
+        parts.append(f"<h2>{suite}</h2>")
+        parts.append(f"<p>history: {data['history_runs']} recorded "
+                     f"runs</p>")
+        parts.append("<table><tr><th class='label'>benchmark</th>"
+                     "<th>baseline s</th><th>current s</th>"
+                     "<th>delta</th><th>threshold</th>"
+                     "<th>history</th><th>verdict</th></tr>")
+        for row in data["rows"]:
+            base = row["baseline_wall_s"]
+            cur = row["current_wall_s"]
+            delta = row.get("delta_pct")
+            parts.append(
+                "<tr>"
+                + f"<td class='label'>{row['label']}</td>"
+                + (f"<td>{base:.6f}</td>" if base is not None
+                   else "<td>-</td>")
+                + (f"<td>{cur:.6f}</td>" if cur is not None
+                   else "<td>-</td>")
+                + (f"<td>{delta:+.1f}%</td>" if delta is not None
+                   else "<td>-</td>")
+                + f"<td>+{row['effective_threshold'] * 100:.1f}%</td>"
+                + f"<td>{_sparkline_svg(row['history'])}</td>"
+                + f"<td class='v-{row['verdict']}'>{row['verdict']}"
+                  f"</td></tr>")
+        parts.append("</table>")
+        for failure in data["failures"]:
+            parts.append(f"<p class='fail'>FAIL {failure}</p>")
+    parts.append("</body></html>")
+    return "\n".join(parts) + "\n"
+
+
+RENDERERS = {"text": render_text, "json": render_json,
+             "html": render_html}

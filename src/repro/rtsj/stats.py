@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
-from ..obs import MetricsRegistry, ProfileCollector, Tracer
+from ..obs import Histogram, MetricsRegistry, ProfileCollector, Tracer
 
 
 @dataclass(frozen=True)
@@ -162,4 +162,18 @@ class Stats:
             "threads_aborted": self.threads_aborted,
             "sanitizer_checks": self.sanitizer_checks,
             "cycles_by_thread": dict(self.cycles_by_thread),
+            "quantiles": self.quantile_summary(),
         }
+
+    def quantile_summary(self) -> Dict[str, Dict[str, float]]:
+        """p50/p95/p99 estimates for every live histogram, derived from
+        the buckets the run already collected (deterministic: bucket
+        counts are a function of the simulated run, not the host).
+        Empty for uninstrumented runs (null registry)."""
+        out: Dict[str, Dict[str, float]] = {}
+        for inst in self.metrics.instruments():
+            if isinstance(inst, Histogram):
+                quantiles = inst.quantiles()
+                if quantiles:
+                    out[inst.name] = quantiles
+        return out

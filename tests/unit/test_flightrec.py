@@ -169,3 +169,139 @@ class TestDumpFormat:
                    FlightRecord(2, 2, 6, "main", "alloc", "y", None)]
         assert any("non-causal" in p
                    for p in validate_flight(header, acausal))
+
+
+class TestSampling:
+    """The 1-in-N always-on tier: thinned ring, exact aggregates."""
+
+    def test_stride_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=8, sample=0)
+
+    def test_aggregates_exact_while_ring_thins(self):
+        rec = FlightRecorder(capacity=256, sample=4)
+        for i in range(20):
+            rec.record("check-assign", f"s{i}", cycle=i,
+                       attrs={"cycles": 28})
+        for i in range(13):
+            rec.record("alloc", f"o{i}", cycle=100 + i)
+        # aggregates count every event, sampled out or not
+        assert rec.kind_counts == {"check-assign": 20, "alloc": 13}
+        assert rec.check_totals == {"check-assign": [20, 20 * 28]}
+        assert rec.events_seen == 33
+        # ring stores 1-in-4 per kind: ceil(20/4) + ceil(13/4)
+        assert rec.total == 5 + 4
+        assert rec.sampled_out == 33 - 9
+
+    def test_low_volume_kinds_never_sampled(self):
+        rec = FlightRecorder(capacity=64, sample=100)
+        for i in range(10):
+            rec.record("region-created", f"r{i}", cycle=i)
+            rec.record("gc", f"run{i}", cycle=i)
+        assert rec.total == 20
+        assert rec.sampled_out == 0
+
+    def test_sampled_out_records_return_id_zero(self):
+        rec = FlightRecorder(capacity=64, sample=2)
+        ids = [rec.record("alloc", f"o{i}", cycle=i) for i in range(4)]
+        assert ids[0] > 0 and ids[2] > 0
+        assert ids[1] == 0 and ids[3] == 0
+
+    def test_header_carries_sampling_fields(self):
+        rec = FlightRecorder(capacity=64, sample=3)
+        for i in range(7):
+            rec.record("alloc", f"o{i}", cycle=i)
+        header = rec.header()
+        assert header["sample"] == 3
+        assert header["events_seen"] == 7
+        assert header["sampled_out"] == 4
+        assert header["overhead_s"] >= 0.0
+
+    def test_sampled_dump_passes_validate(self):
+        rec = FlightRecorder(capacity=64, sample=5)
+        rec.push("region-enter", "r", cycle=0)
+        for i in range(40):
+            rec.record("check-assign", f"s{i}", cycle=i + 1,
+                       attrs={"cycles": 28})
+        rec.pop("region-exit", "r", cycle=50)
+        buf = io.StringIO()
+        dump_flight(rec, buf)
+        buf.seek(0)
+        header, records = load_flight(buf)
+        assert validate_flight(header, records) == []
+        # the exact ledger survives sampling in the header
+        assert header["check_totals"] == {"check-assign": [40, 40 * 28]}
+
+    def test_overhead_self_measured(self):
+        rec = FlightRecorder(capacity=64)
+        for i in range(100):
+            rec.record("alloc", f"o{i}", cycle=i)
+        assert rec.overhead_s > 0.0
+
+
+class TestWraparound:
+    """Ring-eviction coverage: exact aggregates and valid dumps no
+    matter how many times the window wraps."""
+
+    def _mixed_burst(self, rec, n):
+        for i in range(n):
+            rec.record("check-assign", f"a{i}", cycle=2 * i,
+                       attrs={"cycles": 28})
+            rec.record("alloc", f"o{i}", cycle=2 * i + 1,
+                       attrs={"bytes": 16})
+
+    def test_exact_aggregates_across_many_wraps(self):
+        small = FlightRecorder(capacity=8)
+        large = FlightRecorder(capacity=10_000)
+        self._mixed_burst(small, 500)
+        self._mixed_burst(large, 500)
+        assert small.kind_counts == large.kind_counts
+        assert small.check_totals == large.check_totals
+        assert small.stored == 8
+        assert small.dropped == 2 * 500 - 8
+
+    def test_wrapped_dump_passes_validate(self):
+        rec = FlightRecorder(capacity=16)
+        self._mixed_burst(rec, 100)
+        buf = io.StringIO()
+        dump_flight(rec, buf)
+        buf.seek(0)
+        header, records = load_flight(buf)
+        assert validate_flight(header, records) == []
+        assert header["stored"] == 16 and header["dropped"] == 184
+        ids = [r.id for r in records]
+        assert ids == sorted(ids) and len(set(ids)) == len(ids)
+
+    def test_wrap_with_thread_abort_keeps_causality(self):
+        rec = FlightRecorder(capacity=8)
+        spawn = rec.record("thread-spawned", "t1", cycle=0)
+        rec.seed("t1", spawn)
+        rec.push("region-enter", "r", cycle=1, thread="t1")
+        for i in range(50):
+            rec.record("alloc", f"o{i}", cycle=2 + i, thread="t1")
+        rec.record("thread-aborted", "t1", cycle=100, thread="t1",
+                   attrs={"error": "ThreadCrashError"})
+        buf = io.StringIO()
+        dump_flight(rec, buf)
+        buf.seek(0)
+        header, records = load_flight(buf)
+        assert validate_flight(header, records) == []
+        # the abort survives in the window and is parented inside the
+        # region context opened before the wrap
+        aborted = [r for r in records if r.kind == "thread-aborted"]
+        assert len(aborted) == 1
+        assert aborted[0].parent > 0
+
+    def test_wrap_and_sampling_compose(self):
+        rec = FlightRecorder(capacity=8, sample=3)
+        self._mixed_burst(rec, 300)
+        # aggregates still exact
+        assert rec.kind_counts == {"check-assign": 300, "alloc": 300}
+        assert rec.check_totals == {"check-assign": [300, 300 * 28]}
+        assert rec.events_seen == 600
+        buf = io.StringIO()
+        dump_flight(rec, buf)
+        buf.seek(0)
+        header, records = load_flight(buf)
+        assert validate_flight(header, records) == []
+        assert header["sampled_out"] == rec.sampled_out > 0

@@ -331,3 +331,201 @@ class TestPrometheusRoundTrip:
         # +Inf bucket == _count; _sum matches the observations
         assert buckets[-1] == samples[("h_cycles_count", frozenset())]
         assert samples[("h_cycles_sum", frozenset())] == 560.0
+
+
+class TestHistogramQuantiles:
+    """p50/p95/p99 derived from buckets at export time (no collection
+    cost beyond what the buckets already paid)."""
+
+    def test_quantiles_dict_from_buckets(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("repro_q", buckets=(10, 100, 1000))
+        for v in [5] * 50 + [50] * 45 + [500] * 5:
+            h.observe(v)
+        q = h.quantiles()
+        assert set(q) == {"p50", "p95", "p99"}
+        assert q["p50"] == 10.0   # 50th obs lands in the <=10 bucket
+        assert q["p95"] == 100.0
+        assert q["p99"] == 1000.0
+
+    def test_quantiles_merge_across_children(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("repro_q", buckets=(10, 100))
+        for _ in range(99):
+            h.labels(region="a").observe(5)
+        h.labels(region="b").observe(50)
+        q = h.quantiles()
+        assert q["p50"] == 10.0
+        assert q["p99"] == 10.0
+
+    def test_empty_histogram_has_no_quantiles(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("repro_q", buckets=(10,))
+        assert h.quantiles() == {}
+
+    def test_prometheus_export_emits_quantile_lines(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("repro_q", "help", buckets=(10, 100))
+        for v in (5, 5, 50):
+            h.observe(v)
+        text = to_prometheus(reg)
+        assert 'repro_q{quantile="0.5"} 10.0' in text
+        assert 'repro_q{quantile="0.99"} 100.0' in text
+        # the summary-style lines sit between buckets and _sum/_count
+        assert text.index("_bucket") < text.index('quantile="0.5"') \
+            < text.index("repro_q_sum")
+
+    def test_stats_summary_includes_quantiles(self):
+        from repro.rtsj.stats import Stats
+        stats = Stats()
+        h = stats.metrics.histogram("repro_check_cycles",
+                                    buckets=(10, 100))
+        h.observe(5)
+        summary = stats.summary()
+        assert summary["quantiles"]["repro_check_cycles"]["p50"] == 10.0
+        # deterministic: derived from simulated data only
+        assert summary["quantiles"] == stats.quantile_summary()
+
+
+class TestLabelCardinalityGuard:
+    """The per-metric label-set cap: overflow folds into "<other>" and
+    counts drops instead of growing without bound."""
+
+    def test_overflow_folds_into_other(self):
+        from repro.obs.metrics import (LABELS_DROPPED_METRIC,
+                                       OVERFLOW_LABEL_VALUE)
+        reg = MetricsRegistry(max_label_sets=4)
+        counter = reg.counter("repro_sites")
+        for i in range(10):
+            counter.labels(site=f"s{i}").inc()
+        keys = [dict(key) for key, _ in counter.children()]
+        assert len(keys) == 5  # 4 real + 1 overflow
+        assert {"site": OVERFLOW_LABEL_VALUE} in keys
+        overflow = counter.labels(site=OVERFLOW_LABEL_VALUE)
+        assert overflow.value == 6  # the 6 folded observations
+        drops = reg.counter(LABELS_DROPPED_METRIC)
+        assert drops.labels(metric="repro_sites").value == 6
+
+    def test_existing_series_keep_updating_past_cap(self):
+        reg = MetricsRegistry(max_label_sets=2)
+        counter = reg.counter("repro_sites")
+        counter.labels(site="a").inc()
+        counter.labels(site="b").inc()
+        counter.labels(site="c").inc()   # folded
+        counter.labels(site="a").inc(5)  # existing: not folded
+        assert counter.labels(site="a").value == 6
+
+    def test_drop_counter_is_exempt_from_its_own_cap(self):
+        from repro.obs.metrics import LABELS_DROPPED_METRIC
+        reg = MetricsRegistry(max_label_sets=1)
+        for i in range(5):
+            reg.counter(f"repro_m{i}").labels(x="a").inc()
+            reg.counter(f"repro_m{i}").labels(x="b").inc()  # folded
+        drops = reg.counter(LABELS_DROPPED_METRIC)
+        # one real child per overflowing metric, never folded itself
+        assert len(list(drops.children())) == 5
+
+    def test_unlabeled_series_never_fold(self):
+        reg = MetricsRegistry(max_label_sets=1)
+        gauge = reg.gauge("repro_g")
+        gauge.labels(a="1").set(1)
+        gauge.set(7)  # the unlabeled default child
+        assert gauge.labels().value == 7
+
+
+class TestTracerSampling:
+    """The tracer's always-on tier: instant detail events thin 1-in-N,
+    spans never sampled, overhead self-measured."""
+
+    def test_instant_detail_events_sampled(self):
+        tracer = Tracer(detailed=True, sample=4)
+        for i in range(10):
+            tracer.emit_detail("check", f"s{i}", cycle=i)
+        stored = [e for e in tracer.records if e.kind == "check"]
+        assert len(stored) == 3  # events 1, 5, 9
+        assert tracer.sampled_out == 7
+
+    def test_spans_never_sampled(self):
+        tracer = Tracer(detailed=True, sample=100)
+        for i in range(5):
+            tracer.begin("region-enter", f"r{i}", cycle=i)
+            tracer.end("region-enter", f"r{i}", cycle=i + 1)
+        assert len(tracer.records) == 10
+        assert tracer.spans_balanced()
+        assert tracer.sampled_out == 0
+
+    def test_lifecycle_emit_never_sampled(self):
+        tracer = Tracer(detailed=True, sample=100)
+        for i in range(5):
+            tracer.emit("gc", f"run{i}", cycle=i)
+        assert len(tracer.records) == 5
+
+    def test_sample_stride_validated(self):
+        with pytest.raises(ValueError):
+            Tracer(sample=0)
+
+    def test_trace_lines_appends_sampled_marker(self):
+        tracer = Tracer(detailed=True, sample=2)
+        for i in range(4):
+            tracer.emit_detail("check", f"s{i}", cycle=i)
+        lines = [json.loads(line) for line in trace_lines(tracer)]
+        marker = [l for l in lines if l["kind"] == "trace-sampled"]
+        assert len(marker) == 1
+        assert marker[0]["attrs"] == {"sampled_out": 2, "sample": 2}
+
+    def test_overhead_accumulates(self):
+        tracer = Tracer()
+        for i in range(200):
+            tracer.emit("a", f"x{i}", cycle=i)
+        assert tracer.overhead_s > 0.0
+
+
+class TestParsePrometheus:
+    """The library parser: exact inverse of to_prometheus, used by the
+    CI scrape-validation job."""
+
+    def test_round_trip_samples(self):
+        from repro.obs import parse_prometheus
+        reg = MetricsRegistry()
+        reg.counter("repro_c", "a counter").labels(kind="x").inc(3)
+        reg.gauge("repro_g", "a gauge").set(2.5)
+        h = reg.histogram("repro_h", "a hist", buckets=(10, 100))
+        h.observe(5)
+        help_text, types, samples = parse_prometheus(to_prometheus(reg))
+        assert types == {"repro_c": "counter", "repro_g": "gauge",
+                         "repro_h": "histogram"}
+        assert samples[("repro_c", (("kind", "x"),))] == 3.0
+        assert samples[("repro_g", ())] == 2.5
+        assert samples[("repro_h_bucket", (("le", "10"),))] == 1.0
+        assert samples[("repro_h_count", ())] == 1.0
+
+    def test_hostile_label_values_round_trip(self):
+        from repro.obs import parse_prometheus
+        hostile = 'a"b\\c\nd'
+        reg = MetricsRegistry()
+        reg.counter("repro_c").labels(site=hostile).inc()
+        _, _, samples = parse_prometheus(to_prometheus(reg))
+        assert samples[("repro_c", (("site", hostile),))] == 1.0
+
+    def test_malformed_lines_raise(self):
+        from repro.obs import parse_prometheus
+        with pytest.raises(ValueError):
+            parse_prometheus("repro_c_no_value\n")
+        with pytest.raises(ValueError):
+            parse_prometheus("repro_c not-a-number\n")
+
+    def test_snapshot_render_matches_live_render(self):
+        from repro.obs import parse_prometheus, snapshot_to_prometheus
+        reg = MetricsRegistry()
+        reg.counter("repro_c", "c help").labels(kind="x").inc(3)
+        h = reg.histogram("repro_h", "h help", buckets=(10, 100))
+        for v in (5, 50, 500):
+            h.observe(v)
+        snapshot = json.loads(json.dumps(reg.to_dict()))
+        live = parse_prometheus(to_prometheus(reg))
+        rendered = parse_prometheus(snapshot_to_prometheus(snapshot))
+        # same samples modulo the live render's derived quantile lines
+        live_samples = {k: v for k, v in live[2].items()
+                        if not any(lk == "quantile"
+                                   for lk, _ in k[1])}
+        assert rendered[2] == live_samples
