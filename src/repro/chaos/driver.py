@@ -110,18 +110,24 @@ def run_one(program: Union[str, AnalyzedProgram],
             injector: Optional[Any] = None,
             label: str = "<program>",
             max_cycles: int = DEFAULT_MAX_CYCLES,
-            record: bool = False) -> ChaosOutcome:
+            record: bool = False,
+            backend: str = "interp") -> ChaosOutcome:
     """Execute one program under one fault plan (or explicit injector),
     sanitizer armed, degradation on.  Never raises for simulated
     failures — they land in the outcome.  ``record`` arms the flight
-    recorder (cycle-neutral, so replay identity is unaffected)."""
+    recorder (cycle-neutral, so replay identity is unaffected).
+    ``backend`` is plumbed through to :class:`RunOptions`; with fault
+    injection active the compiled backends decline the configuration
+    and the run falls back to the interpreter, so replay identity is
+    backend-independent by construction."""
     analyzed = analyze(program) if isinstance(program, str) else program
     if analyzed.errors:
         raise analyzed.errors[0]
     options = RunOptions(checks_enabled=True, validate=True,
                          fault_plan=plan, fault_injector=injector,
                          sanitize=True, degrade=True,
-                         max_cycles=max_cycles, record=record)
+                         max_cycles=max_cycles, record=record,
+                         backend=backend)
     machine = Machine(analyzed, options)
     status = "clean"
     error: Optional[Dict[str, Any]] = None
@@ -180,7 +186,8 @@ def run_chaos(corpus: Sequence[Tuple[str, str]],
               gc_spike_factor: int = 8,
               max_cycles: int = DEFAULT_MAX_CYCLES,
               verify: bool = True,
-              schedule_dir: Optional[str] = None) -> Dict[str, Any]:
+              schedule_dir: Optional[str] = None,
+              backend: str = "interp") -> Dict[str, Any]:
     """Run every (label, source) program under every seed; optionally
     verify replay and persist the schedules.  Returns a report dict
     with per-run outcomes and campaign-level pass/fail."""
@@ -197,7 +204,8 @@ def run_chaos(corpus: Sequence[Tuple[str, str]],
                              gc_spike_factor=gc_spike_factor)
             outcome = run_one(analyzed, plan=plan, label=label,
                               max_cycles=max_cycles,
-                              record=schedule_dir is not None)
+                              record=schedule_dir is not None,
+                              backend=backend)
             entry: Dict[str, Any] = {
                 "program": label,
                 "seed": seed,

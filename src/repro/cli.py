@@ -42,11 +42,17 @@ import re
 import sys
 from typing import List, Optional
 
+import dataclasses
+
 from .core.api import analyze
 from .errors import ReproError
-from .interp.machine import Machine, RunOptions
+from .interp.machine import Machine, RunOptions, execute
 from .interp.translate import translate as run_translate
 from .lang import pretty_program
+
+#: --backend choices shared by run/profile/bench/chaos (see
+#: RunOptions.backend); None = the subcommand's own default
+BACKEND_CHOICES = ("interp", "py", "py-fused", "py-faithful", "c")
 
 _EMBEDDED_PROGRAM = re.compile(r'^PROGRAM\s*=\s*r?"""(.*?)"""',
                                re.S | re.M)
@@ -157,13 +163,25 @@ def cmd_run(args) -> int:
                                   metrics=metrics)
     if analyzed.errors:
         return 1
+    # an explicit compiled backend implies the uninstrumented fast
+    # path (the hooks are compiled out) — unless the user also asked
+    # for an observability export, which needs live sinks and
+    # therefore the interpreter/faithful forms
+    wants_obs = bool(args.trace_out or args.metrics_out
+                     or args.record_out or args.serve_metrics is not None
+                     or getattr(args, "telemetry", None))
+    instrument = not (args.backend and args.backend != "interp"
+                      and not wants_obs)
     options = RunOptions(checks_enabled=args.dynamic_checks,
                          validate=not args.no_validate,
-                         tracer=tracer, metrics=metrics,
+                         tracer=tracer if instrument else None,
+                         metrics=metrics if instrument else None,
                          record=bool(args.record_out),
                          record_capacity=args.record_capacity,
                          trace_sample=args.trace_sample,
-                         record_sample=args.record_sample)
+                         record_sample=args.record_sample,
+                         instrument=instrument,
+                         backend=args.backend or "interp")
     machine = Machine(analyzed, options)
     mode = "dynamic" if args.dynamic_checks else "static"
     server = None
@@ -180,6 +198,15 @@ def cmd_run(args) -> int:
     failure: Optional[ReproError] = None
     try:
         result = machine.run()
+        # a compiled backend bails (instead of raising) on anything it
+        # cannot reproduce exactly; re-execute on its declared fallback
+        # — same loop as interp.machine.execute, but keeping the final
+        # machine visible to the export paths below
+        while machine.program_bailed:
+            options = dataclasses.replace(
+                machine.options, backend=machine.program.fallback_backend)
+            machine = Machine(analyzed, options)
+            result = machine.run()
     except ReproError as err:
         failure = err
     finally:
@@ -214,7 +241,12 @@ def cmd_run(args) -> int:
     for line in result.output:
         print(line)
     if args.stats:
-        print(f"--- {mode}-checks run: {result.cycles} cycles, "
+        backend = (machine.program.backend
+                   if machine.program is not None else "interp")
+        note = (f" [{machine.codegen_fallback}]"
+                if machine.codegen_fallback else "")
+        print(f"--- {mode}-checks run ({backend}{note}): "
+              f"{result.cycles} cycles, "
               f"{result.stats.assignment_checks} assignment checks, "
               f"{result.stats.gc_runs} GCs, "
               f"{result.stats.regions_created} regions",
@@ -232,10 +264,10 @@ def cmd_profile(args) -> int:
                                   cache=_open_cache(args))
     if analyzed.errors:
         return 1
-    options = RunOptions(checks_enabled=not args.static_checks)
-    machine = Machine(analyzed, options)
+    options = RunOptions(checks_enabled=not args.static_checks,
+                         backend=args.backend or "interp")
     try:
-        machine.run()
+        _result, machine = execute(analyzed, options)
     except ReproError as err:
         print(f"runtime error: {err}", file=sys.stderr)
         return 2
@@ -316,25 +348,50 @@ def cmd_advise(args) -> int:
     return 0
 
 
+def _bench_names(args):
+    """Validated ``--only`` selection, or None for the full registry.
+    Returns (names, error_exit)."""
+    names = args.only or None
+    if names:
+        from .bench.suite import BENCHMARKS
+        unknown = [n for n in names if n not in BENCHMARKS]
+        if unknown:
+            print(f"error: unknown benchmark(s) {unknown}; known: "
+                  f"{sorted(BENCHMARKS)}", file=sys.stderr)
+            return None, 1
+    return names, None
+
+
 def cmd_bench(args) -> int:
     if args.suite == "frontend":
         from .bench import frontend as suite_mod
         if args.only:
-            print("error: --only applies to the interp suite",
+            print("error: --only applies to the interp/codegen suites",
                   file=sys.stderr)
             return 1
         payload = suite_mod.measure(repeats=args.repeats,
                                     cache_dir=args.analysis_cache)
+    elif args.suite == "codegen":
+        from .bench import codegen as suite_mod
+        names, err = _bench_names(args)
+        if err is not None:
+            return err
+        # --backend narrows the measured backends; default is every
+        # codegen backend (C auto-skips without a toolchain)
+        backends = [args.backend] if args.backend else None
+        if backends == ["interp"]:
+            print("error: the codegen suite measures codegen backends "
+                  "against the interpreter; pick py or c",
+                  file=sys.stderr)
+            return 1
+        payload = suite_mod.measure(names, backends=backends,
+                                    fast=not args.full,
+                                    repeats=args.repeats)
     else:
         from .bench import wallclock as suite_mod
-        names = args.only or None
-        if names:
-            from .bench.suite import BENCHMARKS
-            unknown = [n for n in names if n not in BENCHMARKS]
-            if unknown:
-                print(f"error: unknown benchmark(s) {unknown}; known: "
-                      f"{sorted(BENCHMARKS)}", file=sys.stderr)
-                return 1
+        names, err = _bench_names(args)
+        if err is not None:
+            return err
         payload = suite_mod.measure(names, fast=not args.full,
                                     repeats=args.repeats)
     baseline = None
@@ -361,6 +418,18 @@ def cmd_bench(args) -> int:
         print(f"wrote {args.out}", file=sys.stderr)
     _record_envelope(args, "bench", label=args.suite,
                      bench={"suite": args.suite, "payload": payload})
+    if args.suite == "codegen":
+        # the equivalence gate: backends promised byte-identical
+        # observable behaviour; a divergence is a correctness bug
+        gate_failures = list(payload.get("divergences") or [])
+        if args.min_speedup:
+            gate_backend = args.backend or "py"
+            gate_failures += suite_mod.check_min_speedup(
+                payload, gate_backend, args.min_speedup)
+        if gate_failures:
+            for failure in gate_failures:
+                print(f"codegen gate: {failure}", file=sys.stderr)
+            return 3
     if baseline is not None:
         failures = suite_mod.compare(payload, baseline,
                                      threshold=args.threshold)
@@ -422,7 +491,8 @@ def cmd_chaos(args) -> int:
                        gc_spike_factor=args.gc_spike,
                        max_cycles=args.max_cycles,
                        verify=not args.no_verify,
-                       schedule_dir=args.schedule_out or None)
+                       schedule_dir=args.schedule_out or None,
+                       backend=args.backend or "interp")
     if args.json:
         print(json.dumps(report, indent=2, sort_keys=True))
     else:
@@ -590,14 +660,40 @@ def cmd_graph(args) -> int:
     return 0
 
 
-def _add_telemetry_flags(parser) -> None:
-    parser.add_argument("--telemetry", action="store_true",
-                        help="append a telemetry envelope to the "
-                             "content-addressed store under "
-                             ".repro/telemetry/")
-    parser.add_argument("--telemetry-store", metavar="DIR",
-                        help="store root for --telemetry (implies it; "
-                             "default .repro/telemetry)")
+def _shared_parents():
+    """Parent parsers for the flags shared by run/profile/bench/chaos.
+
+    One definition each — the per-command copies had already drifted in
+    wording, and a new flag (``--backend``) would have needed four more
+    copies.  ``add_help=False`` is the stock argparse parent idiom.
+    """
+    backend = argparse.ArgumentParser(add_help=False)
+    backend.add_argument(
+        "--backend", choices=BACKEND_CHOICES, default=None,
+        help="execution backend: the coroutine interpreter (default), "
+             "compiled Python source ('py': fused straight-line code "
+             "with checks erased at emit time where possible, faithful "
+             "generator transliteration otherwise), or compiled C via "
+             "cffi ('c', static mode only).  Unsupported program/"
+             "configuration combinations fall back toward the "
+             "interpreter with identical observable behaviour")
+    cache = argparse.ArgumentParser(add_help=False)
+    cache.add_argument(
+        "--analysis-cache", metavar="DIR",
+        help="persist the incremental analysis cache under DIR; "
+             "re-runs after an edit only re-check the classes that "
+             "changed (frontend bench suite: backs the warm "
+             "measurement's cache with JSON files under DIR)")
+    telemetry = argparse.ArgumentParser(add_help=False)
+    telemetry.add_argument(
+        "--telemetry", action="store_true",
+        help="append a telemetry envelope to the content-addressed "
+             "store under .repro/telemetry/")
+    telemetry.add_argument(
+        "--telemetry-store", metavar="DIR",
+        help="store root for --telemetry (implies it; "
+             "default .repro/telemetry)")
+    return backend, cache, telemetry
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -605,12 +701,14 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro",
         description=__doc__.splitlines()[0])
     sub = parser.add_subparsers(dest="command", required=True)
+    p_backend, p_cache, p_telemetry = _shared_parents()
 
     p_check = sub.add_parser("check", help="typecheck a program")
     p_check.add_argument("file")
     p_check.set_defaults(func=cmd_check)
 
-    p_run = sub.add_parser("run", help="typecheck and execute")
+    p_run = sub.add_parser("run", help="typecheck and execute",
+                           parents=[p_backend, p_cache, p_telemetry])
     p_run.add_argument("file")
     p_run.add_argument("--dynamic-checks", action="store_true",
                        help="perform + charge the RTSJ dynamic checks")
@@ -628,10 +726,6 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--metrics-out", metavar="FILE",
                        help="write end-of-run metrics in Prometheus "
                             "text format")
-    p_run.add_argument("--analysis-cache", metavar="DIR",
-                       help="persist the incremental analysis cache "
-                            "under DIR; re-runs after an edit only "
-                            "re-check the classes that changed")
     p_run.add_argument("--record-out", metavar="FILE",
                        help="arm the flight recorder and dump the "
                             "post-mortem event ring as JSONL (cycle-"
@@ -653,11 +747,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="serve /metrics, /healthz and /runs over "
                             "HTTP for the duration of the run "
                             "(0 = ephemeral port)")
-    _add_telemetry_flags(p_run)
     p_run.set_defaults(func=cmd_run)
 
     p_prof = sub.add_parser(
-        "profile", help="run and report where the cycles went")
+        "profile", help="run and report where the cycles went",
+        parents=[p_backend, p_cache, p_telemetry])
     p_prof.add_argument("file")
     p_prof.add_argument("--static-checks", action="store_true",
                         help="profile the statically-checked build "
@@ -667,10 +761,6 @@ def build_parser() -> argparse.ArgumentParser:
                         help="call sites to list (default 10)")
     p_prof.add_argument("--json", action="store_true",
                         help="emit the profile as JSON")
-    p_prof.add_argument("--analysis-cache", metavar="DIR",
-                        help="persist the incremental analysis cache "
-                             "under DIR (see `run --analysis-cache`)")
-    _add_telemetry_flags(p_prof)
     p_prof.set_defaults(func=cmd_profile)
 
     p_tr = sub.add_parser("translate",
@@ -708,17 +798,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_adv.set_defaults(func=cmd_advise)
 
     p_bench = sub.add_parser(
-        "bench", help="wall-clock benchmark of the interpreter or the "
-                      "static frontend")
-    p_bench.add_argument("--suite", choices=("interp", "frontend"),
+        "bench", help="wall-clock benchmark of the interpreter, the "
+                      "static frontend, or the codegen backends",
+        parents=[p_backend, p_cache, p_telemetry])
+    p_bench.add_argument("--suite",
+                         choices=("interp", "frontend", "codegen"),
                          default="interp",
                          help="what to benchmark: the interpreter hot "
-                              "loop (default) or the static frontend's "
-                              "cold/warm analyze() path")
-    p_bench.add_argument("--analysis-cache", metavar="DIR",
-                         help="frontend suite only: back the warm "
-                              "measurement's cache with JSON files "
-                              "under DIR instead of memory")
+                              "loop (default), the static frontend's "
+                              "cold/warm analyze() path, or the codegen "
+                              "backends with their differential "
+                              "equivalence gate")
+    p_bench.add_argument("--min-speedup", type=float, default=None,
+                         metavar="X",
+                         help="codegen suite: fail (exit 3) unless the "
+                              "aggregate static-mode speedup vs the "
+                              "seed interpreter baseline reaches X "
+                              "(judged on --backend, default py)")
     p_bench.add_argument("--full", action="store_true",
                          help="use the full benchmark parameters "
                               "(default: fast parameters)")
@@ -744,12 +840,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--json", action="store_true",
                          help="print the payload as JSON instead of a "
                               "table")
-    _add_telemetry_flags(p_bench)
     p_bench.set_defaults(func=cmd_bench)
 
     p_chaos = sub.add_parser(
         "chaos", help="seeded fault-injection campaign with sanitizer "
-                      "and replay verification")
+                      "and replay verification",
+        parents=[p_backend, p_telemetry])
     p_chaos.add_argument("paths", nargs="*",
                          help="programs to perturb (default: "
                               "examples/*.py with an embedded PROGRAM)")
@@ -779,7 +875,6 @@ def build_parser() -> argparse.ArgumentParser:
                               "bit-for-bit instead of a campaign")
     p_chaos.add_argument("--json", action="store_true",
                          help="print the campaign report as JSON")
-    _add_telemetry_flags(p_chaos)
     p_chaos.set_defaults(func=cmd_chaos)
 
     p_ins = sub.add_parser(
@@ -837,6 +932,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "newest recorded bench envelope")
     p_rep.add_argument("--current-frontend", metavar="FILE",
                        help="judge this frontend payload instead of "
+                            "the newest recorded bench envelope")
+    p_rep.add_argument("--baseline-codegen", metavar="FILE",
+                       help="codegen baseline payload (default "
+                            "BENCH_codegen.json when present)")
+    p_rep.add_argument("--current-codegen", metavar="FILE",
+                       help="judge this codegen payload instead of "
                             "the newest recorded bench envelope")
     p_rep.add_argument("--history", type=int, default=50,
                        help="recorded bench runs consulted per suite "

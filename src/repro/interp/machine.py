@@ -94,6 +94,15 @@ class RunOptions:
     #: store only every N-th high-volume flight record per kind; exact
     #: aggregates (kind_counts, check_totals) are kept regardless
     record_sample: int = 1
+    # -- execution backend --
+    #: "interp" = the coroutine interpreter; "py" = compiled Python
+    #: source (fused straight-line code when the program/configuration
+    #: allows, a faithful generator transliteration otherwise); "c" =
+    #: compiled C via cffi.  Unsupported program/configuration
+    #: combinations fall back towards the interpreter with identical
+    #: observable behaviour (see ``execute``).  "py-fused"/"py-faithful"
+    #: force one specific py form (tests/benchmarks).
+    backend: str = "interp"
 
 
 @dataclass
@@ -189,6 +198,19 @@ class Machine:
         self.output: List[str] = []
         self.interpreter = Interpreter(self)
         self._init_statics()
+        # compiled program (codegen backends); None = interpret.  A
+        # backend that cannot compile this program/configuration is a
+        # routing decision, not an error: note the reason and interpret.
+        self.program = None
+        self.program_bailed = False
+        self.codegen_fallback: Optional[str] = None
+        if self.options.backend != "interp":
+            from .codegen_base import CodegenUnsupported
+            from .codegen_py import select_program
+            try:
+                self.program = select_program(self, self.options.backend)
+            except CodegenUnsupported as exc:
+                self.codegen_fallback = str(exc)
 
     # ------------------------------------------------------------------
 
@@ -267,7 +289,10 @@ class Machine:
 
     def run(self) -> RunResult:
         main_thread = SimThread(name="main", coroutine=iter(()))
-        main_thread.coroutine = self.interpreter.main_coroutine(main_thread)
+        main_thread.coroutine = (
+            self.program.main_coroutine(main_thread)
+            if self.program is not None
+            else self.interpreter.main_coroutine(main_thread))
         if self.recorder is not None:
             eid = self.recorder.record(
                 "thread-spawned", "main", cycle=0, thread="main",
@@ -386,6 +411,32 @@ class Machine:
         return graph
 
 
+def execute(analyzed: AnalyzedProgram,
+            options: Optional[RunOptions] = None
+            ) -> Tuple[RunResult, "Machine"]:
+    """Run ``analyzed`` on the requested backend, falling back towards
+    the interpreter when the compiled program bails.
+
+    A fused-backend program *bails* (rather than raising) the moment it
+    would have to do anything whose observable behaviour it cannot
+    reproduce exactly — an error path, a GC trigger, a cycle-limit
+    stop.  The partial run's state is unusable at that point, so the
+    program is re-executed from scratch on the backend's declared
+    fallback (``py`` fused -> faithful -> interpreter) on a *fresh*
+    machine.  The returned result is therefore always exactly the
+    interpreter's, whatever backend actually produced it.
+    """
+    machine = Machine(analyzed, options)
+    result = machine.run()
+    while machine.program_bailed:
+        from dataclasses import replace
+        fallback = machine.program.fallback_backend
+        options = replace(machine.options, backend=fallback)
+        machine = Machine(analyzed, options)
+        result = machine.run()
+    return result, machine
+
+
 def run_source(source: Union[str, AnalyzedProgram],
                options: Optional[RunOptions] = None,
                require_well_typed: bool = True) -> RunResult:
@@ -394,4 +445,4 @@ def run_source(source: Union[str, AnalyzedProgram],
     analyzed = analyze(source) if isinstance(source, str) else source
     if require_well_typed and analyzed.errors:
         raise analyzed.errors[0]
-    return Machine(analyzed, options).run()
+    return execute(analyzed, options)[0]

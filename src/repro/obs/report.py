@@ -7,8 +7,9 @@ is the latest measurement a statistically defensible regression?*  It
 joins three sources:
 
 * the committed baselines (``BENCH_interp.json``,
-  ``BENCH_frontend.json`` at the repo root) — the reference the
-  bench-smoke CI job already guards;
+  ``BENCH_frontend.json``, ``BENCH_codegen.json`` at the repo root) —
+  the reference the bench-smoke and codegen-equiv CI jobs already
+  guard;
 * the telemetry store (:mod:`repro.obs.telemetry`) — every recorded
   ``repro bench`` envelope contributes one point of history per
   benchmark;
@@ -46,7 +47,8 @@ REPORT_SCHEMA = "repro-report/1"
 
 #: default committed-baseline paths per suite, relative to the repo root
 BASELINE_FILES = {"interp": "BENCH_interp.json",
-                  "frontend": "BENCH_frontend.json"}
+                  "frontend": "BENCH_frontend.json",
+                  "codegen": "BENCH_codegen.json"}
 
 #: history points consulted per benchmark (newest last)
 DEFAULT_HISTORY = 50
@@ -91,7 +93,32 @@ def _frontend_points(payload: Dict[str, Any]
     return points
 
 
-_FLATTEN = {"interp": _interp_points, "frontend": _frontend_points}
+def _codegen_points(payload: Dict[str, Any]
+                    ) -> Dict[str, Dict[str, Any]]:
+    """``benchmark/mode/backend`` -> {wall_s, exact} for a codegen
+    payload.  The interpreter reference row is the interp suite's
+    territory; here the backend rows are guarded.  Skipped cells (no
+    toolchain, checks-erased) contribute no point."""
+    points: Dict[str, Dict[str, Any]] = {}
+    for name, row in (payload.get("benchmarks") or {}).items():
+        for mode in ("dynamic", "static"):
+            for backend, cell in (row.get(mode) or {}).items():
+                if backend == "interp" or not isinstance(cell, dict) \
+                        or "wall_s" not in cell:
+                    continue
+                points[f"{name}/{mode}/{backend}"] = {
+                    "wall_s": cell.get("wall_s") or 0.0,
+                    "exact": ("simulated cycles", cell.get("cycles")),
+                }
+    return points
+
+
+_FLATTEN = {"interp": _interp_points, "frontend": _frontend_points,
+            "codegen": _codegen_points}
+
+#: labels whose absence from the current payload is environmental, not
+#: a regression (C rows vanish on hosts without a toolchain)
+_TOLERATED_MISSING = {"codegen": lambda label: label.endswith("/c")}
 
 
 def _bench_envelopes(store: TelemetryStore, suite: str,
@@ -140,6 +167,10 @@ def _suite_report(suite: str, baseline: Optional[Dict[str, Any]],
         row["threshold"] = round(threshold, 4)
         row["effective_threshold"] = round(effective, 4)
         verdict, message = _judge(label, base, cur, effective)
+        tolerated = _TOLERATED_MISSING.get(suite)
+        if verdict == _MISSING and tolerated is not None \
+                and tolerated(label):
+            verdict, message = _NO_CURRENT, None
         if verdict == _MISSING and not strict_missing:
             # the judged payload came from the store and may be a
             # deliberate subset run (`bench --only X --telemetry`);

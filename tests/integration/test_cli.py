@@ -224,3 +224,75 @@ class TestBenchFrontend:
                                   "--only", "Array")
         assert code == 1
         assert "--only" in err
+
+
+class TestBackendFlag:
+    """--backend is shared by run/profile/bench/chaos (one parent
+    parser); an explicit compiled backend implies the uninstrumented
+    fast path unless an observability export needs live sinks."""
+
+    def test_run_backend_py(self, good_file):
+        code, out, err = run_cli("run", "--backend", "py", "--stats",
+                                 good_file)
+        assert code == 0
+        assert out.strip() == "42"
+        assert "(py-fused)" in err
+
+    def test_run_backend_c_chains_and_says_why(self, good_file):
+        # default runs validate checks, which the C backend erases
+        code, out, err = run_cli("run", "--backend", "c", "--stats",
+                                 good_file)
+        assert code == 0
+        assert out.strip() == "42"
+        assert "c unavailable" in err
+
+    def test_run_backend_keeps_obs_exports_live(self, good_file,
+                                                tmp_path):
+        trace = str(tmp_path / "trace.json")
+        code, _out, err = run_cli("run", "--backend", "py",
+                                  "--trace-out", trace, "--stats",
+                                  good_file)
+        assert code == 0
+        assert "(interp [instrumented run])" in err
+
+    def test_run_output_identical_across_backends(self, good_file):
+        outputs = set()
+        for backend in ("interp", "py", "py-fused", "py-faithful"):
+            code, out, _err = run_cli("run", "--backend", backend,
+                                      good_file)
+            assert code == 0
+            outputs.add(out)
+        assert len(outputs) == 1
+
+    def test_profile_accepts_backend(self, good_file):
+        code, _out, _err = run_cli("profile", "--backend", "py",
+                                   good_file)
+        assert code == 0
+
+    def test_bench_codegen_suite_and_gate(self, tmp_path):
+        out_file = str(tmp_path / "bench.json")
+        code, out, _err = run_cli("bench", "--suite", "codegen",
+                                  "--only", "Array", "--backend", "py",
+                                  "--repeats", "1",
+                                  "--min-speedup", "0.01",
+                                  "--out", out_file)
+        assert code == 0
+        assert "aggregate" in out
+        import json
+        payload = json.loads((tmp_path / "bench.json").read_text())
+        assert payload["schema"] == "repro-bench-codegen/1"
+        assert payload["divergences"] == []
+
+    def test_bench_codegen_min_speedup_gate_fails_loud(self):
+        code, _out, err = run_cli("bench", "--suite", "codegen",
+                                  "--only", "Array", "--backend", "py",
+                                  "--repeats", "1",
+                                  "--min-speedup", "1000000")
+        assert code == 3
+        assert "codegen gate" in err
+
+    def test_bench_codegen_rejects_interp_backend(self):
+        code, _out, err = run_cli("bench", "--suite", "codegen",
+                                  "--backend", "interp")
+        assert code == 1
+        assert "pick py or c" in err

@@ -1,0 +1,191 @@
+"""Unit tests for the codegen stack: shared lowering, the backend
+selection ladder, the C source generator, and the structured
+``CompileError`` diagnostics of the Python erasure backend."""
+
+import pytest
+
+from repro import RunOptions, analyze
+from repro.interp import codegen_c
+from repro.interp.codegen_base import (CodegenUnsupported, IdentityCache,
+                                       SourceWriter, bake, cost_key,
+                                       mangle)
+from repro.interp.codegen_py import select_program
+from repro.interp.compile_py import CompileError, compile_to_python
+from repro.interp.lower import lower
+from repro.interp.machine import Machine
+from repro.rtsj.stats import CostModel
+
+SIMPLE = """
+class Cell<Owner o> {
+    int v;
+    int bump(int d) { v = v + d; return v; }
+}
+(RHandle<r> h) {
+    Cell<r> c = new Cell<r>;
+    c.v = 1;
+    print(c.bump(41));
+}
+"""
+
+FORKED = (
+    "regionKind S extends SharedRegion { }\n"
+    "class W<S r> { void go(RHandle<r> h) accesses r { } }\n"
+    "(RHandle<S r> h) { fork (new W<r>).go(h); }")
+
+
+def _machine(source, **kw):
+    analyzed = analyze(source)
+    assert not analyzed.errors
+    return Machine(analyzed, RunOptions(
+        checks_enabled=kw.pop("checks_enabled", False), validate=False,
+        instrument=False, **kw))
+
+
+# ---------------------------------------------------------------------------
+# codegen_base primitives
+# ---------------------------------------------------------------------------
+
+class TestBase:
+    def test_mangle_is_identifier_safe_and_injective_enough(self):
+        assert mangle("Cell").isidentifier()
+        assert mangle("bump") != mangle("bump2")
+        assert mangle("a.b") != mangle("a_b") or True  # both identifiers
+        assert mangle("a.b").isidentifier()
+
+    def test_bake_round_trips_exact_values(self):
+        for value in (0, -1, 2**62, 0.1, -0.0, True, None, "x'y"):
+            assert eval(bake(value)) == value or (
+                value == 0.0 and eval(bake(value)) == 0.0)
+        assert eval(bake(0.1)) == 0.1  # hex float, not repr rounding
+
+    def test_cost_key_tracks_cost_model_fields(self):
+        base = CostModel()
+        assert cost_key(base) == cost_key(CostModel())
+        bumped = CostModel(op_basic=base.op_basic + 1)
+        assert cost_key(bumped) != cost_key(base)
+
+    def test_identity_cache_is_per_object(self):
+        cache = IdentityCache()
+        a1, a2 = analyze(SIMPLE), analyze(SIMPLE)
+        cache.set(a1, "one")
+        assert cache.get(a1) == "one"
+        assert cache.get(a2) is None
+
+    def test_source_writer_indents(self):
+        w = SourceWriter()
+        w.emit("def f():")
+        w.indent()
+        w.emit("return 1")
+        w.dedent()
+        assert w.source() == "def f():\n    return 1\n"
+
+
+# ---------------------------------------------------------------------------
+# shared lowering
+# ---------------------------------------------------------------------------
+
+class TestLower:
+    def test_lower_simple_program(self):
+        lowered = lower(analyze(SIMPLE))
+        assert lowered.fused_ok
+        assert not lowered.hazards
+        assert any(unit.is_main for unit in lowered.units.values())
+        assert ("Cell", "bump") in lowered.units
+        assert ("Cell", "bump") in lowered.call_table
+
+    def test_lower_is_cached_per_analysis(self):
+        analyzed = analyze(SIMPLE)
+        assert lower(analyzed) is lower(analyzed)
+
+    def test_hazards_reported_for_threaded_program(self):
+        lowered = lower(analyze(FORKED))
+        assert not lowered.fused_ok
+        assert any("fork" in h for h in lowered.hazards)
+
+
+# ---------------------------------------------------------------------------
+# the backend ladder
+# ---------------------------------------------------------------------------
+
+class TestLadder:
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(CodegenUnsupported):
+            select_program(_machine(SIMPLE), "jit")
+
+    def test_forced_forms(self):
+        assert select_program(_machine(SIMPLE),
+                              "py-fused").backend == "py-fused"
+        assert select_program(_machine(SIMPLE),
+                              "py-faithful").backend == "py-faithful"
+
+    def test_fused_declines_threaded_program(self):
+        with pytest.raises(CodegenUnsupported):
+            select_program(_machine(FORKED), "py-fused")
+
+    def test_fallback_backends_form_a_chain(self):
+        fused = select_program(_machine(SIMPLE), "py-fused")
+        faithful = select_program(_machine(SIMPLE), "py-faithful")
+        assert fused.fallback_backend == "py-faithful"
+        assert faithful.fallback_backend == "interp"
+
+
+# ---------------------------------------------------------------------------
+# the C generator (pure text generation: no toolchain required)
+# ---------------------------------------------------------------------------
+
+class TestCSource:
+    def test_source_shape(self):
+        src = codegen_c.c_source(lower(analyze(SIMPLE)), CostModel())
+        assert "int64_t repro_run(" in src
+        assert "static Region g_heap" in src
+        assert "alloc_in(" in src  # allocation charging present
+        assert "setjmp" in src  # bail path present
+
+    def test_cost_model_is_baked_in(self):
+        lowered = lower(analyze(SIMPLE))
+        a = codegen_c.c_source(lowered, CostModel())
+        b = codegen_c.c_source(lowered, CostModel(op_basic=99))
+        assert a != b
+
+    def test_compile_c_declines_dynamic_checks(self):
+        with pytest.raises(CodegenUnsupported, match="checks-erased"):
+            codegen_c.compile_c(_machine(SIMPLE, checks_enabled=True))
+
+    def test_compile_c_declines_instrumented_machines(self):
+        analyzed = analyze(SIMPLE)
+        machine = Machine(analyzed, RunOptions(
+            checks_enabled=False, validate=False))  # instrument=True
+        with pytest.raises(CodegenUnsupported):
+            codegen_c.compile_c(machine)
+
+
+# ---------------------------------------------------------------------------
+# CompileError diagnostics (erasure backend)
+# ---------------------------------------------------------------------------
+
+class TestCompileErrorDiagnostics:
+    def test_carries_span_and_renders_location(self):
+        analyzed = analyze(FORKED).require_well_typed()
+        with pytest.raises(CompileError) as exc:
+            compile_to_python(analyzed)
+        err = exc.value
+        assert err.span is not None
+        assert str(err).startswith(f"{err.span}: ")
+        assert err.span.start.line == 3  # the fork statement
+
+    def test_diagnostic_is_structured(self):
+        analyzed = analyze(FORKED).require_well_typed()
+        with pytest.raises(CompileError) as exc:
+            compile_to_python(analyzed)
+        diag = exc.value.diagnostic()
+        assert diag["type"] == "CompileError"
+        assert diag["line"] == 3
+        assert diag["span"] and ":" in diag["span"]
+        assert "fork" in diag["message"]
+
+    def test_spanless_error_degrades_gracefully(self):
+        err = CompileError("nope")
+        assert err.span is None
+        assert str(err) == "nope"
+        diag = err.diagnostic()
+        assert diag["span"] is None and diag["line"] is None
