@@ -1,0 +1,394 @@
+"""The serve load suite: ``repro bench --suite serve``.
+
+Drives a real in-process :class:`~repro.serve.server.ServeService`
+(workers forked, HTTP sockets, the whole admission path) with
+closed-loop clients over the three traffic shapes the service is built
+for, and gates the results:
+
+* **cold** — first sight of each program in the mix: full frontend +
+  machine execution through the pool.  Every served result must be
+  **byte-identical** (cycles + output sha) to an in-process CLI
+  execution of the same program — the determinism contract extends
+  across the wire;
+* **coalesce** — N concurrent requests for one never-seen program.
+  The coalescing layer must collapse them to exactly one analysis
+  (asserted from the service's own ``/metrics``);
+* **warm** — closed-loop clients (persistent HTTP/1.1 connections,
+  ``TCP_NODELAY``) round-robining the now-hot mix for a fixed window.
+  The committed gate demands sustained throughput at or above
+  ``warm_min_req_s`` (1000 req/s — the ROADMAP's "thousands of req/s
+  on warm cache") with p99 latency bounded by the recorded threshold.
+
+``compare()`` re-judges a fresh payload against the committed
+``BENCH_serve.json``: any divergence or parity drift is a determinism
+break (hard failure), the throughput/latency gate comes from the
+*baseline*'s recorded bounds, and wall-style numbers use the shared
+threshold machinery.  Like the codegen suite, the payload's own
+``divergences`` list makes ``repro bench`` exit 3 even without
+``--compare``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import http.client
+import json
+import platform
+import socket
+import tempfile
+import threading
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+from .compare import (check_exact, check_missing, collect, load_payload,
+                      save_payload)
+
+__all__ = ["SCHEMA", "measure", "compare", "format_table",
+           "check_gate", "load_payload", "save_payload"]
+
+SCHEMA = "repro-bench-serve/1"
+
+#: the ROADMAP floor: sustained warm-cache throughput, req/s
+WARM_MIN_REQ_S = 1000.0
+
+#: default benchmark mix: small fast registry programs (cold cost in
+#: the low ms), diverse enough to keep the hot tier honest
+DEFAULT_MIX = ("Array", "Tree", "game", "phone")
+
+#: the coalesce probe program must be *unseen*, so it is derived from a
+#: registry program by appending a comment (changes the content
+#: address, not the semantics)
+COALESCE_BASE = "Water"
+COALESCE_CLIENTS = 8
+
+
+class _Client:
+    """One persistent keep-alive connection with Nagle disabled."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.conn = http.client.HTTPConnection(host, port, timeout=30)
+        self.conn.connect()
+        self.conn.sock.setsockopt(socket.IPPROTO_TCP,
+                                  socket.TCP_NODELAY, 1)
+
+    def post(self, endpoint: str, payload: Dict[str, Any]):
+        body = json.dumps(payload)
+        self.conn.request("POST", f"/v1/{endpoint}", body=body,
+                          headers={"Content-Type": "application/json"})
+        resp = self.conn.getresponse()
+        data = resp.read()
+        return resp.status, json.loads(data)
+
+    def get_text(self, path: str) -> str:
+        self.conn.request("GET", path)
+        resp = self.conn.getresponse()
+        return resp.read().decode("utf-8")
+
+    def close(self) -> None:
+        self.conn.close()
+
+
+def _reference_results(sources: Dict[str, str]) -> Dict[str, Dict[str, Any]]:
+    """CLI-equivalent execution: the byte-identity reference."""
+    from ..core.api import analyze
+    from ..interp.machine import RunOptions, execute
+    out: Dict[str, Dict[str, Any]] = {}
+    for name, source in sources.items():
+        analyzed = analyze(source)
+        assert not analyzed.errors, f"{name} failed analysis"
+        result, machine = execute(analyzed, RunOptions(
+            checks_enabled=False, validate=False, instrument=False,
+            backend="py"))
+        out[name] = {
+            "cycles": result.stats.cycles,
+            "output_sha256": hashlib.sha256(
+                "\n".join(result.output).encode()).hexdigest(),
+            "backend_used": (machine.program.backend
+                             if machine.program is not None
+                             else "interp"),
+        }
+    return out
+
+
+def _metric_value(text: str, name: str) -> float:
+    """Sum of all samples of one metric family in exposition text."""
+    total = 0.0
+    for line in text.splitlines():
+        if line.startswith(name) and not line.startswith("#"):
+            head = line.split(" ")
+            if head[0] == name or head[0].startswith(name + "{"):
+                total += float(head[-1])
+    return total
+
+
+def _percentile(sorted_values: Sequence[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    idx = min(len(sorted_values) - 1,
+              max(0, int(q * len(sorted_values) + 0.5) - 1))
+    return sorted_values[idx]
+
+
+def measure(names: Optional[Sequence[str]] = None, fast: bool = True,
+            workers: int = 2, clients: int = 4,
+            warm_seconds: Optional[float] = None,
+            queue_depth: int = 64) -> Dict[str, Any]:
+    from ..bench.suite import BENCHMARKS
+    from ..serve import ServeConfig, ServeService
+
+    mix = list(names) if names else list(DEFAULT_MIX)
+    if warm_seconds is None:
+        warm_seconds = 2.0 if fast else 5.0
+    sources = {name: BENCHMARKS[name].source(fast=fast)
+               for name in mix}
+    reference = _reference_results(sources)
+    divergences: List[str] = []
+
+    with tempfile.TemporaryDirectory(prefix="repro-serve-bench-") as tmp:
+        config = ServeConfig(workers=workers, cache_dir=tmp,
+                             queue_depth=queue_depth)
+        with ServeService(config).serve_background() as service:
+            host, port = service.host, service.port
+
+            # -- phase 1: cold + byte-identity parity ------------------
+            programs: Dict[str, Dict[str, Any]] = {}
+            client = _Client(host, port)
+            for name in mix:
+                t0 = time.perf_counter()
+                status, body = client.post("run", {
+                    "program": sources[name], "mode": "static",
+                    "backend": "py"})
+                cold_s = time.perf_counter() - t0
+                ref = reference[name]
+                row = {"cold_ms": round(cold_s * 1e3, 3),
+                       "cycles": body.get("cycles"),
+                       "output_sha256": body.get("output_sha256"),
+                       "served_backend": body.get("backend_used")}
+                programs[name] = row
+                if status != 200:
+                    divergences.append(
+                        f"{name}: served status {status}: "
+                        f"{body.get('error')}")
+                    continue
+                for quantity in ("cycles", "output_sha256"):
+                    if body.get(quantity) != ref[quantity]:
+                        divergences.append(
+                            f"{name}: served {quantity} "
+                            f"{body.get(quantity)} != CLI "
+                            f"{ref[quantity]} (determinism break)")
+
+            # -- phase 2: coalescing -----------------------------------
+            probe = (BENCHMARKS[COALESCE_BASE].source(fast=fast)
+                     + "\n// serve-bench coalesce probe\n")
+            before = client.get_text("/metrics")
+            barrier = threading.Barrier(COALESCE_CLIENTS)
+            statuses: List[int] = []
+            lock = threading.Lock()
+
+            def fire():
+                c = _Client(host, port)
+                try:
+                    barrier.wait(timeout=10)
+                    status, _body = c.post("run", {
+                        "program": probe, "mode": "static",
+                        "backend": "py"})
+                    with lock:
+                        statuses.append(status)
+                finally:
+                    c.close()
+
+            threads = [threading.Thread(target=fire)
+                       for _ in range(COALESCE_CLIENTS)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=60)
+            after = client.get_text("/metrics")
+            d_analyses = (_metric_value(after,
+                                        "repro_serve_analyses_total")
+                          - _metric_value(before,
+                                          "repro_serve_analyses_total"))
+            d_coalesced = (_metric_value(after,
+                                         "repro_serve_coalesced_total")
+                           - _metric_value(
+                               before, "repro_serve_coalesced_total"))
+            coalesce = {"requests": COALESCE_CLIENTS,
+                        "ok": sum(1 for s in statuses if s == 200),
+                        "analyses": int(d_analyses),
+                        "coalesced": int(d_coalesced)}
+            if coalesce["ok"] != COALESCE_CLIENTS:
+                divergences.append(
+                    f"coalesce: {coalesce['ok']}/{COALESCE_CLIENTS} "
+                    f"requests succeeded")
+            if d_analyses != 1:
+                divergences.append(
+                    f"coalesce: {int(d_analyses)} analyses for "
+                    f"{COALESCE_CLIENTS} identical concurrent requests "
+                    f"(want exactly 1)")
+
+            # -- phase 3: warm closed loop -----------------------------
+            latencies: List[List[float]] = [[] for _ in range(clients)]
+            errors = [0] * clients
+            stop_at = time.perf_counter() + warm_seconds
+
+            def closed_loop(idx: int) -> None:
+                c = _Client(host, port)
+                payloads = [json.dumps({"program": sources[n],
+                                        "mode": "static",
+                                        "backend": "py"})
+                            for n in mix]
+                try:
+                    i = idx  # desynchronize the round-robin phase
+                    while time.perf_counter() < stop_at:
+                        body = payloads[i % len(payloads)]
+                        i += 1
+                        t0 = time.perf_counter()
+                        c.conn.request(
+                            "POST", "/v1/run", body=body,
+                            headers={"Content-Type":
+                                     "application/json"})
+                        resp = c.conn.getresponse()
+                        resp.read()
+                        latencies[idx].append(
+                            time.perf_counter() - t0)
+                        if resp.status != 200:
+                            errors[idx] += 1
+                finally:
+                    c.close()
+
+            warm_threads = [threading.Thread(target=closed_loop,
+                                             args=(i,))
+                            for i in range(clients)]
+            t_start = time.perf_counter()
+            for t in warm_threads:
+                t.start()
+            for t in warm_threads:
+                t.join(timeout=warm_seconds + 60)
+            elapsed = time.perf_counter() - t_start
+            flat = sorted(x for per in latencies for x in per)
+            total = len(flat)
+            warm = {
+                "requests": total,
+                "errors": sum(errors),
+                "duration_s": round(elapsed, 4),
+                "req_s": round(total / elapsed, 1) if elapsed else 0.0,
+                "p50_s": round(_percentile(flat, 0.50), 6),
+                "p95_s": round(_percentile(flat, 0.95), 6),
+                "p99_s": round(_percentile(flat, 0.99), 6),
+            }
+            if warm["errors"]:
+                divergences.append(
+                    f"warm: {warm['errors']} non-200 responses")
+
+            hits = _metric_value(client.get_text("/metrics"),
+                                 "repro_serve_result_cache_hits_total")
+            client.close()
+
+    payload: Dict[str, Any] = {
+        "schema": SCHEMA,
+        "python": platform.python_version(),
+        "fast": fast,
+        "workers": workers,
+        "clients": clients,
+        "mix": mix,
+        "programs": programs,
+        "coalesce": coalesce,
+        "warm": warm,
+        "result_cache_hits": int(hits),
+        "gate": {
+            "warm_min_req_s": WARM_MIN_REQ_S,
+            # committed bound: 3x the measured p99, floored at 50 ms,
+            # so host jitter does not flap the gate while a real tail
+            # regression (an order of magnitude) still fails it
+            "p99_max_s": round(max(0.05,
+                                   warm["p99_s"] * 3.0), 4),
+        },
+        "divergences": divergences,
+    }
+    return payload
+
+
+def check_gate(payload: Dict[str, Any],
+               gate: Optional[Dict[str, Any]] = None) -> List[str]:
+    """Judge ``payload`` against a gate block (its own by default)."""
+    gate = gate or payload.get("gate") or {}
+    warm = payload.get("warm") or {}
+    failures: List[str] = []
+    floor = gate.get("warm_min_req_s")
+    if floor and warm.get("req_s", 0.0) < floor:
+        failures.append(
+            f"warm throughput {warm.get('req_s')} req/s is below the "
+            f"{floor} req/s floor")
+    ceiling = gate.get("p99_max_s")
+    if ceiling and warm.get("p99_s", 0.0) > ceiling:
+        failures.append(
+            f"warm p99 {warm.get('p99_s')}s exceeds the recorded "
+            f"{ceiling}s bound")
+    return failures
+
+
+def compare(current: Dict[str, Any], baseline: Dict[str, Any],
+            threshold: float = 0.30) -> List[str]:
+    """Regression check against the committed payload.
+
+    * recorded divergences in the current payload → hard failure;
+    * per-program served cycles / output sha drift vs the baseline →
+      determinism break;
+    * the *baseline's* gate bounds (throughput floor, p99 ceiling)
+      applied to the current warm numbers.
+    """
+    del threshold  # latency is judged by the recorded gate bounds
+    failures: List[str] = list(current.get("divergences") or [])
+    base_programs = baseline.get("programs", {})
+    cur_programs = current.get("programs", {})
+    for name, base_row in base_programs.items():
+        cur_row = cur_programs.get(name)
+        if cur_row is None:
+            failures.append(check_missing(name))
+            continue
+        collect(failures, check_exact(
+            name, "served simulated cycles",
+            base_row.get("cycles"), cur_row.get("cycles")))
+        collect(failures, check_exact(
+            name, "served output sha",
+            base_row.get("output_sha256"),
+            cur_row.get("output_sha256")))
+    base_coalesce = baseline.get("coalesce") or {}
+    cur_coalesce = current.get("coalesce") or {}
+    collect(failures, check_exact(
+        "coalesce", "analyses per identical burst",
+        base_coalesce.get("analyses"), cur_coalesce.get("analyses")))
+    failures.extend(check_gate(current, baseline.get("gate")))
+    return failures
+
+
+def format_table(payload: Dict[str, Any],
+                 baseline: Optional[Dict[str, Any]] = None) -> str:
+    del baseline  # judgments live in compare(); the table is absolute
+    lines = [f"{'program':<10} {'cold ms':>9} {'backend':<12} "
+             f"{'cycles':>10}  parity"]
+    for name, row in sorted((payload.get("programs") or {}).items()):
+        lines.append(
+            f"{name:<10} {row.get('cold_ms', 0):>9.3f} "
+            f"{row.get('served_backend') or '-':<12} "
+            f"{row.get('cycles') or 0:>10}  served==cli")
+    coalesce = payload.get("coalesce") or {}
+    lines.append(
+        f"coalesce   {coalesce.get('requests', 0)} identical requests "
+        f"-> {coalesce.get('analyses', 0)} analysis "
+        f"({coalesce.get('coalesced', 0)} coalesced)")
+    warm = payload.get("warm") or {}
+    lines.append(
+        f"warm       {warm.get('req_s', 0):>9} req/s over "
+        f"{warm.get('duration_s', 0)}s "
+        f"(p50 {warm.get('p50_s', 0) * 1e3:.2f}ms, "
+        f"p95 {warm.get('p95_s', 0) * 1e3:.2f}ms, "
+        f"p99 {warm.get('p99_s', 0) * 1e3:.2f}ms, "
+        f"{warm.get('errors', 0)} errors)")
+    gate = payload.get("gate") or {}
+    lines.append(
+        f"gate       >= {gate.get('warm_min_req_s', 0)} req/s warm, "
+        f"p99 <= {gate.get('p99_max_s', 0)}s")
+    for failure in payload.get("divergences") or []:
+        lines.append(f"DIVERGENCE {failure}")
+    return "\n".join(lines)

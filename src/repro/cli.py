@@ -18,8 +18,17 @@ Commands
                check-elimination ledger (Figure 12)
 ``metricsd``   serve the telemetry store over HTTP: ``/metrics``
                (Prometheus text), ``/healthz``, ``/runs``
+``serve``      analysis-as-a-service: POST programs to
+               ``/v1/analyze``, ``/v1/run``, ``/v1/inspect`` on a
+               pre-forked pool of warm workers (coalescing, batching,
+               admission control, per-tenant quotas, deadlines)
 ``report``     cross-run regression observatory: judge the recorded
                bench history against the committed baselines
+
+Long-lived daemons (``serve``, ``metricsd``, ``run --serve-metrics``)
+print a machine-readable ready line naming the actually-bound
+host/port *after* the listening socket exists — with ``--port 0`` a
+script parses that line and connects immediately, no polling.
 
 Continuous telemetry: ``run``/``profile``/``bench``/``chaos`` accept
 ``--telemetry`` to append a versioned envelope (stats summary, metric
@@ -193,6 +202,11 @@ def cmd_run(args) -> int:
         server = TelemetryServer(store=store, registry=metrics,
                                  port=args.serve_metrics)
         server.serve_background()
+        # bound + listening before this prints: the line is the ready
+        # signal (stderr so it never mixes with program output), and
+        # the only place an ephemeral --serve-metrics 0 port appears
+        print(f"REPRO-METRICS-READY host={server.host} "
+              f"port={server.port}", file=sys.stderr, flush=True)
         print(f"serving /metrics on http://{server.host}:{server.port}",
               file=sys.stderr)
     failure: Optional[ReproError] = None
@@ -387,6 +401,14 @@ def cmd_bench(args) -> int:
         payload = suite_mod.measure(names, backends=backends,
                                     fast=not args.full,
                                     repeats=args.repeats)
+    elif args.suite == "serve":
+        from .bench import serve as suite_mod
+        names, err = _bench_names(args)
+        if err is not None:
+            return err
+        payload = suite_mod.measure(names, fast=not args.full,
+                                    workers=args.serve_workers,
+                                    clients=args.serve_clients)
     else:
         from .bench import wallclock as suite_mod
         names, err = _bench_names(args)
@@ -429,6 +451,17 @@ def cmd_bench(args) -> int:
         if gate_failures:
             for failure in gate_failures:
                 print(f"codegen gate: {failure}", file=sys.stderr)
+            return 3
+    if args.suite == "serve":
+        # the load gate: divergences (served != CLI, coalescing
+        # miscount, request errors) are correctness bugs; the
+        # throughput floor / p99 ceiling come from the payload's own
+        # gate block so even a plain --out run must sustain the load
+        gate_failures = list(payload.get("divergences") or [])
+        gate_failures += suite_mod.check_gate(payload)
+        if gate_failures:
+            for failure in gate_failures:
+                print(f"serve gate: {failure}", file=sys.stderr)
             return 3
     if baseline is not None:
         failures = suite_mod.compare(payload, baseline,
@@ -578,6 +611,13 @@ def cmd_metricsd(args) -> int:
     store = TelemetryStore(args.store)
     server = TelemetryServer(store=store, host=args.host,
                              port=args.port)
+    # the constructor bound the socket, so the kernel is already
+    # queueing connections: this line IS the readiness signal, and
+    # with --port 0 it is the only place the real port appears.
+    # machine-readable, flushed, on stdout — scripts parse it and
+    # connect immediately instead of polling a maybe-dead port
+    print(f"REPRO-METRICSD-READY host={server.host} "
+          f"port={server.port}", flush=True)
     print(f"repro metricsd: serving http://{server.host}:{server.port}"
           f" (store: {store.root})", file=sys.stderr)
     print(f"routes: /metrics /healthz /runs /runs/<sha>",
@@ -588,6 +628,46 @@ def cmd_metricsd(args) -> int:
         print("repro metricsd: shutting down", file=sys.stderr)
     finally:
         server.close()
+    return 0
+
+
+def cmd_serve(args) -> int:
+    import signal
+
+    from .serve import ServeConfig, ServeService
+
+    def _graceful(_signum, _frame):
+        # supervisors stop services with SIGTERM; route it through the
+        # KeyboardInterrupt path so the worker pool is reaped instead
+        # of orphaned (forked workers must never outlive the frontend)
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _graceful)
+    config = ServeConfig(
+        host=args.host, port=args.port, workers=args.workers,
+        queue_depth=args.queue_depth, batch_max=args.batch,
+        quota_rate=args.quota_rate, quota_burst=args.quota_burst,
+        cache_dir=args.cache_dir,
+        default_backend=args.backend or "py",
+        default_deadline_ms=args.deadline_ms)
+    service = ServeService(config)
+    # workers are forked and the socket is listening: connections are
+    # already queueing in the backlog, so this ready line is accurate
+    # (and, for --port 0, the only place the real port appears)
+    print(f"REPRO-SERVE-READY host={service.host} port={service.port} "
+          f"workers={config.workers}", flush=True)
+    print(f"repro serve: http://{service.host}:{service.port} "
+          f"(workers={config.workers}, queue={config.queue_depth}, "
+          f"batch<={config.batch_max}, cache={config.cache_dir})",
+          file=sys.stderr)
+    print("routes: POST /v1/analyze /v1/run /v1/inspect; "
+          "GET /healthz /metrics", file=sys.stderr)
+    try:
+        service.serve_forever()
+    except KeyboardInterrupt:
+        print("repro serve: shutting down", file=sys.stderr)
+    finally:
+        service.close()
     return 0
 
 
@@ -802,13 +882,25 @@ def build_parser() -> argparse.ArgumentParser:
                       "static frontend, or the codegen backends",
         parents=[p_backend, p_cache, p_telemetry])
     p_bench.add_argument("--suite",
-                         choices=("interp", "frontend", "codegen"),
+                         choices=("interp", "frontend", "codegen",
+                                  "serve"),
                          default="interp",
                          help="what to benchmark: the interpreter hot "
                               "loop (default), the static frontend's "
-                              "cold/warm analyze() path, or the codegen "
+                              "cold/warm analyze() path, the codegen "
                               "backends with their differential "
-                              "equivalence gate")
+                              "equivalence gate, or the serve load "
+                              "suite (closed-loop clients against a "
+                              "live worker pool, with throughput/"
+                              "latency/parity gates)")
+    p_bench.add_argument("--serve-workers", type=int, default=2,
+                         metavar="N",
+                         help="serve suite: worker processes behind "
+                              "the benched service (default 2)")
+    p_bench.add_argument("--serve-clients", type=int, default=4,
+                         metavar="N",
+                         help="serve suite: closed-loop client threads "
+                              "in the warm phase (default 4)")
     p_bench.add_argument("--min-speedup", type=float, default=None,
                          metavar="X",
                          help="codegen suite: fail (exit 3) unless the "
@@ -913,6 +1005,47 @@ def build_parser() -> argparse.ArgumentParser:
                            "(default .repro/telemetry)")
     p_md.set_defaults(func=cmd_metricsd)
 
+    p_srv = sub.add_parser(
+        "serve", help="analysis-as-a-service over a pre-forked pool "
+                      "of warm workers (POST /v1/analyze /v1/run "
+                      "/v1/inspect; GET /healthz /metrics)")
+    p_srv.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    p_srv.add_argument("--port", type=int, default=8750,
+                       help="port (default 8750; 0 = ephemeral, "
+                            "reported on the READY line)")
+    p_srv.add_argument("--workers", type=int, default=2, metavar="N",
+                       help="pre-forked warm worker processes "
+                            "(default 2)")
+    p_srv.add_argument("--queue-depth", type=int, default=64,
+                       metavar="N",
+                       help="admission bound: queued+in-flight jobs "
+                            "past N shed with 429 (default 64)")
+    p_srv.add_argument("--batch", type=int, default=8, metavar="N",
+                       help="max jobs per worker dispatch "
+                            "(micro-batching; default 8)")
+    p_srv.add_argument("--quota-rate", type=float, default=0.0,
+                       metavar="R",
+                       help="per-tenant token-bucket refill rate, "
+                            "req/s (default 0 = quotas off)")
+    p_srv.add_argument("--quota-burst", type=float, default=0.0,
+                       metavar="B",
+                       help="per-tenant bucket capacity (default "
+                            "max(rate, 1))")
+    p_srv.add_argument("--cache-dir", metavar="DIR",
+                       default=".repro/serve-cache",
+                       help="shared content-addressed AnalysisCache "
+                            "tree (default .repro/serve-cache)")
+    p_srv.add_argument("--backend", choices=BACKEND_CHOICES,
+                       default=None,
+                       help="default execution backend when a request "
+                            "names none (default py)")
+    p_srv.add_argument("--deadline-ms", type=float, default=None,
+                       metavar="MS",
+                       help="default per-request deadline when a "
+                            "request names none (default: unbounded)")
+    p_srv.set_defaults(func=cmd_serve)
+
     p_rep = sub.add_parser(
         "report", help="cross-run regression observatory over the "
                        "telemetry store and committed bench baselines; "
@@ -938,6 +1071,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "BENCH_codegen.json when present)")
     p_rep.add_argument("--current-codegen", metavar="FILE",
                        help="judge this codegen payload instead of "
+                            "the newest recorded bench envelope")
+    p_rep.add_argument("--baseline-serve", metavar="FILE",
+                       help="serve baseline payload (default "
+                            "BENCH_serve.json when present)")
+    p_rep.add_argument("--current-serve", metavar="FILE",
+                       help="judge this serve payload instead of "
                             "the newest recorded bench envelope")
     p_rep.add_argument("--history", type=int, default=50,
                        help="recorded bench runs consulted per suite "

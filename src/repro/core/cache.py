@@ -440,6 +440,18 @@ def apply_annotations(decl: ast.ClassDecl,
 # the cache
 # ---------------------------------------------------------------------------
 
+def shard_path(root: str, fingerprint: str) -> str:
+    """Content-addressed location of a cache shard under ``root``.
+
+    Shards fan out over a two-hex-digit directory (256-way) so a shared
+    cache tree scales to many programs without giant directories:
+    ``root/ab/abcdef….json``.  Multi-process serving hangs one
+    :class:`AnalysisCache` per program fingerprint off this layout — a
+    program analyzed by one worker is a warm disk hit on every other.
+    """
+    fingerprint = fingerprint.lower()
+    return os.path.join(root, fingerprint[:2], f"{fingerprint}.json")
+
 @dataclass
 class CacheStats:
     """Cumulative counters plus the per-run deltas of the last
@@ -517,6 +529,16 @@ class AnalysisCache:
             self.disk = entries
 
     def save(self) -> None:
+        """Persist the disk tier atomically.
+
+        The payload lands in a private temp file first and is moved into
+        place with :func:`os.replace`, so a concurrent reader sees either
+        the old complete file or the new complete file, never a torn
+        write.  Concurrent writers of the same path race benignly: every
+        entry is keyed by content fingerprint, so whichever rename lands
+        last wins with a payload that is correct for its fingerprints
+        (last-write-wins is safe by construction).
+        """
         if not self.path:
             return
         merged = dict(self.disk)
@@ -530,9 +552,18 @@ class AnalysisCache:
         directory = os.path.dirname(self.path)
         if directory:
             os.makedirs(directory, exist_ok=True)
-        with open(self.path, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, sort_keys=True)
-            handle.write("\n")
+        tmp = f"{self.path}.{os.getpid()}.tmp"
+        try:
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, sort_keys=True)
+                handle.write("\n")
+            os.replace(tmp, self.path)
+        except BaseException:
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+            raise
 
     # -- lookups --------------------------------------------------------
 

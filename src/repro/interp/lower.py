@@ -427,8 +427,12 @@ class _FactsPass:
     def _declare(self, name: str, declared_type, added, toplevel: bool,
                  node_id: int) -> None:
         visible = self.scope.get(name, _MISSING)
-        if visible is None:
-            self.hazard("use-of-leaked-local")
+        # a *declaration* over a tainted (leaked) name is exact: the
+        # interpreter overwrites the flat frame slot unconditionally,
+        # which a fresh lexical slot reproduces — only *uses* of a
+        # leaked binding depend on whether the leaking block executed,
+        # so the taint is tracked per name and cleared here rather than
+        # poisoning the whole method
         if not toplevel:
             if visible is not _MISSING and visible is not None:
                 # nested redeclaration of a visible local: the

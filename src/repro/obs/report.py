@@ -48,7 +48,8 @@ REPORT_SCHEMA = "repro-report/1"
 #: default committed-baseline paths per suite, relative to the repo root
 BASELINE_FILES = {"interp": "BENCH_interp.json",
                   "frontend": "BENCH_frontend.json",
-                  "codegen": "BENCH_codegen.json"}
+                  "codegen": "BENCH_codegen.json",
+                  "serve": "BENCH_serve.json"}
 
 #: history points consulted per benchmark (newest last)
 DEFAULT_HISTORY = 50
@@ -113,8 +114,40 @@ def _codegen_points(payload: Dict[str, Any]
     return points
 
 
+def _serve_points(payload: Dict[str, Any]
+                  ) -> Dict[str, Dict[str, Any]]:
+    """``program/served`` + traffic rows for a serve payload.  The
+    per-program rows guard wire-level determinism (served cycles and
+    output sha joined into one digest — any drift is a break, never a
+    "regression").  Warm throughput is inverted to seconds-per-request
+    so the report's higher-wall-is-worse judgment applies; the p99
+    tail is the serve suite's own gate's territory."""
+    points: Dict[str, Dict[str, Any]] = {}
+    for name, row in (payload.get("programs") or {}).items():
+        points[f"{name}/served"] = {
+            "wall_s": 0.0,
+            "exact": ("served cycles/output digest",
+                      f"{row.get('cycles')}/{row.get('output_sha256')}"),
+        }
+    coalesce = payload.get("coalesce") or {}
+    if coalesce:
+        points["coalesce"] = {
+            "wall_s": 0.0,
+            "exact": ("analyses per identical burst",
+                      coalesce.get("analyses")),
+        }
+    warm = payload.get("warm") or {}
+    req_s = warm.get("req_s") or 0.0
+    if req_s:
+        points["warm/s-per-req"] = {
+            "wall_s": 1.0 / req_s,
+            "exact": ("warm request errors", warm.get("errors")),
+        }
+    return points
+
+
 _FLATTEN = {"interp": _interp_points, "frontend": _frontend_points,
-            "codegen": _codegen_points}
+            "codegen": _codegen_points, "serve": _serve_points}
 
 #: labels whose absence from the current payload is environmental, not
 #: a regression (C rows vanish on hosts without a toolchain)
@@ -217,7 +250,10 @@ def _judge(label: str, base: Optional[Dict[str, Any]],
             f"{cur_wall:.6f}s (+{slow:.0f}%, effective threshold "
             f"+{effective_threshold * 100:.0f}%)")
     if not cur_wall:
-        return _NO_CURRENT, None
+        # exact-only rows (serve parity digests) carry no timing at
+        # all: their exact check passed above, so they are ok, not
+        # missing-a-measurement
+        return (_OK if not base_wall else _NO_CURRENT), None
     return _OK, None
 
 

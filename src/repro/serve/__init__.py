@@ -1,0 +1,22 @@
+"""``repro serve``: sharded analysis-as-a-service.
+
+A long-lived stdlib-only HTTP service that runs analyze→run→inspect
+jobs on a pre-forked pool of warm workers over the shared
+content-addressed :class:`~repro.core.cache.AnalysisCache` tree, with
+request coalescing, micro-batching, bounded-queue admission control,
+per-tenant token-bucket quotas, and deadline propagation.  See
+``docs/SERVING.md`` for the architecture and tuning guide.
+"""
+
+from .pool import PendingJob, WorkerPool
+from .protocol import (ENDPOINTS, Job, JobOutcome, job_fingerprint,
+                       program_sha)
+from .quota import QuotaTable, TokenBucket
+from .server import ServeConfig, ServeService
+from .worker import WarmWorker
+
+__all__ = [
+    "ENDPOINTS", "Job", "JobOutcome", "PendingJob", "QuotaTable",
+    "ServeConfig", "ServeService", "TokenBucket", "WarmWorker",
+    "WorkerPool", "job_fingerprint", "program_sha",
+]

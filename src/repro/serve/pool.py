@@ -1,0 +1,258 @@
+"""The pre-forked worker pool and its micro-batching dispatchers.
+
+Topology: N forked worker processes (fork start method on Linux — the
+pool is constructed *before* the HTTP threads start, so forking is
+safe), each wired to the parent by one ``Pipe`` and fed by one
+dispatcher thread.  All dispatchers pull from a single shared queue:
+
+* a dispatcher blocks for the next pending job, then **drains up to
+  ``batch_max - 1`` more without blocking** — under load, queued jobs
+  ride along in one pipe round-trip (micro-batching), while an idle
+  service degenerates to batch size 1 and minimum latency;
+* jobs whose deadline passed while queued are answered ``504`` right
+  here and never cross the pipe (cancellation before execution — the
+  worker re-checks per item for deadlines that expire mid-batch);
+* a worker that dies mid-batch fails only that batch (each job gets a
+  ``500``), and the dispatcher forks a fresh replacement before
+  pulling more work — the pool heals itself.
+
+Admission control belongs to the caller: :attr:`WorkerPool.outstanding`
+is the live queued+in-flight count the frontend compares against its
+bounded queue depth before calling :meth:`submit`.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from .protocol import Job, JobOutcome, error_body
+
+_SHUTDOWN = object()
+
+
+@dataclass
+class PendingJob:
+    """One submitted job: the dispatcher resolves it exactly once."""
+
+    job: Job
+    #: called (in the dispatcher thread) with the outcome — the serve
+    #: frontend uses it to fill the coalescing slot and hot cache
+    on_resolve: Optional[Callable[["PendingJob"], None]] = None
+    outcome: Optional[JobOutcome] = None
+    #: True when the pool cancelled the job before execution
+    cancelled: bool = False
+    #: True when a worker actually computed (ran frontend/machine)
+    computed: bool = False
+    done: threading.Event = field(default_factory=threading.Event)
+
+    def resolve(self, outcome: JobOutcome, *, cancelled: bool = False,
+                computed: bool = False) -> None:
+        self.outcome = outcome
+        self.cancelled = cancelled
+        self.computed = computed
+        if self.on_resolve is not None:
+            try:
+                self.on_resolve(self)
+            except Exception:
+                pass  # a frontend bug must not wedge the dispatcher
+        self.done.set()
+
+
+class WorkerPool:
+    """N warm workers behind one bounded dispatch queue."""
+
+    def __init__(self, workers: int = 2,
+                 cache_root: Optional[str] = None,
+                 batch_max: int = 8,
+                 metrics: Optional[Any] = None) -> None:
+        import multiprocessing as mp
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        self.workers = workers
+        self.cache_root = cache_root
+        self.batch_max = max(1, batch_max)
+        self._ctx = mp.get_context()
+        self._queue: "queue.Queue[Any]" = queue.Queue()
+        self._lock = threading.Lock()
+        self._outstanding = 0
+        self._closed = False
+        self._procs: List[Any] = [None] * workers
+        self._conns: List[Any] = [None] * workers
+        self._restarts = 0
+        self._metrics = metrics
+        if metrics is not None:
+            self._batch_hist = metrics.histogram(
+                "repro_serve_batch_size",
+                "jobs per worker dispatch (micro-batching)",
+                buckets=tuple(range(1, self.batch_max + 1)))
+            self._restart_ctr = metrics.counter(
+                "repro_serve_worker_restarts_total",
+                "worker processes replaced after a crash")
+        else:
+            self._batch_hist = self._restart_ctr = None
+        for i in range(workers):
+            self._spawn(i)
+        self._threads = [
+            threading.Thread(target=self._dispatch, args=(i,),
+                             name=f"repro-serve-dispatch-{i}",
+                             daemon=True)
+            for i in range(workers)]
+        for t in self._threads:
+            t.start()
+
+    # -- worker lifecycle ----------------------------------------------
+
+    def _spawn(self, index: int) -> None:
+        from .worker import worker_main
+        parent_conn, child_conn = self._ctx.Pipe()
+        # the fork copies every parent-side pipe end into the child —
+        # including this very pipe's, which would keep its write end
+        # open *inside the worker* and turn a dead parent into a
+        # forever-blocked recv instead of EOF.  Hand the child the full
+        # list to close first thing, so workers always exit when the
+        # parent goes away, however it went away.
+        unwanted = ([parent_conn]
+                    + [c for c in self._conns if c is not None])
+        proc = self._ctx.Process(
+            target=worker_main,
+            args=(child_conn, self.cache_root, unwanted),
+            name=f"repro-serve-worker-{index}", daemon=True)
+        proc.start()
+        child_conn.close()
+        self._procs[index] = proc
+        self._conns[index] = parent_conn
+
+    @property
+    def outstanding(self) -> int:
+        with self._lock:
+            return self._outstanding
+
+    @property
+    def restarts(self) -> int:
+        return self._restarts
+
+    def alive_workers(self) -> int:
+        return sum(1 for p in self._procs
+                   if p is not None and p.is_alive())
+
+    # -- submission -----------------------------------------------------
+
+    def submit(self, pending: PendingJob) -> PendingJob:
+        """Enqueue; the caller is responsible for admission control
+        (checking :attr:`outstanding` against its queue bound first)."""
+        if self._closed:
+            pending.resolve(JobOutcome(
+                503, error_body("service shutting down")))
+            return pending
+        with self._lock:
+            self._outstanding += 1
+        self._queue.put(pending)
+        return pending
+
+    def _finish(self, pending: PendingJob, outcome: JobOutcome,
+                **kw: Any) -> None:
+        with self._lock:
+            self._outstanding -= 1
+        pending.resolve(outcome, **kw)
+
+    # -- the dispatcher -------------------------------------------------
+
+    def _take_batch(self) -> Optional[List[PendingJob]]:
+        head = self._queue.get()
+        if head is _SHUTDOWN:
+            return None
+        batch = [head]
+        while len(batch) < self.batch_max:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is _SHUTDOWN:
+                # keep the sentinel moving so every dispatcher stops
+                self._queue.put(item)
+                break
+            batch.append(item)
+        return batch
+
+    def _dispatch(self, index: int) -> None:
+        while True:
+            batch = self._take_batch()
+            if batch is None:
+                return
+            now = time.monotonic()
+            live: List[PendingJob] = []
+            for p in batch:
+                if (p.job.deadline is not None
+                        and now >= p.job.deadline):
+                    self._finish(p, JobOutcome(
+                        504, error_body("deadline exceeded")),
+                        cancelled=True)
+                else:
+                    live.append(p)
+            if not live:
+                continue
+            if self._batch_hist is not None:
+                self._batch_hist.observe(len(live))
+            conn = self._conns[index]
+            try:
+                conn.send([p.job.to_wire() for p in live])
+                replies = conn.recv()
+            except (EOFError, OSError, ValueError):
+                for p in live:
+                    self._finish(p, JobOutcome(
+                        500, error_body("worker process died")))
+                if not self._closed:
+                    self._restarts += 1
+                    if self._restart_ctr is not None:
+                        self._restart_ctr.inc()
+                    self._spawn(index)
+                continue
+            for p, reply in zip(live, replies):
+                self._finish(
+                    p,
+                    JobOutcome(reply["status"], reply["body"],
+                               memo=reply.get("memo", False)),
+                    cancelled=reply.get("cancelled", False),
+                    computed=reply.get("computed", False))
+
+    # -- shutdown -------------------------------------------------------
+
+    def close(self, timeout: float = 10.0) -> None:
+        """Stop dispatchers, drain workers, reap every child process."""
+        if self._closed:
+            return
+        self._closed = True
+        for _ in self._threads:
+            self._queue.put(_SHUTDOWN)
+        for t in self._threads:
+            t.join(timeout=timeout)
+        for conn in self._conns:
+            try:
+                conn.send(None)
+            except (OSError, ValueError, BrokenPipeError):
+                pass
+        deadline = time.monotonic() + timeout
+        for i, proc in enumerate(self._procs):
+            if proc is None:
+                continue
+            proc.join(timeout=max(0.1, deadline - time.monotonic()))
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=2.0)
+            self._procs[i] = None
+        for i, conn in enumerate(self._conns):
+            try:
+                conn.close()
+            except OSError:
+                pass
+            self._conns[i] = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()

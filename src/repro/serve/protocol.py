@@ -1,0 +1,122 @@
+"""Wire and job shapes for ``repro serve``.
+
+Everything the service coalesces, memoizes, or shards hangs off two
+content addresses:
+
+* :func:`program_sha` — the SHA-256 of the program text, which names
+  the shared :class:`~repro.core.cache.AnalysisCache` disk shard for
+  the program (see :func:`repro.core.cache.shard_path`);
+* :func:`job_fingerprint` — the program sha joined with every request
+  knob that can change the observable result (endpoint, checks mode,
+  backend).  The simulated machine is deterministic, so two jobs with
+  equal fingerprints have byte-identical results — which is what makes
+  request coalescing and result memoization *correct*, not merely
+  fast.
+
+Jobs travel to the worker pool as plain dicts (they cross a ``Pipe``),
+with deadlines as absolute ``time.monotonic()`` instants — on Linux
+the monotonic clock is system-wide, so a deadline stamped in the HTTP
+thread means the same thing inside a forked worker.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+SCHEMA = "repro-serve/1"
+
+#: the three job endpoints (``/healthz`` and ``/metrics`` are served
+#: in the frontend and never reach the pool)
+ENDPOINTS = ("analyze", "run", "inspect")
+
+MODES = ("static", "dynamic")
+
+#: request programs larger than this are rejected with 413 before any
+#: hashing or queueing happens
+MAX_PROGRAM_BYTES = 1 << 20
+
+
+def program_sha(source: str) -> str:
+    """Content address of the program text."""
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def job_fingerprint(endpoint: str, source_sha: str, mode: str,
+                    backend: str) -> str:
+    """Content address of one *job*: every knob that can alter the
+    result is part of the key, nothing else is."""
+    return hashlib.sha256(
+        f"{SCHEMA}\x00{endpoint}\x00{source_sha}\x00{mode}\x00{backend}"
+        .encode("ascii")).hexdigest()
+
+
+@dataclass
+class Job:
+    """One unit of work bound for a warm worker."""
+
+    endpoint: str                  # "analyze" | "run" | "inspect"
+    source: str
+    source_sha: str
+    fingerprint: str
+    mode: str = "static"           # "static" | "dynamic"
+    backend: str = "py"            # request's spot on the ladder
+    tenant: str = "default"
+    #: absolute time.monotonic() instant, or None for no deadline
+    deadline: Optional[float] = None
+
+    def to_wire(self) -> Dict[str, Any]:
+        return {"endpoint": self.endpoint, "source": self.source,
+                "source_sha": self.source_sha,
+                "fingerprint": self.fingerprint, "mode": self.mode,
+                "backend": self.backend, "tenant": self.tenant,
+                "deadline": self.deadline}
+
+
+@dataclass
+class JobOutcome:
+    """What came back from the pool for one job."""
+
+    status: int                    # HTTP status the frontend will send
+    body: Dict[str, Any] = field(default_factory=dict)
+    #: set when the result was replayed from a worker memo rather than
+    #: recomputed; transport-level, never part of ``body`` (so memoized
+    #: and fresh bodies stay byte-identical)
+    memo: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+
+def error_body(message: str, **extra: Any) -> Dict[str, Any]:
+    out: Dict[str, Any] = {"ok": False, "error": message}
+    out.update(extra)
+    return out
+
+
+def validate_request(payload: Any) -> Optional[str]:
+    """Shape-check one decoded request body; returns a complaint or
+    ``None`` when the payload is well-formed."""
+    if not isinstance(payload, dict):
+        return "request body must be a JSON object"
+    source = payload.get("program")
+    if not isinstance(source, str) or not source.strip():
+        return "missing 'program' (the source text)"
+    mode = payload.get("mode", "static")
+    if mode not in MODES:
+        return f"mode must be one of {MODES}, not {mode!r}"
+    backend = payload.get("backend", "py")
+    from ..cli import BACKEND_CHOICES
+    if backend not in BACKEND_CHOICES:
+        return (f"backend must be one of {BACKEND_CHOICES}, "
+                f"not {backend!r}")
+    deadline_ms = payload.get("deadline_ms")
+    if deadline_ms is not None:
+        if not isinstance(deadline_ms, (int, float)) or deadline_ms <= 0:
+            return "deadline_ms must be a positive number"
+    tenant = payload.get("tenant", "default")
+    if not isinstance(tenant, str) or not tenant:
+        return "tenant must be a non-empty string"
+    return None

@@ -1,0 +1,98 @@
+"""Per-tenant token buckets: the admission layer's quota half.
+
+The paper's framing (via Gerakios et al. in PAPERS.md) treats a
+request's resources as a region-like capability: admitted as a unit,
+metered while held, reclaimed on exit.  Here the capability is a token
+from the tenant's bucket — refilled at ``rate`` per second up to
+``burst`` — and a request that cannot take one is shed *before* it
+touches the queue, with a ``Retry-After`` telling the client exactly
+when the next token lands.
+
+Thread-safe; buckets are created on first sight of a tenant and the
+table is bounded so an adversarial tenant-id stream cannot grow it
+without limit (past the cap, unknown tenants share one overflow
+bucket, mirroring the metrics registry's label-cardinality cap).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, Optional, Tuple
+
+#: past this many distinct tenants, new ones share the overflow bucket
+DEFAULT_MAX_TENANTS = 1024
+
+_OVERFLOW = "<other>"
+
+
+class TokenBucket:
+    """Classic token bucket; one per tenant."""
+
+    __slots__ = ("rate", "burst", "tokens", "stamp")
+
+    def __init__(self, rate: float, burst: float,
+                 now: Optional[float] = None) -> None:
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self.stamp = time.monotonic() if now is None else now
+
+    def allow(self, now: Optional[float] = None,
+              cost: float = 1.0) -> Tuple[bool, float]:
+        """Take ``cost`` tokens if available.
+
+        Returns ``(True, 0.0)`` on admission, else ``(False, wait)``
+        where ``wait`` is the seconds until the bucket will hold
+        ``cost`` tokens again — the ``Retry-After`` value.
+        """
+        if now is None:
+            now = time.monotonic()
+        elapsed = now - self.stamp
+        if elapsed > 0:
+            self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+        self.stamp = now
+        if self.tokens >= cost:
+            self.tokens -= cost
+            return True, 0.0
+        if self.rate <= 0:
+            return False, float("inf")
+        return False, (cost - self.tokens) / self.rate
+
+
+class QuotaTable:
+    """Tenant name -> bucket, lazily populated, bounded, thread-safe.
+
+    ``rate <= 0`` disables quotas entirely (every request admitted) —
+    the default for tests and single-user CLI serving.
+    """
+
+    def __init__(self, rate: float = 0.0, burst: float = 0.0,
+                 max_tenants: int = DEFAULT_MAX_TENANTS) -> None:
+        self.rate = float(rate)
+        self.burst = float(burst) if burst > 0 else max(1.0, float(rate))
+        self.max_tenants = max_tenants
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._lock = threading.Lock()
+
+    @property
+    def enabled(self) -> bool:
+        return self.rate > 0
+
+    def allow(self, tenant: str) -> Tuple[bool, float]:
+        if not self.enabled:
+            return True, 0.0
+        with self._lock:
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                if len(self._buckets) >= self.max_tenants:
+                    tenant = _OVERFLOW
+                    bucket = self._buckets.get(tenant)
+                if bucket is None:
+                    bucket = TokenBucket(self.rate, self.burst)
+                    self._buckets[tenant] = bucket
+            return bucket.allow()
+
+    def tenants(self) -> int:
+        with self._lock:
+            return len(self._buckets)

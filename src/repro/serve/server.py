@@ -1,0 +1,360 @@
+"""``repro serve`` — the analysis-as-a-service HTTP frontend.
+
+Request path, in admission order (each layer sheds before the next
+spends anything):
+
+1. **shape + size** — malformed JSON is ``400``, oversized programs
+   ``413``, before any hashing happens;
+2. **tenant quota** — a token-bucket per tenant (see
+   :mod:`repro.serve.quota`); an empty bucket is ``429`` with a
+   ``Retry-After`` naming the next token's arrival;
+3. **hot results** — a frontend LRU keyed by job fingerprint.  The
+   machine is deterministic, so a finished body is exact forever; warm
+   traffic is answered here without touching the pool (this tier is
+   why warm throughput is thousands of req/s on one core);
+4. **coalescing** — an identical job already in flight adopts that
+   job's outcome instead of queueing a duplicate (N concurrent cold
+   requests for one program ⇒ exactly one analysis);
+5. **bounded queue** — ``pool.outstanding`` at the queue depth is
+   ``429 + Retry-After`` (load shedding), never silent queue growth;
+6. **the pool** — micro-batched dispatch to pre-forked warm workers
+   (:mod:`repro.serve.pool`), deadline re-checked at every hop.
+
+Socket tuning that the throughput gate depends on: HTTP/1.1
+keep-alive (persistent client connections), Nagle off, and one
+buffered ``wfile`` write per response — header and body coalesce into
+a single segment instead of paying a 40 ms delayed-ACK stall.
+
+The whole service is stdlib-only and single-object: build a
+:class:`ServeService`, then ``serve_background()`` (tests) or
+``serve_forever()`` (the CLI).  Construction order matters — workers
+are forked *before* any HTTP thread starts, so the fork start method
+is safe.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+from ..obs.exporters import to_prometheus
+from ..obs.live import PROMETHEUS_CONTENT_TYPE
+from ..obs.metrics import MetricsRegistry
+from .pool import PendingJob, WorkerPool
+from .protocol import (ENDPOINTS, MAX_PROGRAM_BYTES, Job, error_body,
+                       job_fingerprint, program_sha, validate_request)
+from .quota import QuotaTable
+
+#: request-latency buckets in seconds (sub-ms to 10 s)
+LATENCY_BUCKETS = (0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+                   0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0)
+
+
+@dataclass
+class ServeConfig:
+    host: str = "127.0.0.1"
+    port: int = 0
+    workers: int = 2
+    #: admission bound: queued + in-flight jobs past this shed with 429
+    queue_depth: int = 64
+    #: max jobs per worker dispatch (micro-batching)
+    batch_max: int = 8
+    #: per-tenant token-bucket refill rate (req/s); 0 disables quotas
+    quota_rate: float = 0.0
+    #: bucket capacity (burst); defaults to max(rate, 1)
+    quota_burst: float = 0.0
+    #: shared content-addressed AnalysisCache tree (None = memory only)
+    cache_dir: Optional[str] = None
+    #: default backend when the request names none
+    default_backend: str = "py"
+    #: deadline applied when the request names none (None = unbounded)
+    default_deadline_ms: Optional[float] = None
+    #: frontend hot-results LRU size (finished bodies by fingerprint)
+    hot_results: int = 1024
+    #: leader wait bound for jobs without a deadline
+    request_timeout_s: float = 60.0
+
+
+class ServeService:
+    """The served frontend: HTTP threads over one shared pool."""
+
+    def __init__(self, config: Optional[ServeConfig] = None,
+                 registry: Optional[MetricsRegistry] = None) -> None:
+        self.config = config or ServeConfig()
+        self.metrics = registry if registry is not None \
+            else MetricsRegistry()
+        self._started = time.monotonic()
+        # instruments (created eagerly so /metrics shows zeros, not
+        # absences, before the first request)
+        m = self.metrics
+        self._requests = m.counter(
+            "repro_serve_requests_total",
+            "served requests by endpoint and status")
+        self._latency = m.histogram(
+            "repro_serve_request_seconds",
+            "request latency by endpoint (seconds)",
+            buckets=LATENCY_BUCKETS)
+        self._queue_gauge = m.gauge(
+            "repro_serve_queue_depth",
+            "jobs queued or in flight in the worker pool")
+        self._coalesced = m.counter(
+            "repro_serve_coalesced_total",
+            "requests that adopted an identical in-flight job")
+        self._shed = m.counter(
+            "repro_serve_shed_total",
+            "requests shed by admission control, by reason")
+        self._hits = m.counter(
+            "repro_serve_result_cache_hits_total",
+            "requests answered from a finished-result tier")
+        self._cancelled = m.counter(
+            "repro_serve_deadline_cancelled_total",
+            "jobs cancelled before execution (deadline expired)")
+        self._analyses = m.counter(
+            "repro_serve_analyses_total",
+            "frontend analyses actually performed by workers")
+        # the pool forks before any HTTP thread exists
+        self.pool = WorkerPool(
+            workers=self.config.workers,
+            cache_root=self.config.cache_dir,
+            batch_max=self.config.batch_max, metrics=m)
+        self.quotas = QuotaTable(self.config.quota_rate,
+                                 self.config.quota_burst)
+        self._lock = threading.Lock()
+        self._inflight: Dict[str, PendingJob] = {}
+        self._hot: "OrderedDict[str, Tuple[int, Dict[str, Any]]]" = \
+            OrderedDict()
+        self._httpd = _ServeHTTPServer(
+            (self.config.host, self.config.port), _make_handler(self))
+        self._httpd.daemon_threads = True
+        self.host = self._httpd.server_address[0]
+        #: the bound port (resolves port 0 to the kernel's choice);
+        #: the listen backlog queues connections from here on, so
+        #: publishing this value *is* the readiness signal
+        self.port = self._httpd.server_address[1]
+        self._thread: Optional[threading.Thread] = None
+
+    # -- request handling ----------------------------------------------
+
+    def handle_job(self, endpoint: str, payload: Any
+                   ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        """The full admission + execution path for one POST body.
+        Returns ``(status, body, extra_headers)``."""
+        complaint = validate_request(payload)
+        if complaint is not None:
+            return 400, error_body(complaint), {}
+        source = payload["program"]
+        if len(source.encode("utf-8", "ignore")) > MAX_PROGRAM_BYTES:
+            return 413, error_body(
+                f"program exceeds {MAX_PROGRAM_BYTES} bytes"), {}
+        tenant = payload.get("tenant", "default")
+        admitted, wait = self.quotas.allow(tenant)
+        if not admitted:
+            self._shed.labels(reason="quota").inc()
+            return (429, error_body("tenant quota exhausted",
+                                    retry_after_s=round(wait, 3)),
+                    {"Retry-After": _retry_after(wait)})
+        mode = payload.get("mode", "static")
+        backend = payload.get("backend", self.config.default_backend)
+        sha = program_sha(source)
+        fingerprint = job_fingerprint(endpoint, sha, mode, backend)
+        deadline_ms = payload.get("deadline_ms",
+                                  self.config.default_deadline_ms)
+        deadline = (time.monotonic() + deadline_ms / 1000.0
+                    if deadline_ms else None)
+        with self._lock:
+            hot = self._hot.get(fingerprint)
+            if hot is not None:
+                self._hot.move_to_end(fingerprint)
+                self._hits.labels(tier="frontend").inc()
+                return hot[0], hot[1], {}
+            pending = self._inflight.get(fingerprint)
+            if pending is not None:
+                self._coalesced.inc()
+            else:
+                if self.pool.outstanding >= self.config.queue_depth:
+                    self._shed.labels(reason="queue_full").inc()
+                    return (429, error_body("service overloaded"),
+                            {"Retry-After": _retry_after(1.0)})
+                job = Job(endpoint=endpoint, source=source,
+                          source_sha=sha, fingerprint=fingerprint,
+                          mode=mode, backend=backend, tenant=tenant,
+                          deadline=deadline)
+                pending = PendingJob(job, on_resolve=self._complete)
+                self._inflight[fingerprint] = pending
+                self.pool.submit(pending)
+                self._queue_gauge.set(self.pool.outstanding)
+        budget = (max(0.0, deadline - time.monotonic()) + 5.0
+                  if deadline is not None
+                  else self.config.request_timeout_s)
+        if not pending.done.wait(timeout=budget):
+            # the job is still running; it will land in the hot tier
+            # for whoever retries
+            return 504, error_body("request timed out"), {}
+        outcome = pending.outcome
+        if outcome.memo:
+            self._hits.labels(tier="worker").inc()
+        return outcome.status, outcome.body, {}
+
+    def _complete(self, pending: PendingJob) -> None:
+        """Runs in a dispatcher thread the moment a job resolves."""
+        outcome = pending.outcome
+        with self._lock:
+            self._inflight.pop(pending.job.fingerprint, None)
+            if outcome is not None and outcome.ok:
+                self._hot[pending.job.fingerprint] = (outcome.status,
+                                                      outcome.body)
+                self._hot.move_to_end(pending.job.fingerprint)
+                while len(self._hot) > self.config.hot_results:
+                    self._hot.popitem(last=False)
+        if pending.computed:
+            self._analyses.inc()
+        if pending.cancelled:
+            self._cancelled.inc()
+        self._queue_gauge.set(self.pool.outstanding)
+
+    # -- read-only routes ----------------------------------------------
+
+    def metrics_text(self) -> str:
+        return to_prometheus(self.metrics)
+
+    def health(self) -> Dict[str, Any]:
+        return {
+            "status": "ok",
+            "uptime_s": round(time.monotonic() - self._started, 3),
+            "workers": self.pool.workers,
+            "workers_alive": self.pool.alive_workers(),
+            "worker_restarts": self.pool.restarts,
+            "outstanding": self.pool.outstanding,
+            "inflight_fingerprints": len(self._inflight),
+            "hot_results": len(self._hot),
+            "queue_depth": self.config.queue_depth,
+            "cache_dir": self.config.cache_dir,
+        }
+
+    # -- lifecycle ------------------------------------------------------
+
+    def serve_background(self) -> "ServeService":
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name=f"repro-serve:{self.port}", daemon=True)
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        self._httpd.serve_forever()
+
+    def close(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+        self.pool.close()
+
+    def __enter__(self) -> "ServeService":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+class _ServeHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    #: deep listen backlog: bursts of new connections queue in the
+    #: kernel instead of getting connection-refused
+    request_queue_size = 128
+
+
+def _retry_after(seconds: float) -> str:
+    return str(max(1, int(seconds + 0.999)))
+
+
+def _make_handler(service: ServeService):
+    class Handler(BaseHTTPRequestHandler):
+        #: keep-alive is the throughput contract: closed-loop clients
+        #: reuse one connection per thread
+        protocol_version = "HTTP/1.1"
+        #: one buffered write per response — with Nagle disabled this
+        #: puts header+body in a single segment (no delayed-ACK stall)
+        wbufsize = 1 << 16
+        disable_nagle_algorithm = True
+
+        def log_message(self, fmt: str, *args: Any) -> None:
+            pass  # request logging is the metrics registry's job
+
+        def _send(self, status: int, body: bytes, content_type: str,
+                  extra: Optional[Dict[str, str]] = None) -> None:
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(body)))
+            for key, value in (extra or {}).items():
+                self.send_header(key, value)
+            self.end_headers()
+            self.wfile.write(body)
+
+        def _send_json(self, status: int, payload: Any,
+                       extra: Optional[Dict[str, str]] = None) -> None:
+            body = json.dumps(payload, sort_keys=True).encode("utf-8")
+            self._send(status, body, "application/json", extra)
+
+        def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+            path = self.path.split("?", 1)[0].rstrip("/") or "/"
+            try:
+                if path == "/metrics":
+                    self._send(200,
+                               service.metrics_text().encode("utf-8"),
+                               PROMETHEUS_CONTENT_TYPE)
+                elif path == "/healthz":
+                    self._send_json(200, service.health())
+                else:
+                    self._send_json(
+                        404, error_body(f"no route {path!r}"))
+            except BrokenPipeError:
+                pass
+            except Exception as err:
+                self._send_json(500, error_body(str(err)))
+
+        def do_POST(self) -> None:  # noqa: N802 (stdlib naming)
+            started = time.perf_counter()
+            path = self.path.split("?", 1)[0].rstrip("/")
+            endpoint = path[len("/v1/"):] if path.startswith("/v1/") \
+                else None
+            if endpoint not in ENDPOINTS:
+                self._send_json(404, error_body(f"no route {path!r}"))
+                return
+            try:
+                length = int(self.headers.get("Content-Length", 0))
+            except ValueError:
+                length = -1
+            if length < 0 or length > MAX_PROGRAM_BYTES * 2:
+                self._send_json(413, error_body("bad request length"))
+                return
+            try:
+                payload = json.loads(
+                    self.rfile.read(length).decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                service._requests.labels(endpoint=endpoint,
+                                         status="400").inc()
+                self._send_json(400, error_body("invalid JSON body"))
+                return
+            try:
+                status, body, extra = service.handle_job(endpoint,
+                                                         payload)
+            except Exception as err:  # the service must stay up
+                status, body, extra = 500, error_body(
+                    f"{type(err).__name__}: {err}"), {}
+            service._requests.labels(endpoint=endpoint,
+                                     status=str(status)).inc()
+            service._latency.labels(endpoint=endpoint).observe(
+                time.perf_counter() - started)
+            try:
+                self._send_json(status, body, extra)
+            except BrokenPipeError:
+                pass
+
+    return Handler

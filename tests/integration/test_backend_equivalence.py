@@ -73,6 +73,32 @@ def _run(name, mode, backend):
     return result, machine
 
 
+# after the block closes, the interpreter's flat frame leaks the inner
+# local `x` over the implicit this-field read in `print(x)` — the one
+# reachable shape of ``use-of-leaked-local`` that stays a hazard after
+# tainted *redeclarations* were proven exact
+LEAKED_USE_SOURCE = """\
+class C<Owner o> {
+  int x;
+  void m() {
+    x = 5;
+    if (x > 0) { int x = 1; print(x); }
+    print(x);
+  }
+}
+{ C<heap> c = new C<heap>; c.m(); }
+"""
+
+
+def _run_source(source, mode, backend):
+    analyzed = analyze(source)
+    assert not analyzed.errors
+    result, machine = execute(analyzed, RunOptions(
+        checks_enabled=MODES[mode], validate=False, instrument=False,
+        backend=backend))
+    return result, machine
+
+
 @pytest.mark.parametrize("backend", ["py", "py-fused", "py-faithful"])
 @pytest.mark.parametrize("mode", sorted(MODES))
 @pytest.mark.parametrize("name", sorted(FIXTURE))
@@ -107,8 +133,20 @@ class TestRouting:
         assert machine.program.backend == "py-fused"
 
     def test_hazardous_program_falls_to_faithful(self):
-        _result, machine = _run("Barnes", "static", "py")
+        # a *use* of a leaked local over an implicit this-field: the
+        # interpreter's flat frame leaks the if-block's x over the
+        # field, which lexical renaming cannot mirror — the surviving
+        # core of the use-of-leaked-local hazard after the narrowing
+        _result, machine = _run_source(LEAKED_USE_SOURCE, "static", "py")
         assert machine.program.backend == "py-faithful"
+
+    def test_tainted_redeclare_graduates_to_fused(self):
+        # redeclaring a name whose block closed is exact under renaming
+        # (the flat frame overwrites the slot unconditionally), so
+        # Barnes and game fuse now
+        for name in ("Barnes", "game"):
+            _result, machine = _run(name, "static", "py")
+            assert machine.program.backend == "py-fused", name
 
     def test_unsupported_program_falls_to_interp(self):
         _result, machine = _run("http", "static", "py")
@@ -123,7 +161,7 @@ class TestRouting:
 
     @needs_c
     def test_c_chains_down_on_hazards(self):
-        _result, machine = _run("Barnes", "static", "c")
+        _result, machine = _run_source(LEAKED_USE_SOURCE, "static", "c")
         assert machine.program.backend == "py-faithful"
         assert "c unavailable" in machine.codegen_fallback
 

@@ -102,6 +102,36 @@ class TestLower:
         assert not lowered.fused_ok
         assert any("fork" in h for h in lowered.hazards)
 
+    def test_tainted_redeclare_is_not_a_hazard(self):
+        # a declaration over a name whose block closed overwrites the
+        # interpreter's flat frame slot unconditionally, so a fresh
+        # lexical slot is exact — this shape (Barnes/game) fuses
+        lowered = lower(analyze(
+            "{\n"
+            "  int a = 1;\n"
+            "  if (a > 0) { int y = 7; print(y); }\n"
+            "  int y = 2;\n"
+            "  print(y);\n"
+            "}"))
+        assert lowered.fused_ok, sorted(lowered.hazards)
+
+    def test_leaked_use_over_field_still_hazards(self):
+        # the flat frame leaks the if-block's local x over the implicit
+        # this-field in print(x); renaming cannot mirror that, so the
+        # *use* keeps its hazard after the narrowing
+        lowered = lower(analyze(
+            "class C<Owner o> {\n"
+            "  int x;\n"
+            "  void m() {\n"
+            "    x = 5;\n"
+            "    if (x > 0) { int x = 1; }\n"
+            "    print(x);\n"
+            "  }\n"
+            "}\n"
+            "{ C<heap> c = new C<heap>; c.m(); }"))
+        assert not lowered.fused_ok
+        assert "use-of-leaked-local" in lowered.hazards
+
 
 # ---------------------------------------------------------------------------
 # the backend ladder
