@@ -409,6 +409,14 @@ def cmd_bench(args) -> int:
         payload = suite_mod.measure(names, fast=not args.full,
                                     workers=args.serve_workers,
                                     clients=args.serve_clients)
+    elif args.suite == "serve-chaos":
+        from .bench import serve_chaos as suite_mod
+        if args.only:
+            print("error: --only applies to the interp/codegen suites",
+                  file=sys.stderr)
+            return 1
+        payload = suite_mod.measure(workers=args.serve_workers,
+                                    fast=not args.full)
     else:
         from .bench import wallclock as suite_mod
         names, err = _bench_names(args)
@@ -439,7 +447,8 @@ def cmd_bench(args) -> int:
         suite_mod.save_payload(payload, args.out)
         print(f"wrote {args.out}", file=sys.stderr)
     _record_envelope(args, "bench", label=args.suite,
-                     bench={"suite": args.suite, "payload": payload})
+                     bench={"suite": args.suite.replace("-", "_"),
+                            "payload": payload})
     if args.suite == "codegen":
         # the equivalence gate: backends promised byte-identical
         # observable behaviour; a divergence is a correctness bug
@@ -463,6 +472,17 @@ def cmd_bench(args) -> int:
             for failure in gate_failures:
                 print(f"serve gate: {failure}", file=sys.stderr)
             return 3
+    if args.suite == "serve-chaos":
+        # the resilience gate: every admitted request answered, byte
+        # parity with CLI execution, killed workers respawned, torn
+        # shards quarantined, and the whole campaign replays
+        # bit-for-bit from its recorded schedule
+        gate_failures = list(payload.get("divergences") or [])
+        gate_failures += suite_mod.check_gate(payload)
+        if gate_failures:
+            for failure in gate_failures:
+                print(f"serve-chaos gate: {failure}", file=sys.stderr)
+            return 3
     if baseline is not None:
         failures = suite_mod.compare(payload, baseline,
                                      threshold=args.threshold)
@@ -476,6 +496,38 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def _print_serve_chaos(args, report, replayed: bool = False) -> int:
+    from .serve.chaos import campaign_telemetry
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        contract = report.get("contract") or {}
+        verb = "replayed" if replayed else "campaign:"
+        counts = ", ".join(f"{k}={v}" for k, v in
+                           sorted((report.get("faults") or {}).items()))
+        print(f"serve {verb} {report['requests']} requests, "
+              f"{report['fault_total']} faults ({counts}) in "
+              f"{report['wall_s']}s -> {report['status']}")
+        print(f"contract: lost={contract.get('lost_requests')} "
+              f"parity_breaks={contract.get('parity_failures')} "
+              f"respawns={contract.get('worker_restarts')} "
+              f"quarantined={contract.get('quarantined_shards')} "
+              f"recovered={contract.get('recovered_healthy')}")
+        if "replay_ok" in report:
+            print("replay: " + ("bit-for-bit" if report["replay_ok"]
+                                else "MISMATCH"))
+    for failure in report.get("failures") or []:
+        print(f"chaos failure: {failure}", file=sys.stderr)
+    for mismatch in report.get("replay_mismatches") or []:
+        print(f"replay mismatch: {mismatch}", file=sys.stderr)
+    for failure in report.get("replay_failures") or []:
+        print(f"replay-run failure: {failure}", file=sys.stderr)
+    _record_envelope(args, "chaos", label="target=serve",
+                     seed=getattr(args, "seed_base", None),
+                     chaos=campaign_telemetry(report))
+    return 0 if report["ok"] else 4
+
+
 def cmd_chaos(args) -> int:
     import glob
     import os
@@ -484,6 +536,11 @@ def cmd_chaos(args) -> int:
     from .rtsj.faults import FAULT_SITES
 
     if args.replay:
+        from .serve.faults import peek_schedule_target
+        if peek_schedule_target(args.replay) == "serve":
+            from .serve.chaos import replay_schedule as serve_replay
+            report = serve_replay(args.replay)
+            return _print_serve_chaos(args, report, replayed=True)
         report = replay_schedule(args.replay)
         outcome = report["outcome"]
         print(f"{outcome.program}: replayed {len(outcome.faults)} "
@@ -492,6 +549,23 @@ def cmd_chaos(args) -> int:
         for mismatch in report["mismatches"]:
             print(f"replay mismatch: {mismatch}", file=sys.stderr)
         return 0 if report["ok"] else 4
+
+    if args.target == "serve":
+        from .serve.chaos import run_serve_chaos
+        schedule_path = None
+        if args.schedule_out:
+            os.makedirs(args.schedule_out, exist_ok=True)
+            schedule_path = os.path.join(
+                args.schedule_out,
+                f"serve-seed{args.seed_base}.schedule.jsonl")
+        report = run_serve_chaos(seed=args.seed_base,
+                                 requests=args.requests,
+                                 workers=args.serve_workers,
+                                 verify=not args.no_verify,
+                                 schedule_path=schedule_path)
+        if schedule_path:
+            print(f"wrote {schedule_path}", file=sys.stderr)
+        return _print_serve_chaos(args, report)
 
     if args.sites:
         unknown = [s for s in args.sites if s not in FAULT_SITES]
@@ -661,7 +735,7 @@ def cmd_serve(args) -> int:
           f"batch<={config.batch_max}, cache={config.cache_dir})",
           file=sys.stderr)
     print("routes: POST /v1/analyze /v1/run /v1/inspect; "
-          "GET /healthz /metrics", file=sys.stderr)
+          "GET /healthz /livez /readyz /metrics", file=sys.stderr)
     try:
         service.serve_forever()
     except KeyboardInterrupt:
@@ -883,16 +957,18 @@ def build_parser() -> argparse.ArgumentParser:
         parents=[p_backend, p_cache, p_telemetry])
     p_bench.add_argument("--suite",
                          choices=("interp", "frontend", "codegen",
-                                  "serve"),
+                                  "serve", "serve-chaos"),
                          default="interp",
                          help="what to benchmark: the interpreter hot "
                               "loop (default), the static frontend's "
                               "cold/warm analyze() path, the codegen "
                               "backends with their differential "
-                              "equivalence gate, or the serve load "
+                              "equivalence gate, the serve load "
                               "suite (closed-loop clients against a "
                               "live worker pool, with throughput/"
-                              "latency/parity gates)")
+                              "latency/parity gates), or the serve "
+                              "resilience gate (a seeded chaos "
+                              "campaign with bit-for-bit replay)")
     p_bench.add_argument("--serve-workers", type=int, default=2,
                          metavar="N",
                          help="serve suite: worker processes behind "
@@ -941,6 +1017,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument("paths", nargs="*",
                          help="programs to perturb (default: "
                               "examples/*.py with an embedded PROGRAM)")
+    p_chaos.add_argument("--target", choices=("runtime", "serve"),
+                         default="runtime",
+                         help="what to perturb: the RTSJ runtime "
+                              "(default) or a live serve worker pool "
+                              "(service-level faults: worker kills, "
+                              "stalls, pipe failures, torn cache "
+                              "shards, latency spikes)")
+    p_chaos.add_argument("--requests", type=int, default=32,
+                         help="serve target: campaign traffic "
+                              "(default 32; topped up until the "
+                              "schedule minima are met)")
+    p_chaos.add_argument("--serve-workers", type=int, default=2,
+                         metavar="N",
+                         help="serve target: worker processes behind "
+                              "the campaigned service (default 2)")
     p_chaos.add_argument("--seeds", type=int, default=5,
                          help="fault plans per program (default 5)")
     p_chaos.add_argument("--seed-base", type=int, default=0,
@@ -1078,6 +1169,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep.add_argument("--current-serve", metavar="FILE",
                        help="judge this serve payload instead of "
                             "the newest recorded bench envelope")
+    p_rep.add_argument("--baseline-serve-chaos", metavar="FILE",
+                       help="serve resilience baseline payload "
+                            "(default BENCH_serve_chaos.json when "
+                            "present)")
+    p_rep.add_argument("--current-serve-chaos", metavar="FILE",
+                       help="judge this serve-chaos payload instead "
+                            "of the newest recorded bench envelope")
     p_rep.add_argument("--history", type=int, default=50,
                        help="recorded bench runs consulted per suite "
                             "(default 50)")

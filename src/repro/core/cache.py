@@ -222,6 +222,14 @@ def _sha(text: str) -> str:
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
+def _entries_digest(entries: Dict[str, dict]) -> str:
+    """Content digest of a shard's entry table, stable across a JSON
+    round-trip (canonical key order and separators) — what
+    :meth:`AnalysisCache.load` verifies before trusting disk bytes."""
+    return _sha(json.dumps(entries, sort_keys=True,
+                           separators=(",", ":")))
+
+
 def fingerprints(class_chunks: Sequence[Chunk], policy_key: str,
                  rk_digest: str, shas: Dict[str, str],
                  text_cache: Optional[Dict[str, Tuple[str, frozenset]]]
@@ -463,6 +471,7 @@ class CacheStats:
     ast_misses: int = 0
     replay_hits: int = 0
     check_misses: int = 0
+    quarantines: int = 0
     last: Dict[str, int] = field(default_factory=dict)
 
     def begin_run(self) -> None:
@@ -479,7 +488,8 @@ class CacheStats:
         return {"runs": self.runs, "fallbacks": self.fallbacks,
                 "ast_hits": self.ast_hits, "ast_misses": self.ast_misses,
                 "replay_hits": self.replay_hits,
-                "check_misses": self.check_misses}
+                "check_misses": self.check_misses,
+                "quarantines": self.quarantines}
 
 
 @dataclass
@@ -519,14 +529,43 @@ class AnalysisCache:
             return
         try:
             with open(self.path, "r", encoding="utf-8") as handle:
-                payload = json.load(handle)
-        except (OSError, ValueError):
-            return  # unreadable/corrupt: start cold
-        if payload.get("schema") != SCHEMA:
+                raw = handle.read()
+        except OSError:
+            return  # unreadable: start cold
+        try:
+            payload = json.loads(raw)
+        except ValueError:
+            # truncated or garbage JSON — a torn shard.  Move it aside
+            # (quarantine) so the evidence survives and the next writer
+            # doesn't fight a poisoned path, then start cold: the
+            # caller recomputes, it never raises and never trusts.
+            self._quarantine()
+            return
+        if not isinstance(payload, dict) or payload.get("schema") != SCHEMA:
             return
         entries = payload.get("entries")
-        if isinstance(entries, dict):
-            self.disk = entries
+        if not isinstance(entries, dict):
+            self._quarantine()
+            return
+        digest = payload.get("digest")
+        if digest is not None and digest != _entries_digest(entries):
+            # well-formed JSON whose content digest doesn't match: a
+            # corrupted-in-place shard (bit rot, partial overwrite) —
+            # same treatment as a torn one
+            self._quarantine()
+            return
+        self.disk = entries
+
+    def _quarantine(self) -> None:
+        """Move a corrupt shard to ``<shard>.corrupt-<pid>`` so the
+        bytes survive for diagnosis while the path heals."""
+        self.stats.bump("quarantines")
+        if not self.path:
+            return
+        try:
+            os.replace(self.path, f"{self.path}.corrupt-{os.getpid()}")
+        except OSError:
+            pass  # a racing quarantine already moved it
 
     def save(self) -> None:
         """Persist the disk tier atomically.
@@ -548,7 +587,9 @@ class AnalysisCache:
                             "fp": entry.fingerprint,
                             "errors": entry.errors,
                             "ann": entry.annotations}
-        payload = {"schema": SCHEMA, "entries": merged}
+        payload = {"schema": SCHEMA,
+                   "digest": _entries_digest(merged),
+                   "entries": merged}
         directory = os.path.dirname(self.path)
         if directory:
             os.makedirs(directory, exist_ok=True)

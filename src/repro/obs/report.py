@@ -49,7 +49,8 @@ REPORT_SCHEMA = "repro-report/1"
 BASELINE_FILES = {"interp": "BENCH_interp.json",
                   "frontend": "BENCH_frontend.json",
                   "codegen": "BENCH_codegen.json",
-                  "serve": "BENCH_serve.json"}
+                  "serve": "BENCH_serve.json",
+                  "serve_chaos": "BENCH_serve_chaos.json"}
 
 #: history points consulted per benchmark (newest last)
 DEFAULT_HISTORY = 50
@@ -146,8 +147,40 @@ def _serve_points(payload: Dict[str, Any]
     return points
 
 
+def _serve_chaos_points(payload: Dict[str, Any]
+                        ) -> Dict[str, Dict[str, Any]]:
+    """Resilience-contract rows for a serve-chaos payload.  Every row
+    is exact-only: the fault schedule is a pure function of (seed,
+    traffic), so per-site counts must match the committed baseline bit
+    for bit, and the contract quantities (lost requests, parity
+    breaks, replay verdict) must stay at their recorded values.
+    Wall-clock and transition counts are host-dependent and never
+    judged here."""
+    points: Dict[str, Dict[str, Any]] = {}
+    for site, count in sorted((payload.get("faults") or {}).items()):
+        points[f"faults/{site}"] = {
+            "wall_s": 0.0,
+            "exact": ("injected fault count", count),
+        }
+    contract = payload.get("contract") or {}
+    points["contract/lost"] = {
+        "wall_s": 0.0,
+        "exact": ("lost requests", contract.get("lost_requests")),
+    }
+    points["contract/parity"] = {
+        "wall_s": 0.0,
+        "exact": ("parity failures", contract.get("parity_failures")),
+    }
+    points["contract/replay"] = {
+        "wall_s": 0.0,
+        "exact": ("bit-for-bit replay", payload.get("replay_ok")),
+    }
+    return points
+
+
 _FLATTEN = {"interp": _interp_points, "frontend": _frontend_points,
-            "codegen": _codegen_points, "serve": _serve_points}
+            "codegen": _codegen_points, "serve": _serve_points,
+            "serve_chaos": _serve_chaos_points}
 
 #: labels whose absence from the current payload is environmental, not
 #: a regression (C rows vanish on hosts without a toolchain)

@@ -6,8 +6,20 @@ content-addressed :class:`~repro.core.cache.AnalysisCache` tree, with
 request coalescing, micro-batching, bounded-queue admission control,
 per-tenant token-bucket quotas, and deadline propagation.  See
 ``docs/SERVING.md`` for the architecture and tuning guide.
+
+The resilience plane lives alongside: deterministic service-fault
+injection (:mod:`~repro.serve.faults`), the healthy→brownout→shed
+degradation ladder (:mod:`~repro.serve.degrade`), a self-healing
+retrying client (:mod:`~repro.serve.client`), and seeded chaos
+campaigns against a live service (:mod:`~repro.serve.chaos`).  See
+``docs/ROBUSTNESS.md``.
 """
 
+from .client import ClientPolicy, ResilientClient, ServeClientError
+from .degrade import (RUNG_BROWNOUT, RUNG_HEALTHY, RUNG_NAMES,
+                      RUNG_SHED, DegradationLadder)
+from .faults import (SERVICE_FAULT_SITES, ReplayServiceInjector,
+                     ServiceFaultInjector, ServiceFaultPlan)
 from .pool import PendingJob, WorkerPool
 from .protocol import (ENDPOINTS, Job, JobOutcome, job_fingerprint,
                        program_sha)
@@ -19,4 +31,8 @@ __all__ = [
     "ENDPOINTS", "Job", "JobOutcome", "PendingJob", "QuotaTable",
     "ServeConfig", "ServeService", "TokenBucket", "WarmWorker",
     "WorkerPool", "job_fingerprint", "program_sha",
+    "SERVICE_FAULT_SITES", "ServiceFaultPlan", "ServiceFaultInjector",
+    "ReplayServiceInjector", "DegradationLadder", "RUNG_HEALTHY",
+    "RUNG_BROWNOUT", "RUNG_SHED", "RUNG_NAMES", "ClientPolicy",
+    "ResilientClient", "ServeClientError",
 ]

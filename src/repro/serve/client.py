@@ -1,0 +1,396 @@
+"""The resilient serve client: retries, backoff, deadlines, breaker.
+
+Every programmatic consumer of ``repro serve`` in this repo — the
+bench suites, the chaos campaign, the CLI — talks through this client
+rather than raw ``http.client``, so the retry discipline is uniform
+and testable:
+
+* **bounded retries with exponential backoff + deterministic jitter**
+  — the jitter stream comes from a seeded ``random.Random``, so a
+  chaos campaign's sleep pattern (and therefore its request order) is
+  a pure function of the seed;
+* **Retry-After is honored**: a 429/503 naming a wait never retries
+  earlier than the server asked (the quota property test guarantees
+  the server never names a wait that's too short — together these kill
+  the early-retry thundering herd);
+* **deadline budgets**: a per-request budget is decremented across
+  attempts and propagated to the server as ``deadline_ms``, so the
+  server can cancel queued work the client has already given up on;
+* **circuit breaker**: consecutive 5xx responses trip the breaker;
+  while open, requests fail fast with a synthetic 503 instead of
+  piling onto a struggling service; after ``breaker_reset_s`` one
+  probe request is allowed through (half-open);
+* **optional hedging**: after enough latency samples, a second
+  identical request can be fired when the first exceeds the observed
+  p99 — first answer wins.  Identical jobs coalesce server-side, so a
+  hedge costs a queue slot, not a duplicate analysis.  Off by default
+  (and off in chaos campaigns, where request order must be
+  deterministic).
+
+Transport is pluggable (``transport(method, path, body, headers) →
+(status, headers, body)``) so unit tests drive the whole policy
+surface without a socket; the default transport is a keep-alive
+``http.client.HTTPConnection`` with Nagle off, same as the bench
+harness.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+__all__ = ["ClientPolicy", "ClientResult", "ResilientClient",
+           "ServeClientError"]
+
+#: statuses worth retrying: overload shedding and server-side failures
+#: (client errors — 400/404/411/413/422 — never retry: the same bytes
+#: would fail the same way)
+RETRY_STATUSES = frozenset({429, 500, 502, 503, 504})
+
+#: synthetic status for transport-level failures (connection refused,
+#: reset, short read) — retriable, never confused with a real reply
+STATUS_TRANSPORT_ERROR = 599
+
+
+class ServeClientError(RuntimeError):
+    """Transport-level failure the default transport reports."""
+
+
+@dataclass
+class ClientPolicy:
+    """Knobs for the retry/backoff/breaker/hedge discipline."""
+
+    #: attempts beyond the first (0 = fail on first error)
+    max_retries: int = 4
+    backoff_base_s: float = 0.05
+    backoff_cap_s: float = 2.0
+    #: seed for the jitter stream — same seed, same sleeps
+    jitter_seed: int = 0
+    #: consecutive 5xx replies that trip the breaker (0 disables)
+    breaker_threshold: int = 5
+    breaker_reset_s: float = 1.0
+    #: total budget per logical request, spread across attempts and
+    #: propagated to the server (None = no budget)
+    deadline_budget_ms: Optional[float] = None
+    #: fire a duplicate request when the first exceeds observed p99
+    hedge: bool = False
+    #: successful-latency samples required before hedging arms
+    hedge_min_samples: int = 20
+
+
+@dataclass
+class ClientResult:
+    """One logical request's outcome, with its retry provenance."""
+
+    status: int
+    body: Dict[str, Any]
+    attempts: int = 1
+    retried: bool = False
+    hedged: bool = False
+    breaker_open: bool = False
+    headers: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+
+def _default_transport(host: str, port: int, timeout: float):
+    """A keep-alive HTTP/1.1 connection, rebuilt on any transport
+    error (the server may have legitimately dropped it)."""
+    import http.client
+    import socket as socketlib
+    state: Dict[str, Any] = {"conn": None}
+
+    def transport(method: str, path: str, body: Optional[bytes],
+                  headers: Dict[str, str]
+                  ) -> Tuple[int, Dict[str, str], bytes]:
+        conn = state["conn"]
+        if conn is None:
+            conn = http.client.HTTPConnection(host, port,
+                                              timeout=timeout)
+            try:
+                conn.connect()
+                conn.sock.setsockopt(socketlib.IPPROTO_TCP,
+                                     socketlib.TCP_NODELAY, 1)
+            except OSError as err:
+                raise ServeClientError(f"connect: {err}") from err
+            state["conn"] = conn
+        try:
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            payload = response.read()
+            return (response.status,
+                    {k.title(): v for k, v in response.getheaders()},
+                    payload)
+        except (OSError, http.client.HTTPException) as err:
+            try:
+                conn.close()
+            finally:
+                state["conn"] = None
+            raise ServeClientError(str(err)) from err
+
+    def close() -> None:
+        conn = state.pop("conn", None)
+        if conn is not None:
+            conn.close()
+        state["conn"] = None
+
+    transport.close = close  # type: ignore[attr-defined]
+    return transport
+
+
+class ResilientClient:
+    """Retrying, deadline-aware, breaker-guarded serve client."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 policy: Optional[ClientPolicy] = None,
+                 transport: Optional[Callable[..., Tuple[int,
+                                                         Dict[str, str],
+                                                         bytes]]] = None,
+                 timeout: float = 30.0,
+                 sleep: Callable[[float], None] = time.sleep,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.policy = policy or ClientPolicy()
+        self._transport = (transport
+                           or _default_transport(host, port, timeout))
+        self._host, self._port, self._timeout = host, port, timeout
+        self._sleep = sleep
+        self._clock = clock
+        self._rng = random.Random(self.policy.jitter_seed)
+        self._lock = threading.Lock()
+        self._consecutive_5xx = 0
+        self._breaker_open_until: Optional[float] = None
+        self._latencies: List[float] = []  # successful attempts only
+        #: counters the bench/chaos harnesses read back
+        self.stats: Dict[str, int] = {
+            "requests": 0, "attempts": 0, "retries": 0,
+            "breaker_fastfail": 0, "hedges": 0,
+            "transport_errors": 0}
+
+    # -- breaker --------------------------------------------------------
+
+    def _breaker_allows(self) -> bool:
+        if self.policy.breaker_threshold <= 0:
+            return True
+        with self._lock:
+            until = self._breaker_open_until
+            if until is None:
+                return True
+            if self._clock() >= until:
+                # half-open: let exactly this request probe; a failure
+                # re-trips below, a success closes
+                self._breaker_open_until = None
+                return True
+            return False
+
+    def _record_status(self, status: int) -> None:
+        if self.policy.breaker_threshold <= 0:
+            return
+        with self._lock:
+            if status >= 500:
+                self._consecutive_5xx += 1
+                if (self._consecutive_5xx
+                        >= self.policy.breaker_threshold):
+                    self._breaker_open_until = (
+                        self._clock() + self.policy.breaker_reset_s)
+            else:
+                self._consecutive_5xx = 0
+                self._breaker_open_until = None
+
+    @property
+    def breaker_open(self) -> bool:
+        with self._lock:
+            return (self._breaker_open_until is not None
+                    and self._clock() < self._breaker_open_until)
+
+    # -- hedging --------------------------------------------------------
+
+    def _hedge_delay(self) -> Optional[float]:
+        if not self.policy.hedge:
+            return None
+        with self._lock:
+            samples = sorted(self._latencies)
+        if len(samples) < max(2, self.policy.hedge_min_samples):
+            return None
+        rank = max(0, min(len(samples) - 1,
+                          int(0.99 * (len(samples) - 1))))
+        return samples[rank]
+
+    def _note_latency(self, seconds: float) -> None:
+        with self._lock:
+            self._latencies.append(seconds)
+            if len(self._latencies) > 512:
+                del self._latencies[:256]
+
+    # -- one attempt ----------------------------------------------------
+
+    def _attempt(self, method: str, path: str, body: Optional[bytes]
+                 ) -> Tuple[int, Dict[str, str], Dict[str, Any]]:
+        headers = {"Content-Type": "application/json"}
+        if body is not None:
+            headers["Content-Length"] = str(len(body))
+        started = self._clock()
+        try:
+            status, reply_headers, raw = self._transport(
+                method, path, body, headers)
+        except ServeClientError as err:
+            self.stats["transport_errors"] += 1
+            return (STATUS_TRANSPORT_ERROR, {},
+                    {"ok": False, "error": str(err)})
+        try:
+            reply = json.loads(raw.decode("utf-8")) if raw else {}
+        except (ValueError, UnicodeDecodeError):
+            reply = {"ok": False, "error": "unparseable body"}
+        if 200 <= status < 300:
+            self._note_latency(self._clock() - started)
+        return status, reply_headers, reply
+
+    def _hedged_attempt(self, method: str, path: str,
+                        body: Optional[bytes], delay: float
+                        ) -> Tuple[Tuple[int, Dict[str, str],
+                                         Dict[str, Any]], bool]:
+        """Primary attempt with a delayed duplicate; first reply wins.
+        The hedge runs on its own one-shot connection so the two
+        in-flight requests never share a socket."""
+        slot: Dict[str, Any] = {}
+        done = threading.Event()
+
+        def run(label: str, transport) -> None:
+            headers = {"Content-Type": "application/json"}
+            if body is not None:
+                headers["Content-Length"] = str(len(body))
+            try:
+                status, hdrs, raw = transport(method, path, body,
+                                              headers)
+                reply = (json.loads(raw.decode("utf-8"))
+                         if raw else {})
+            except (ServeClientError, ValueError,
+                    UnicodeDecodeError) as err:
+                status, hdrs, reply = (STATUS_TRANSPORT_ERROR, {},
+                                       {"ok": False,
+                                        "error": str(err)})
+            with self._lock:
+                if "result" not in slot:
+                    slot["result"] = (status, hdrs, reply)
+                    slot["winner"] = label
+            done.set()
+
+        primary = threading.Thread(
+            target=run, args=("primary", self._transport), daemon=True)
+        primary.start()
+        hedged = False
+        if not done.wait(timeout=delay):
+            hedge_transport = _default_transport(
+                self._host, self._port, self._timeout)
+            hedged = True
+            self.stats["hedges"] += 1
+            threading.Thread(target=run,
+                             args=("hedge", hedge_transport),
+                             daemon=True).start()
+            done.wait()
+        with self._lock:
+            result = slot["result"]
+        return result, hedged
+
+    # -- public API -----------------------------------------------------
+
+    def post(self, endpoint: str, payload: Dict[str, Any],
+             deadline_ms: Optional[float] = None) -> ClientResult:
+        """POST ``/v1/<endpoint>`` with the full retry discipline."""
+        policy = self.policy
+        budget_ms = (deadline_ms if deadline_ms is not None
+                     else policy.deadline_budget_ms)
+        start = self._clock()
+        path = f"/v1/{endpoint}"
+        self.stats["requests"] += 1
+        attempts = 0
+        hedged_any = False
+        result: Tuple[int, Dict[str, str], Dict[str, Any]] = (
+            STATUS_TRANSPORT_ERROR, {}, {"ok": False,
+                                         "error": "no attempt made"})
+        while True:
+            if not self._breaker_allows():
+                self.stats["breaker_fastfail"] += 1
+                return ClientResult(
+                    503, {"ok": False,
+                          "error": "circuit breaker open"},
+                    attempts=attempts, retried=attempts > 1,
+                    hedged=hedged_any, breaker_open=True)
+            remaining_ms: Optional[float] = None
+            if budget_ms is not None:
+                remaining_ms = budget_ms - (self._clock()
+                                            - start) * 1000.0
+                if remaining_ms <= 0:
+                    return ClientResult(
+                        504, {"ok": False,
+                              "error": "client deadline exhausted"},
+                        attempts=attempts, retried=attempts > 1,
+                        hedged=hedged_any)
+            wire = dict(payload)
+            if remaining_ms is not None:
+                # the server sees what's actually left, so it can
+                # cancel queued work we've already given up on
+                wire["deadline_ms"] = remaining_ms
+            body = json.dumps(wire, sort_keys=True).encode("utf-8")
+            attempts += 1
+            self.stats["attempts"] += 1
+            delay = self._hedge_delay()
+            if delay is not None:
+                result, was_hedged = self._hedged_attempt(
+                    "POST", path, body, delay)
+                hedged_any = hedged_any or was_hedged
+            else:
+                result = self._attempt("POST", path, body)
+            status, headers, reply = result
+            self._record_status(status)
+            if (status not in RETRY_STATUSES
+                    and status != STATUS_TRANSPORT_ERROR):
+                return ClientResult(status, reply, attempts=attempts,
+                                    retried=attempts > 1,
+                                    hedged=hedged_any,
+                                    headers=headers)
+            if attempts > policy.max_retries:
+                return ClientResult(status, reply, attempts=attempts,
+                                    retried=attempts > 1,
+                                    hedged=hedged_any,
+                                    headers=headers)
+            # exponential backoff with deterministic jitter, never
+            # earlier than the server's Retry-After
+            wait = min(policy.backoff_cap_s,
+                       policy.backoff_base_s * (2 ** (attempts - 1)))
+            wait += self._rng.random() * policy.backoff_base_s
+            retry_after = headers.get("Retry-After")
+            if retry_after:
+                try:
+                    wait = max(wait, float(retry_after))
+                except ValueError:
+                    pass
+            if budget_ms is not None:
+                leftover = (budget_ms
+                            - (self._clock() - start) * 1000.0) / 1000.0
+                if wait >= leftover:
+                    return ClientResult(
+                        status, reply, attempts=attempts,
+                        retried=attempts > 1, hedged=hedged_any,
+                        headers=headers)
+            self.stats["retries"] += 1
+            self._sleep(wait)
+
+    def get(self, path: str) -> Tuple[int, bytes]:
+        """Raw GET for ``/metrics`` / ``/healthz`` — no retries; the
+        read-only routes are the ground truth probes."""
+        try:
+            status, _, raw = self._transport("GET", path, None, {})
+            return status, raw
+        except ServeClientError as err:
+            return STATUS_TRANSPORT_ERROR, str(err).encode()
+
+    def close(self) -> None:
+        closer = getattr(self._transport, "close", None)
+        if closer is not None:
+            closer()

@@ -1,0 +1,281 @@
+"""Deterministic fault-injection plane for the *serving* layer.
+
+:mod:`repro.rtsj.faults` makes the simulated runtime's failure paths
+exercisable deterministically; this module does the same one layer up,
+at the service boundary, so worker crash storms, stuck workers, torn
+cache shards, broken pipes, and latency spikes are tested the same way
+region faults are — seeded, recorded, and replayable bit-for-bit:
+
+* a :class:`ServiceFaultPlan` names the service sites to perturb and a
+  per-site probability, all derived from one seed;
+* a :class:`ServiceFaultInjector` is consulted by the worker pool at
+  each dispatch (``fire``) and records every injected fault as a
+  :class:`~repro.rtsj.faults.FaultRecord` — the ordered list is a
+  *schedule*;
+* a :class:`ReplayServiceInjector` re-fires a recorded schedule
+  exactly: the nth consult of a site fails iff it failed in the
+  recorded run.
+
+Determinism contract: ``fire`` keys decisions on the per-site consult
+counter under a lock, never on wall clock.  A chaos campaign that
+drives the service with one sequential client (the way
+:mod:`repro.serve.chaos` does) therefore produces a consult sequence —
+and an injected schedule — that is a pure function of (traffic, plan).
+
+The sites, in consult order at each dispatch:
+
+``worker_crash``   the worker process is SIGKILLed before the batch is
+                   sent — the dispatcher sees EOF and must respawn
+``worker_stall``   the worker sleeps past the pool's stall watchdog —
+                   a missed deadline; the watchdog must kill + respawn
+``latency_spike``  the worker sleeps *within* the watchdog budget — a
+                   slow analysis the client's tail policy must absorb
+``pipe_write``     the parent-side pipe send fails — same healing path
+                   as a crash, without a dead process
+``cache_corrupt``  the job's on-disk analysis-cache shard is torn
+                   (truncated JSON) before dispatch — the worker's
+                   quarantine path must recompute, never serve garbage
+
+Schedules persist in the same JSONL shape as runtime schedules, with a
+``target: "serve"`` header field so ``repro chaos --replay`` can route
+a file to the right replay engine.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import threading
+from dataclasses import dataclass, field
+from typing import (Any, Dict, IO, Iterable, List, Mapping, Optional,
+                    Tuple)
+
+from ..rtsj.faults import FaultRecord, fault_key
+
+__all__ = [
+    "SERVICE_FAULT_SITES", "ServiceFaultPlan", "ServiceFaultInjector",
+    "ReplayServiceInjector", "fault_key", "FaultRecord",
+    "write_schedule", "save_schedule", "load_schedule",
+    "peek_schedule_target",
+]
+
+#: every service site the injector can be consulted at, in the order
+#: the pool consults them per dispatch
+SERVICE_FAULT_SITES: Tuple[str, ...] = (
+    "worker_crash",    # SIGKILL the worker before dispatch
+    "worker_stall",    # worker sleeps past the stall watchdog
+    "latency_spike",   # worker sleeps within the watchdog budget
+    "pipe_write",      # parent-side pipe send fails
+    "cache_corrupt",   # torn on-disk analysis-cache shard
+)
+
+SCHEDULE_VERSION = 1
+SCHEDULE_TARGET = "serve"
+
+
+@dataclass(frozen=True)
+class ServiceFaultPlan:
+    """What to inject at the service boundary: one seed, per-site
+    rates, an optional site filter, and the two sleep magnitudes.
+
+    ``stall_ms`` must exceed the pool's stall watchdog for
+    ``worker_stall`` to register as a missed deadline; ``spike_ms``
+    must stay inside it so a spike is slow, not stuck.
+    """
+
+    seed: int = 0
+    rate: float = 0.0
+    rates: Mapping[str, float] = field(default_factory=dict)
+    sites: Optional[Tuple[str, ...]] = None
+    max_faults: Optional[int] = None
+    #: worker sleep when ``worker_stall`` fires (milliseconds)
+    stall_ms: float = 2000.0
+    #: worker sleep when ``latency_spike`` fires (milliseconds)
+    spike_ms: float = 50.0
+
+    def __post_init__(self) -> None:
+        unknown = set(self.rates) - set(SERVICE_FAULT_SITES)
+        if self.sites is not None:
+            unknown |= set(self.sites) - set(SERVICE_FAULT_SITES)
+        if unknown:
+            raise ValueError(
+                f"unknown service fault site(s) {sorted(unknown)}; "
+                f"known: {list(SERVICE_FAULT_SITES)}")
+
+    def rate_for(self, site: str) -> float:
+        if self.sites is not None and site not in self.sites:
+            return 0.0
+        return float(self.rates.get(site, self.rate))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "rate": self.rate,
+            "rates": dict(self.rates),
+            "sites": list(self.sites) if self.sites is not None else None,
+            "max_faults": self.max_faults,
+            "stall_ms": self.stall_ms,
+            "spike_ms": self.spike_ms,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ServiceFaultPlan":
+        sites = data.get("sites")
+        return cls(seed=int(data.get("seed", 0)),
+                   rate=float(data.get("rate", 0.0)),
+                   rates=dict(data.get("rates") or {}),
+                   sites=tuple(sites) if sites is not None else None,
+                   max_faults=data.get("max_faults"),
+                   stall_ms=float(data.get("stall_ms", 2000.0)),
+                   spike_ms=float(data.get("spike_ms", 50.0)))
+
+
+class ServiceFaultInjector:
+    """Seeded random injector for the serving layer.
+
+    Unlike the runtime injector (which lives inside a deterministic
+    single-threaded scheduler) this one is consulted from dispatcher
+    threads, so every consult takes a lock: the per-site counters and
+    the PRNG stream stay coherent no matter which thread asks.
+    """
+
+    def __init__(self, plan: ServiceFaultPlan) -> None:
+        self.plan = plan
+        self._rng = random.Random(plan.seed)
+        self._lock = threading.Lock()
+        self.site_counts: Dict[str, int] = {s: 0
+                                            for s in SERVICE_FAULT_SITES}
+        self.injected: List[FaultRecord] = []
+        self._rates = {s: plan.rate_for(s) for s in SERVICE_FAULT_SITES}
+
+    @property
+    def stall_ms(self) -> float:
+        return self.plan.stall_ms
+
+    @property
+    def spike_ms(self) -> float:
+        return self.plan.spike_ms
+
+    def fire(self, site: str, detail: str = "") -> bool:
+        """Consult the injector at ``site``; True means inject here.
+        Always advances the per-site consult counter so recorded and
+        replayed campaigns stay aligned."""
+        with self._lock:
+            seq = self.site_counts[site]
+            self.site_counts[site] = seq + 1
+            rate = self._rates[site]
+            if rate <= 0.0:
+                return False
+            if (self.plan.max_faults is not None
+                    and len(self.injected) >= self.plan.max_faults):
+                return False
+            if self._rng.random() >= rate:
+                return False
+            self.injected.append(
+                FaultRecord(index=len(self.injected), site=site,
+                            seq=seq, detail=detail))
+            return True
+
+    def counts(self) -> Dict[str, int]:
+        """Injected faults per site (not consults)."""
+        out = {s: 0 for s in SERVICE_FAULT_SITES}
+        with self._lock:
+            for record in self.injected:
+                out[record.site] += 1
+        return out
+
+
+class ReplayServiceInjector:
+    """Re-fires a recorded service schedule exactly: the nth consult
+    of a site fails iff the recorded run's nth consult did."""
+
+    def __init__(self, records: Iterable[FaultRecord],
+                 plan: Optional[ServiceFaultPlan] = None) -> None:
+        self.plan = plan or ServiceFaultPlan()
+        self._fire_at = {(r.site, r.seq) for r in records}
+        self._lock = threading.Lock()
+        self.site_counts: Dict[str, int] = {s: 0
+                                            for s in SERVICE_FAULT_SITES}
+        self.injected: List[FaultRecord] = []
+
+    @property
+    def stall_ms(self) -> float:
+        return self.plan.stall_ms
+
+    @property
+    def spike_ms(self) -> float:
+        return self.plan.spike_ms
+
+    def fire(self, site: str, detail: str = "") -> bool:
+        with self._lock:
+            seq = self.site_counts[site]
+            self.site_counts[site] = seq + 1
+            if (site, seq) not in self._fire_at:
+                return False
+            self.injected.append(
+                FaultRecord(index=len(self.injected), site=site,
+                            seq=seq, detail=detail))
+            return True
+
+    counts = ServiceFaultInjector.counts
+
+
+# ---------------------------------------------------------------------------
+# schedule persistence (same JSONL shape as rtsj schedules, tagged with
+# target: "serve" so the replay CLI routes the file correctly)
+# ---------------------------------------------------------------------------
+
+def write_schedule(handle: IO[str], plan: ServiceFaultPlan,
+                   records: Iterable[FaultRecord],
+                   meta: Optional[Dict[str, Any]] = None) -> None:
+    header: Dict[str, Any] = {"version": SCHEDULE_VERSION,
+                              "target": SCHEDULE_TARGET,
+                              "plan": plan.to_dict()}
+    if meta:
+        header["meta"] = meta
+    handle.write(json.dumps(header, sort_keys=True) + "\n")
+    for record in records:
+        handle.write(json.dumps(record.to_dict(), sort_keys=True) + "\n")
+
+
+def save_schedule(path: str, plan: ServiceFaultPlan,
+                  records: Iterable[FaultRecord],
+                  meta: Optional[Dict[str, Any]] = None) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        write_schedule(handle, plan, records, meta)
+
+
+def load_schedule(path: str) -> Tuple[ServiceFaultPlan,
+                                      List[FaultRecord],
+                                      Dict[str, Any]]:
+    """Read a serve schedule back: (plan, records, meta)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = [line for line in handle if line.strip()]
+    if not lines:
+        raise ValueError(f"empty fault schedule: {path}")
+    header = json.loads(lines[0])
+    version = header.get("version")
+    if version != SCHEDULE_VERSION:
+        raise ValueError(
+            f"unsupported schedule version {version!r} in {path} "
+            f"(expected {SCHEDULE_VERSION})")
+    if header.get("target") != SCHEDULE_TARGET:
+        raise ValueError(
+            f"{path} is not a serve schedule "
+            f"(target={header.get('target')!r})")
+    plan = ServiceFaultPlan.from_dict(header.get("plan") or {})
+    records = [FaultRecord.from_dict(json.loads(line))
+               for line in lines[1:]]
+    return plan, records, dict(header.get("meta") or {})
+
+
+def peek_schedule_target(path: str) -> str:
+    """The ``target`` of a persisted schedule file without loading it:
+    ``"serve"`` for service schedules, ``"runtime"`` for the rtsj
+    plane's (whose headers predate the field)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            if line.strip():
+                header = json.loads(line)
+                return str(header.get("target") or "runtime")
+    raise ValueError(f"empty fault schedule: {path}")

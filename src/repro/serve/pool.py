@@ -12,9 +12,22 @@ dispatcher thread.  All dispatchers pull from a single shared queue:
 * jobs whose deadline passed while queued are answered ``504`` right
   here and never cross the pipe (cancellation before execution — the
   worker re-checks per item for deadlines that expire mid-batch);
-* a worker that dies mid-batch fails only that batch (each job gets a
-  ``500``), and the dispatcher forks a fresh replacement before
-  pulling more work — the pool heals itself.
+* a worker that dies or wedges mid-batch fails only that batch: each
+  job is **requeued once, transparently** (the retry is invisible to
+  the client — a single crash costs latency, not an error) or answered
+  ``500`` honestly if it already rode a dead worker, and the
+  dispatcher forks a fresh replacement before pulling more work — the
+  pool heals itself;
+* an optional **stall watchdog** (``stall_timeout_s``) bounds how long
+  a dispatcher waits for a worker's reply: a wedged worker — stuck,
+  not dead — is killed and replaced through the same healing path as a
+  crash, so a missed deadline can't pin a dispatcher forever.
+
+The pool is also where the serve resilience plane injects failures: an
+optional :class:`~repro.serve.faults.ServiceFaultInjector` is
+consulted once per site per dispatch (fixed order, so recorded chaos
+schedules replay bit-for-bit), and worker-lifecycle events are
+reported to an optional callback the degradation ladder listens on.
 
 Admission control belongs to the caller: :attr:`WorkerPool.outstanding`
 is the live queued+in-flight count the frontend compares against its
@@ -23,6 +36,7 @@ bounded queue depth before calling :meth:`submit`.
 
 from __future__ import annotations
 
+import os
 import queue
 import threading
 import time
@@ -47,6 +61,9 @@ class PendingJob:
     cancelled: bool = False
     #: True when a worker actually computed (ran frontend/machine)
     computed: bool = False
+    #: True once the job has been transparently resubmitted after a
+    #: worker failure — a second failure is answered 500, not retried
+    requeued: bool = False
     done: threading.Event = field(default_factory=threading.Event)
 
     def resolve(self, outcome: JobOutcome, *, cancelled: bool = False,
@@ -68,13 +85,25 @@ class WorkerPool:
     def __init__(self, workers: int = 2,
                  cache_root: Optional[str] = None,
                  batch_max: int = 8,
-                 metrics: Optional[Any] = None) -> None:
+                 metrics: Optional[Any] = None,
+                 fault_injector: Optional[Any] = None,
+                 stall_timeout_s: Optional[float] = None,
+                 requeue_on_crash: bool = True,
+                 on_worker_event: Optional[Callable[[str], None]]
+                 = None) -> None:
         import multiprocessing as mp
         if workers < 1:
             raise ValueError("need at least one worker")
         self.workers = workers
         self.cache_root = cache_root
         self.batch_max = max(1, batch_max)
+        #: anything with fire(site, detail) / stall_ms / spike_ms —
+        #: a ServiceFaultInjector or its replay twin (None in prod)
+        self.faults = fault_injector
+        #: reply-wait bound per dispatch; None disables the watchdog
+        self.stall_timeout_s = stall_timeout_s
+        self.requeue_on_crash = requeue_on_crash
+        self._on_worker_event = on_worker_event
         self._ctx = mp.get_context()
         self._queue: "queue.Queue[Any]" = queue.Queue()
         self._lock = threading.Lock()
@@ -92,8 +121,13 @@ class WorkerPool:
             self._restart_ctr = metrics.counter(
                 "repro_serve_worker_restarts_total",
                 "worker processes replaced after a crash")
+            self._requeue_ctr = metrics.counter(
+                "repro_serve_requeued_jobs_total",
+                "jobs transparently resubmitted after a worker "
+                "failure")
         else:
             self._batch_hist = self._restart_ctr = None
+            self._requeue_ctr = None
         for i in range(workers):
             self._spawn(i)
         self._threads = [
@@ -159,6 +193,57 @@ class WorkerPool:
             self._outstanding -= 1
         pending.resolve(outcome, **kw)
 
+    def _event(self, kind: str) -> None:
+        """Report a worker-lifecycle event (``crash`` / ``stall`` /
+        ``pipe_write`` / ``respawn``) to the ladder, if one listens."""
+        if self._on_worker_event is not None:
+            try:
+                self._on_worker_event(kind)
+            except Exception:
+                pass  # an observer bug must not wedge the dispatcher
+
+    # -- fault consultation (chaos campaigns only; no-op in prod) -------
+
+    def _consult_faults(self, index: int, live: List[PendingJob]
+                        ) -> tuple:
+        """Consult every service fault site exactly once for this
+        dispatch — the fixed per-dispatch consult pattern is what makes
+        recorded schedules replayable.  Returns
+        ``(kill, delay_ms, pipe_fail)``."""
+        injector = self.faults
+        if injector is None:
+            return False, None, False
+        detail = (f"worker={index} "
+                  f"job={live[0].job.fingerprint[:12]}")
+        kill = injector.fire("worker_crash", detail)
+        stall = injector.fire("worker_stall", detail)
+        spike = injector.fire("latency_spike", detail)
+        pipe_fail = injector.fire("pipe_write", detail)
+        if injector.fire("cache_corrupt", detail):
+            self._corrupt_shard(live[0].job.source_sha)
+        delay_ms: Optional[float] = None
+        if stall:
+            delay_ms = float(injector.stall_ms)
+        elif spike:
+            delay_ms = float(injector.spike_ms)
+        return kill, delay_ms, pipe_fail
+
+    def _corrupt_shard(self, sha: str) -> None:
+        """Tear the job's on-disk analysis-cache shard (truncated
+        JSON) so the worker's disk-tier load must take the quarantine
+        path instead of trusting the bytes."""
+        if not self.cache_root:
+            return
+        from ..core.cache import shard_path
+        path = shard_path(self.cache_root, sha)
+        try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write('{"schema": "repro-analysis-cache/1", '
+                             '"entries": {"torn')
+        except OSError:
+            pass
+
     # -- the dispatcher -------------------------------------------------
 
     def _take_batch(self) -> Optional[List[PendingJob]]:
@@ -197,19 +282,34 @@ class WorkerPool:
                 continue
             if self._batch_hist is not None:
                 self._batch_hist.observe(len(live))
+            kill, delay_ms, pipe_fail = self._consult_faults(index,
+                                                             live)
+            if kill:
+                proc = self._procs[index]
+                if proc is not None:
+                    proc.kill()
+                    proc.join(timeout=2.0)
+            wire = [p.job.to_wire() for p in live]
+            if delay_ms is not None:
+                # ride the delay on the wire: the worker sleeps before
+                # handling, which is what a slow or stuck analysis
+                # looks like from this side of the pipe
+                wire[0]["_delay_ms"] = delay_ms
             conn = self._conns[index]
             try:
-                conn.send([p.job.to_wire() for p in live])
+                if pipe_fail:
+                    raise OSError("injected pipe-write failure")
+                conn.send(wire)
+                if (self.stall_timeout_s is not None
+                        and not conn.poll(self.stall_timeout_s)):
+                    # the worker is wedged, not dead: the watchdog
+                    # turns a missed deadline into the healing path
+                    self._heal(index, live, "stall")
+                    continue
                 replies = conn.recv()
             except (EOFError, OSError, ValueError):
-                for p in live:
-                    self._finish(p, JobOutcome(
-                        500, error_body("worker process died")))
-                if not self._closed:
-                    self._restarts += 1
-                    if self._restart_ctr is not None:
-                        self._restart_ctr.inc()
-                    self._spawn(index)
+                self._heal(index, live,
+                           "pipe_write" if pipe_fail else "crash")
                 continue
             for p, reply in zip(live, replies):
                 self._finish(
@@ -218,6 +318,39 @@ class WorkerPool:
                                memo=reply.get("memo", False)),
                     cancelled=reply.get("cancelled", False),
                     computed=reply.get("computed", False))
+
+    def _heal(self, index: int, live: List[PendingJob],
+              reason: str) -> None:
+        """Replace a dead or wedged worker and re-route its batch:
+        first failure per job is requeued transparently, a repeat is
+        answered ``500`` honestly — an admitted request is never
+        silently dropped."""
+        proc = self._procs[index]
+        if proc is not None and proc.is_alive():
+            proc.kill()  # a stalled worker must die before respawn
+            proc.join(timeout=2.0)
+        try:
+            self._conns[index].close()
+        except OSError:
+            pass
+        self._event(reason)
+        for p in live:
+            if (self.requeue_on_crash and not self._closed
+                    and not p.requeued):
+                p.requeued = True
+                if self._requeue_ctr is not None:
+                    self._requeue_ctr.inc()
+                self._queue.put(p)  # outstanding stays counted
+            else:
+                self._finish(p, JobOutcome(
+                    500, error_body("worker process died",
+                                    reason=reason)))
+        if not self._closed:
+            self._restarts += 1
+            if self._restart_ctr is not None:
+                self._restart_ctr.inc()
+            self._spawn(index)
+            self._event("respawn")
 
     # -- shutdown -------------------------------------------------------
 

@@ -35,6 +35,8 @@ is safe.
 from __future__ import annotations
 
 import json
+import math
+import socket
 import threading
 import time
 from collections import OrderedDict
@@ -45,6 +47,9 @@ from typing import Any, Dict, Optional, Tuple
 from ..obs.exporters import to_prometheus
 from ..obs.live import PROMETHEUS_CONTENT_TYPE
 from ..obs.metrics import MetricsRegistry
+from .degrade import (BACKEND_BROWNOUT_FALLBACK, RUNG_BROWNOUT,
+                      RUNG_HEALTHY, RUNG_NAMES, RUNG_SHED,
+                      DegradationLadder)
 from .pool import PendingJob, WorkerPool
 from .protocol import (ENDPOINTS, MAX_PROGRAM_BYTES, Job, error_body,
                        job_fingerprint, program_sha, validate_request)
@@ -78,13 +83,30 @@ class ServeConfig:
     hot_results: int = 1024
     #: leader wait bound for jobs without a deadline
     request_timeout_s: float = 60.0
+    #: pool stall watchdog: a worker that doesn't reply within this is
+    #: killed and replaced (None disables — not recommended)
+    stall_timeout_s: Optional[float] = 60.0
+    #: per-connection socket timeout for header/body reads — a
+    #: slow-loris client times out instead of pinning a handler thread
+    read_timeout_s: float = 30.0
+    #: a job that rode a dying worker is resubmitted once,
+    #: transparently, before any client-visible 500
+    requeue_on_crash: bool = True
+    #: queue-pressure ratio (outstanding / queue_depth) that counts as
+    #: trouble for the degradation ladder
+    brownout_ratio: float = 0.9
+    #: calm seconds before the ladder steps down one rung
+    heal_after_s: float = 0.5
+    #: troubles while already browned out that escalate to shed
+    shed_after_troubles: int = 5
 
 
 class ServeService:
     """The served frontend: HTTP threads over one shared pool."""
 
     def __init__(self, config: Optional[ServeConfig] = None,
-                 registry: Optional[MetricsRegistry] = None) -> None:
+                 registry: Optional[MetricsRegistry] = None,
+                 fault_injector: Optional[Any] = None) -> None:
         self.config = config or ServeConfig()
         self.metrics = registry if registry is not None \
             else MetricsRegistry()
@@ -117,11 +139,21 @@ class ServeService:
         self._analyses = m.counter(
             "repro_serve_analyses_total",
             "frontend analyses actually performed by workers")
+        # the ladder exists before the pool so worker-lifecycle
+        # events have somewhere to land from the first fork on
+        self.ladder = DegradationLadder(
+            heal_after_s=self.config.heal_after_s,
+            shed_after_troubles=self.config.shed_after_troubles,
+            calm=self._calm, metrics=m)
         # the pool forks before any HTTP thread exists
         self.pool = WorkerPool(
             workers=self.config.workers,
             cache_root=self.config.cache_dir,
-            batch_max=self.config.batch_max, metrics=m)
+            batch_max=self.config.batch_max, metrics=m,
+            fault_injector=fault_injector,
+            stall_timeout_s=self.config.stall_timeout_s,
+            requeue_on_crash=self.config.requeue_on_crash,
+            on_worker_event=self.ladder.worker_event)
         self.quotas = QuotaTable(self.config.quota_rate,
                                  self.config.quota_burst)
         self._lock = threading.Lock()
@@ -137,6 +169,22 @@ class ServeService:
         #: publishing this value *is* the readiness signal
         self.port = self._httpd.server_address[1]
         self._thread: Optional[threading.Thread] = None
+
+    # -- degradation ---------------------------------------------------
+
+    def _pressure_line(self) -> float:
+        """Outstanding-job count that counts as queue pressure. A
+        non-positive line (queue_depth=0 shed-everything configs) is
+        degenerate: pressure never fires and never blocks healing —
+        the queue-full 429 branch owns that regime."""
+        return self.config.brownout_ratio * self.config.queue_depth
+
+    def _calm(self) -> bool:
+        """Heal precondition for the ladder: every worker alive and
+        the queue back under the pressure line."""
+        line = self._pressure_line()
+        return (self.pool.alive_workers() >= self.pool.workers
+                and (line <= 0 or self.pool.outstanding < line))
 
     # -- request handling ----------------------------------------------
 
@@ -160,18 +208,43 @@ class ServeService:
                     {"Retry-After": _retry_after(wait)})
         mode = payload.get("mode", "static")
         backend = payload.get("backend", self.config.default_backend)
+        # degradation: heal if calm, count sustained queue pressure as
+        # trouble, and in brownout drop compiled backends one rung
+        # down the capability ladder (results stay byte-identical, so
+        # the swap is honest) — *before* the fingerprint is computed,
+        # so hot-tier entries stay exact
+        rung = self.ladder.observe()
+        line = self._pressure_line()
+        if line > 0 and self.pool.outstanding >= line:
+            rung = self.ladder.trouble("queue_pressure")
+        if rung >= RUNG_BROWNOUT:
+            backend = BACKEND_BROWNOUT_FALLBACK.get(backend, backend)
         sha = program_sha(source)
         fingerprint = job_fingerprint(endpoint, sha, mode, backend)
         deadline_ms = payload.get("deadline_ms",
                                   self.config.default_deadline_ms)
         deadline = (time.monotonic() + deadline_ms / 1000.0
                     if deadline_ms else None)
+        retry_degraded = {"Retry-After":
+                          _retry_after(self.config.heal_after_s)}
         with self._lock:
             hot = self._hot.get(fingerprint)
             if hot is not None:
+                # the hot tier is fingerprint-exact and one dict
+                # lookup — it stays on at every rung
                 self._hot.move_to_end(fingerprint)
                 self._hits.labels(tier="frontend").inc()
                 return hot[0], hot[1], {}
+            if rung >= RUNG_SHED:
+                self._shed.labels(reason="degraded").inc()
+                return (503, error_body(
+                    "service shedding load (degraded)",
+                    rung=RUNG_NAMES[rung]), retry_degraded)
+            if rung >= RUNG_BROWNOUT and endpoint != "analyze":
+                self._shed.labels(reason="degraded").inc()
+                return (503, error_body(
+                    "service degraded: analyze-only (brownout)",
+                    rung=RUNG_NAMES[rung]), retry_degraded)
             pending = self._inflight.get(fingerprint)
             if pending is not None:
                 self._coalesced.inc()
@@ -223,8 +296,11 @@ class ServeService:
         return to_prometheus(self.metrics)
 
     def health(self) -> Dict[str, Any]:
+        rung = self.ladder.observe()
         return {
             "status": "ok",
+            "rung": RUNG_NAMES[rung],
+            "ready": rung == RUNG_HEALTHY,
             "uptime_s": round(time.monotonic() - self._started, 3),
             "workers": self.pool.workers,
             "workers_alive": self.pool.alive_workers(),
@@ -271,7 +347,10 @@ class _ServeHTTPServer(ThreadingHTTPServer):
 
 
 def _retry_after(seconds: float) -> str:
-    return str(max(1, int(seconds + 0.999)))
+    # a true ceiling: the header must never name a wait shorter than
+    # the bucket's (int(s + 0.999) under-waits for s just above an
+    # integer, inviting a guaranteed-futile retry)
+    return str(max(1, math.ceil(seconds)))
 
 
 def _make_handler(service: ServeService):
@@ -283,6 +362,10 @@ def _make_handler(service: ServeService):
         #: puts header+body in a single segment (no delayed-ACK stall)
         wbufsize = 1 << 16
         disable_nagle_algorithm = True
+        #: per-connection socket timeout (slow-loris defence): header
+        #: and body reads that stall past this drop the connection
+        #: instead of pinning a handler thread forever
+        timeout = service.config.read_timeout_s
 
         def log_message(self, fmt: str, *args: Any) -> None:
             pass  # request logging is the metrics registry's job
@@ -311,6 +394,20 @@ def _make_handler(service: ServeService):
                                PROMETHEUS_CONTENT_TYPE)
                 elif path == "/healthz":
                     self._send_json(200, service.health())
+                elif path == "/livez":
+                    # liveness: the process answers — always 200 while
+                    # the HTTP loop runs, whatever the rung
+                    self._send_json(200, {"status": "alive"})
+                elif path == "/readyz":
+                    # readiness: only the healthy rung accepts full
+                    # traffic; load balancers drain on 503 here while
+                    # /livez keeps the process from being killed
+                    rung = service.ladder.observe()
+                    self._send_json(
+                        200 if rung == RUNG_HEALTHY else 503,
+                        {"status": ("ready" if rung == RUNG_HEALTHY
+                                    else "degraded"),
+                         "rung": RUNG_NAMES[rung]})
                 else:
                     self._send_json(
                         404, error_body(f"no route {path!r}"))
@@ -327,16 +424,44 @@ def _make_handler(service: ServeService):
             if endpoint not in ENDPOINTS:
                 self._send_json(404, error_body(f"no route {path!r}"))
                 return
+            # body hygiene: a declared, bounded length is the price of
+            # admission — chunked or lengthless bodies are 411 (we
+            # never read unbounded), oversized declarations are 413
+            # before a single body byte is read
+            if self.headers.get("Transfer-Encoding"):
+                self.close_connection = True
+                self._send_json(411, error_body(
+                    "chunked bodies not accepted; "
+                    "send Content-Length"))
+                return
+            declared = self.headers.get("Content-Length")
+            if declared is None:
+                self.close_connection = True
+                self._send_json(411, error_body(
+                    "Content-Length required"))
+                return
             try:
-                length = int(self.headers.get("Content-Length", 0))
+                length = int(declared)
             except ValueError:
                 length = -1
             if length < 0 or length > MAX_PROGRAM_BYTES * 2:
+                self.close_connection = True
                 self._send_json(413, error_body("bad request length"))
                 return
             try:
-                payload = json.loads(
-                    self.rfile.read(length).decode("utf-8"))
+                raw = self.rfile.read(length)
+            except socket.timeout:
+                # slow-loris body: drop the connection rather than
+                # wait out a client that trickles bytes forever
+                self.close_connection = True
+                self._send_json(408, error_body("body read timed out"))
+                return
+            if len(raw) < length:
+                self.close_connection = True
+                self._send_json(400, error_body("truncated body"))
+                return
+            try:
+                payload = json.loads(raw.decode("utf-8"))
             except (ValueError, UnicodeDecodeError):
                 service._requests.labels(endpoint=endpoint,
                                          status="400").inc()

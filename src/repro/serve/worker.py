@@ -87,6 +87,11 @@ class WarmWorker:
     # -- job execution --------------------------------------------------
 
     def handle(self, job: Dict[str, Any]) -> Dict[str, Any]:
+        delay_ms = job.get("_delay_ms")
+        if delay_ms:
+            # fault-injected slow analysis (latency spike) or wedge
+            # (stall past the pool watchdog); see serve/faults.py
+            time.sleep(float(delay_ms) / 1000.0)
         deadline = job.get("deadline")
         if deadline is not None and time.monotonic() >= deadline:
             return {"status": 504,
