@@ -70,6 +70,8 @@ class _Client:
         self.conn.connect()
         self.conn.sock.setsockopt(socket.IPPROTO_TCP,
                                   socket.TCP_NODELAY, 1)
+        #: response headers of the most recent post() (title-cased)
+        self.last_headers: Dict[str, str] = {}
 
     def post(self, endpoint: str, payload: Dict[str, Any]):
         body = json.dumps(payload)
@@ -77,6 +79,8 @@ class _Client:
                           headers={"Content-Type": "application/json"})
         resp = self.conn.getresponse()
         data = resp.read()
+        self.last_headers = {k.title(): v
+                             for k, v in resp.getheaders()}
         return resp.status, json.loads(data)
 
     def get_text(self, path: str) -> str:
@@ -170,6 +174,13 @@ def measure(names: Optional[Sequence[str]] = None, fast: bool = True,
                         f"{name}: served status {status}: "
                         f"{body.get('error')}")
                     continue
+                if not client.last_headers.get("X-Repro-Trace-Id"):
+                    # the bench runs with tracing on (the gate *is*
+                    # the tracing-overhead gate) — a missing trace id
+                    # means the plane silently fell off
+                    divergences.append(
+                        f"{name}: response missing X-Repro-Trace-Id "
+                        f"(tracing should be on)")
                 for quantity in ("cycles", "output_sha256"):
                     if body.get(quantity) != ref[quantity]:
                         divergences.append(

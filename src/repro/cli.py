@@ -671,6 +671,29 @@ def cmd_inspect(args) -> int:
         print(report.format_ledger())
     elif not args.html:
         print(report.format())
+    if args.trace:
+        # join the runtime flight record to its request trace: a
+        # traced serve dump stamps the trace id into the header meta
+        from .obs.trace import load_traces, render_trace_text
+        trace_id = (header.get("meta") or {}).get("trace_id")
+        if not trace_id:
+            print("inspect: flight header carries no trace_id "
+                  "(not a traced serve dump)", file=sys.stderr)
+            return 1
+        try:
+            _trace_header, trace_records = load_traces(args.trace)
+        except (OSError, ValueError) as err:
+            print(f"invalid trace dump (--trace): {err}",
+                  file=sys.stderr)
+            return 1
+        match = next((r for r in trace_records
+                      if r.get("trace") == trace_id), None)
+        if match is None:
+            print(f"inspect: trace {trace_id} not retained in "
+                  f"{args.trace}", file=sys.stderr)
+            return 1
+        print(f"-- request trace (joined via header meta) --")
+        print(render_trace_text(match))
     if report.mismatches:
         for problem in report.mismatches:
             print(f"inspect: {problem}", file=sys.stderr)
@@ -723,8 +746,22 @@ def cmd_serve(args) -> int:
         quota_rate=args.quota_rate, quota_burst=args.quota_burst,
         cache_dir=args.cache_dir,
         default_backend=args.backend or "py",
-        default_deadline_ms=args.deadline_ms)
-    service = ServeService(config)
+        default_deadline_ms=args.deadline_ms,
+        tracing=not args.no_trace,
+        trace_capacity=args.trace_capacity,
+        trace_sample=args.trace_sample,
+        access_log=args.access_log,
+        flight_dir=args.flight_dir)
+    injector = None
+    if args.fault_rate > 0:
+        # deterministic fault injection for smoke/chaos drills: the
+        # seed fixes the schedule, max-faults bounds the blast radius
+        from .serve.faults import ServiceFaultInjector, ServiceFaultPlan
+        injector = ServiceFaultInjector(ServiceFaultPlan(
+            seed=args.fault_seed, rate=args.fault_rate,
+            sites=("worker_crash",),
+            max_faults=args.max_faults))
+    service = ServeService(config, fault_injector=injector)
     # workers are forked and the socket is listening: connections are
     # already queueing in the backlog, so this ready line is accurate
     # (and, for --port 0, the only place the real port appears)
@@ -732,16 +769,100 @@ def cmd_serve(args) -> int:
           f"workers={config.workers}", flush=True)
     print(f"repro serve: http://{service.host}:{service.port} "
           f"(workers={config.workers}, queue={config.queue_depth}, "
-          f"batch<={config.batch_max}, cache={config.cache_dir})",
+          f"batch<={config.batch_max}, cache={config.cache_dir}, "
+          f"tracing={'on' if config.tracing else 'off'})",
           file=sys.stderr)
     print("routes: POST /v1/analyze /v1/run /v1/inspect; "
-          "GET /healthz /livez /readyz /metrics", file=sys.stderr)
+          "GET /healthz /livez /readyz /metrics /traces "
+          "/traces/<id>", file=sys.stderr)
     try:
         service.serve_forever()
     except KeyboardInterrupt:
         print("repro serve: shutting down", file=sys.stderr)
     finally:
+        if args.trace_out and service.traces is not None:
+            from .obs.trace import dump_traces
+            try:
+                n = dump_traces(service.traces.snapshot(),
+                                args.trace_out,
+                                meta=service.traces.stats())
+                print(f"repro serve: wrote {n} trace line(s) to "
+                      f"{args.trace_out}", file=sys.stderr)
+            except OSError as err:
+                print(f"repro serve: trace dump failed: {err}",
+                      file=sys.stderr)
         service.close()
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """``repro trace`` — the critical-path analyzer over retained
+    request traces (a dump file or a live ``/traces`` endpoint)."""
+    import json as jsonlib
+
+    from .obs.trace import (analyze_traces, load_traces,
+                            render_report_html, render_report_text,
+                            render_trace_text, validate_trace)
+
+    if args.url:
+        import io
+        import urllib.request
+        url = args.url.rstrip("/")
+        if not url.endswith("/traces"):
+            url += "/traces"
+        try:
+            with urllib.request.urlopen(url, timeout=30) as resp:
+                text = resp.read().decode("utf-8")
+        except OSError as err:
+            print(f"trace: fetch {url} failed: {err}",
+                  file=sys.stderr)
+            return 1
+        source = io.StringIO(text)
+    elif args.dump:
+        source = args.dump
+    else:
+        print("trace: need a DUMP file or --url", file=sys.stderr)
+        return 1
+    try:
+        header, records = load_traces(source)
+    except (OSError, ValueError) as err:
+        print(f"invalid trace dump: {err}", file=sys.stderr)
+        return 1
+    if args.trace_id:
+        matches = [r for r in records
+                   if str(r.get("trace", ""))
+                   .startswith(args.trace_id)]
+        if not matches:
+            print(f"trace: no retained trace matching "
+                  f"{args.trace_id!r} "
+                  f"({len(records)} records searched)",
+                  file=sys.stderr)
+            return 1
+        problems = []
+        for record in matches:
+            print(render_trace_text(record))
+            problems.extend(validate_trace(record))
+        for problem in problems:
+            print(f"trace: {problem}", file=sys.stderr)
+        return 2 if problems else 0
+    report = analyze_traces(records, tail=args.tail)
+    if args.html:
+        with open(args.html, "w", encoding="utf-8") as handle:
+            handle.write(render_report_html(report, records))
+        print(f"wrote {args.html}", file=sys.stderr)
+    if args.json:
+        print(jsonlib.dumps(report, sort_keys=True, indent=2))
+    elif not args.html:
+        print(render_report_text(report))
+    # the per-trace span payloads stay out of the envelope — the
+    # aggregate report is the durable artifact
+    _record_envelope(args, "trace",
+                     label=args.label or "trace",
+                     summary=report)
+    if report["problems"]:
+        for problem in report["problems"]:
+            print(f"trace: {problem}", file=sys.stderr)
+        return 2
     return 0
 
 
@@ -1081,6 +1202,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="emit the full report as JSON")
     p_ins.add_argument("--html", metavar="FILE",
                        help="write a self-contained HTML report")
+    p_ins.add_argument("--trace", metavar="FILE",
+                       help="join a request-trace dump (repro serve "
+                            "--trace-out): print the span tree whose "
+                            "trace id this flight record carries")
     p_ins.set_defaults(func=cmd_inspect)
 
     p_md = sub.add_parser(
@@ -1135,7 +1260,69 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="MS",
                        help="default per-request deadline when a "
                             "request names none (default: unbounded)")
+    p_srv.add_argument("--no-trace", action="store_true",
+                       help="disable request tracing (span trees, "
+                            "tail sampling, X-Repro-Trace-Id; on by "
+                            "default)")
+    p_srv.add_argument("--trace-sample", type=int, default=16,
+                       metavar="N",
+                       help="retain 1-in-N healthy fast traces; the "
+                            "tail — errors, faults, degradation, "
+                            "slower-than-p99 — is always retained "
+                            "(default 16; 1 = keep everything)")
+    p_srv.add_argument("--trace-capacity", type=int, default=512,
+                       metavar="N",
+                       help="retained-trace ring size (default 512)")
+    p_srv.add_argument("--trace-out", metavar="FILE",
+                       help="dump retained traces as JSONL at "
+                            "shutdown (repro trace reads this)")
+    p_srv.add_argument("--access-log", metavar="FILE",
+                       help="append one JSON line per request (trace "
+                            "id, tenant, status, rung, queue/compute "
+                            "ms); written off the response path")
+    p_srv.add_argument("--flight-dir", metavar="DIR",
+                       help="workers dump each traced /v1/inspect "
+                            "job's flight record here, keyed by "
+                            "trace id (repro inspect --trace joins "
+                            "them)")
+    p_srv.add_argument("--fault-rate", type=float, default=0.0,
+                       metavar="R",
+                       help="deterministic worker-crash injection "
+                            "rate for smoke drills (default 0 = off)")
+    p_srv.add_argument("--fault-seed", type=int, default=0,
+                       help="seed for --fault-rate's schedule "
+                            "(default 0)")
+    p_srv.add_argument("--max-faults", type=int, default=1,
+                       metavar="N",
+                       help="cap injected faults for --fault-rate "
+                            "(default 1)")
     p_srv.set_defaults(func=cmd_serve)
+
+    p_trc = sub.add_parser(
+        "trace", help="critical-path analysis over retained request "
+                      "traces: per-request span trees, the "
+                      "where-does-p99-go table, queue-vs-compute "
+                      "decomposition",
+        parents=[p_telemetry])
+    p_trc.add_argument("dump", nargs="?",
+                       help="a trace dump (repro serve --trace-out) "
+                            "or a saved GET /traces response")
+    p_trc.add_argument("--url", metavar="URL",
+                       help="fetch live traces from a running serve "
+                            "(base URL or .../traces)")
+    p_trc.add_argument("--trace-id", metavar="ID",
+                       help="print the span tree(s) for one trace id "
+                            "(prefix match) instead of the aggregate")
+    p_trc.add_argument("--tail", type=float, default=0.99,
+                       help="tail percentile for the breakdown "
+                            "(default 0.99)")
+    p_trc.add_argument("--label", default="",
+                       help="label for the --telemetry envelope")
+    p_trc.add_argument("--json", action="store_true",
+                       help="print the aggregate report as JSON")
+    p_trc.add_argument("--html", metavar="FILE",
+                       help="write a self-contained HTML report")
+    p_trc.set_defaults(func=cmd_trace)
 
     p_rep = sub.add_parser(
         "report", help="cross-run regression observatory over the "

@@ -19,7 +19,10 @@ imports *us*, never the reverse):
 * :mod:`repro.obs.live` — the ``repro metricsd`` scrape endpoint
   (``/metrics``, ``/healthz``, ``/runs``);
 * :mod:`repro.obs.report` — the ``repro report`` regression
-  observatory over the store and committed bench baselines.
+  observatory over the store and committed bench baselines;
+* :mod:`repro.obs.trace` — request-scoped distributed tracing for
+  ``repro serve`` (span trees, tail-based sampling, the ``repro
+  trace`` critical-path analyser).
 
 See ``docs/OBSERVABILITY.md`` for the event schema and metric names.
 """
@@ -37,6 +40,9 @@ from .profile import (CATEGORIES, NullProfile, ProfileCollector,
                       ProfileReport, build_report)
 from .telemetry import (TELEMETRY_SCHEMA, TelemetryStore, make_envelope,
                         validate_envelope)
+from .trace import (TRACE_SCHEMA, RequestTrace, TraceBuffer,
+                    analyze_traces, dump_traces, load_traces,
+                    new_span_id, new_trace_id, validate_trace)
 
 __all__ = [
     "Tracer", "TraceEvent", "NullTracer", "INSTANT", "BEGIN", "END",
@@ -51,4 +57,7 @@ __all__ = [
     "validate_flight",
     "TelemetryStore", "TELEMETRY_SCHEMA", "make_envelope",
     "validate_envelope",
+    "TRACE_SCHEMA", "RequestTrace", "TraceBuffer", "analyze_traces",
+    "dump_traces", "load_traces", "new_span_id", "new_trace_id",
+    "validate_trace",
 ]

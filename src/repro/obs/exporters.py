@@ -20,7 +20,8 @@ import re
 from typing import IO, Any, Dict, Iterator, Tuple, Union
 
 from .events import Tracer
-from .metrics import MetricsRegistry, QUANTILES, _HistogramChild
+from .metrics import (MetricsRegistry, QUANTILES, _HistogramChild,
+                      quantile_from_counts)
 
 
 # ---------------------------------------------------------------------------
@@ -106,13 +107,29 @@ def to_prometheus(registry: MetricsRegistry) -> str:
         for key, child in inst.children():
             labels = dict(key)
             if isinstance(child, _HistogramChild):
-                cumulative = child.cumulative()
+                # one consistent snapshot per series: bucket counts,
+                # sum, count, and exemplars all from the same instant
+                counts, total_sum, total, exemplars = child.snapshot()
+                cumulative, running = [], 0
+                for c in counts:
+                    running += c
+                    cumulative.append(running)
                 bounds = [str(b) for b in child.bounds] + ["+Inf"]
-                for bound, count in zip(bounds, cumulative):
+                for i, (bound, count) in enumerate(zip(bounds,
+                                                       cumulative)):
                     suffix = _format_labels(labels, {"le": bound})
-                    lines.append(
-                        f"{inst.name}_bucket{suffix} {count}")
-                if child.count:
+                    line = f"{inst.name}_bucket{suffix} {count}"
+                    exemplar = exemplars[i]
+                    if exemplar is not None:
+                        # OpenMetrics-style exemplar: the last trace id
+                        # observed into this bucket, so a tail bucket
+                        # names a concrete retained trace to pull up
+                        ident, value = exemplar
+                        line += (f" # {{trace_id=\""
+                                 f"{_escape_label_value(str(ident))}"
+                                 f"\"}} {_format_number(value)}")
+                    lines.append(line)
+                if total:
                     # quantile estimates derived from the buckets, in
                     # the summary-type `{quantile="..."}` convention —
                     # no collection cost beyond what the buckets paid
@@ -121,11 +138,11 @@ def to_prometheus(registry: MetricsRegistry) -> str:
                             labels, {"quantile": _format_number(q)})
                         lines.append(
                             f"{inst.name}{suffix} "
-                            f"{_format_number(child.quantile(q))}")
+                            f"{_format_number(quantile_from_counts(child.bounds, counts, total, q))}")
                 lines.append(f"{inst.name}_sum{_format_labels(labels)} "
-                             f"{_format_number(child.sum)}")
+                             f"{_format_number(total_sum)}")
                 lines.append(f"{inst.name}_count{_format_labels(labels)} "
-                             f"{child.count}")
+                             f"{total}")
             else:
                 lines.append(f"{inst.name}{_format_labels(labels)} "
                              f"{_format_number(child.value)}")
@@ -203,6 +220,11 @@ def parse_prometheus(text: str) -> Tuple[Dict[str, str], Dict[str, str],
             continue
         if line.startswith("#"):
             continue  # other comments are legal exposition noise
+        if " # {" in line:
+            # OpenMetrics-style exemplar suffix on a bucket sample:
+            # `name_bucket{le="x"} 7 # {trace_id="..."} 0.0042` — the
+            # sample value is everything before the suffix
+            line = line[:line.index(" # {")]
         if "{" in line:
             name, _, rest = line.partition("{")
             body, sep, value = rest.rpartition("} ")

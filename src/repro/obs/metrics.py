@@ -16,11 +16,21 @@ Conventions:
   case with a tiny constant;
 * ``registry.counter/gauge/histogram`` are get-or-create: calling twice
   with the same name returns the same instrument, so independent
-  subsystems (checks, GC, scheduler) can grab handles without plumbing.
+  subsystems (checks, GC, scheduler) can grab handles without plumbing;
+* histogram series are **scrape-consistent**: ``observe`` updates sum,
+  count, buckets, and exemplar under one per-series lock, and exporters
+  read through :meth:`_HistogramChild.snapshot` — a concurrent
+  ``/metrics`` scrape can never see a count without its sum (counters
+  and gauges are single-field and GIL-atomic, so they need no lock);
+* histograms accept **exemplars**: ``observe(value, exemplar=...)``
+  remembers the last exemplar string (a trace id, for the serve
+  latency histogram) per bucket, rendered OpenMetrics-style by the
+  exporter so a p99 bucket points at a concrete retained trace.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 LabelKey = Tuple[Tuple[str, str], ...]
@@ -82,6 +92,7 @@ class Instrument:
         self.name = name
         self.help_text = help_text
         self._children: Dict[LabelKey, Any] = {}
+        self._create_lock = threading.Lock()
 
     def labels(self, **labels: Any):
         """The child instrument for one label set (created on demand).
@@ -94,18 +105,25 @@ class Instrument:
         key = _label_key({k: str(v) for k, v in labels.items()})
         child = self._children.get(key)
         if child is None:
-            if labels and len(self._children) >= self.max_label_sets:
-                okey = _label_key(
-                    {k: OVERFLOW_LABEL_VALUE for k in labels})
-                child = self._children.get(okey)
-                if child is None:
-                    child = self._make_child()
-                    self._children[okey] = child
-                if self._on_drop is not None:
-                    self._on_drop(self.name)
-                return child
-            child = self._make_child()
-            self._children[key] = child
+            # creation is locked: two handler threads first-touching
+            # one label set must share a child, not race one into
+            # oblivion along with its counts
+            with self._create_lock:
+                child = self._children.get(key)
+                if child is not None:
+                    return child
+                if labels and len(self._children) >= self.max_label_sets:
+                    okey = _label_key(
+                        {k: OVERFLOW_LABEL_VALUE for k in labels})
+                    child = self._children.get(okey)
+                    if child is None:
+                        child = self._make_child()
+                        self._children[okey] = child
+                    if self._on_drop is not None:
+                        self._on_drop(self.name)
+                    return child
+                child = self._make_child()
+                self._children[key] = child
         return child
 
     def _default(self):
@@ -190,7 +208,8 @@ DEFAULT_CYCLE_BUCKETS: Tuple[int, ...] = (
 
 
 class _HistogramChild:
-    __slots__ = ("bounds", "counts", "sum", "count")
+    __slots__ = ("bounds", "counts", "sum", "count", "exemplars",
+                 "_lock")
 
     def __init__(self, bounds: Sequence[float]) -> None:
         self.bounds = tuple(bounds)
@@ -198,31 +217,52 @@ class _HistogramChild:
         self.counts = [0] * (len(self.bounds) + 1)
         self.sum = 0
         self.count = 0
+        #: last (exemplar_id, value) per bucket, or None
+        self.exemplars: List[Optional[Tuple[str, float]]] = (
+            [None] * (len(self.bounds) + 1))
+        # observe mutates sum, count, and a bucket; without the lock a
+        # scrape thread can read a count whose sum is still in flight
+        self._lock = threading.Lock()
 
-    def observe(self, value) -> None:
-        self.sum += value
-        self.count += 1
-        for i, bound in enumerate(self.bounds):
-            if value <= bound:
-                self.counts[i] += 1
-                return
-        self.counts[-1] += 1
+    def observe(self, value, exemplar: Optional[str] = None) -> None:
+        with self._lock:
+            self.sum += value
+            self.count += 1
+            for i, bound in enumerate(self.bounds):
+                if value <= bound:
+                    self.counts[i] += 1
+                    if exemplar is not None:
+                        self.exemplars[i] = (exemplar, value)
+                    return
+            self.counts[-1] += 1
+            if exemplar is not None:
+                self.exemplars[-1] = (exemplar, value)
+
+    def snapshot(self) -> Tuple[List[int], Any, int,
+                                List[Optional[Tuple[str, float]]]]:
+        """A consistent ``(counts, sum, count, exemplars)`` view —
+        what every exporter must read instead of the raw fields."""
+        with self._lock:
+            return (list(self.counts), self.sum, self.count,
+                    list(self.exemplars))
 
     def cumulative(self) -> List[int]:
         """Prometheus-style cumulative bucket counts (ends at count)."""
+        counts, _, _, _ = self.snapshot()
         out, running = [], 0
-        for c in self.counts:
+        for c in counts:
             running += c
             out.append(running)
         return out
 
     def mean(self) -> float:
-        return self.sum / self.count if self.count else 0.0
+        counts, total_sum, total, _ = self.snapshot()
+        return total_sum / total if total else 0.0
 
     def quantile(self, q: float) -> float:
         """Upper-bound estimate of the q-quantile from bucket counts."""
-        return quantile_from_counts(self.bounds, self.counts,
-                                    self.count, q)
+        counts, _, total, _ = self.snapshot()
+        return quantile_from_counts(self.bounds, counts, total, q)
 
 
 class Histogram(Instrument):
@@ -239,8 +279,8 @@ class Histogram(Instrument):
     def _make_child(self) -> _HistogramChild:
         return _HistogramChild(self.bounds)
 
-    def observe(self, value) -> None:
-        self._default().observe(value)
+    def observe(self, value, exemplar: Optional[str] = None) -> None:
+        self._default().observe(value, exemplar=exemplar)
 
     @property
     def count(self) -> int:
@@ -257,9 +297,10 @@ class Histogram(Instrument):
         was observed."""
         merged = [0] * (len(self.bounds) + 1)
         total = 0
-        for _, child in self._children.items():
-            total += child.count
-            for i, c in enumerate(child.counts):
+        for _, child in list(self._children.items()):
+            counts, _, count, _ = child.snapshot()
+            total += count
+            for i, c in enumerate(counts):
                 merged[i] += c
         if not total:
             return {}
@@ -334,11 +375,16 @@ class MetricsRegistry:
             for key, child in inst.children():
                 labels = dict(key)
                 if isinstance(child, _HistogramChild):
-                    series.append({"labels": labels, "sum": child.sum,
-                                   "count": child.count,
+                    counts, total_sum, total, _ = child.snapshot()
+                    cumulative, running = [], 0
+                    for c in counts:
+                        running += c
+                        cumulative.append(running)
+                    series.append({"labels": labels, "sum": total_sum,
+                                   "count": total,
                                    "buckets": dict(zip(
                                        [str(b) for b in child.bounds]
-                                       + ["+Inf"], child.cumulative()))})
+                                       + ["+Inf"], cumulative))})
                 else:
                     series.append({"labels": labels,
                                    "value": child.value})
@@ -370,7 +416,7 @@ class NullInstrument:
     def set_max(self, value) -> None:
         pass
 
-    def observe(self, value) -> None:
+    def observe(self, value, exemplar: Optional[str] = None) -> None:
         pass
 
     def children(self):

@@ -200,6 +200,33 @@ def _bench_envelopes(store: TelemetryStore, suite: str,
     return payloads
 
 
+def _trace_section(store: TelemetryStore) -> Optional[Dict[str, Any]]:
+    """A condensed view of the newest recorded ``repro trace`` report
+    (kind ``trace``), joined into the observatory for context.  Trace
+    analyses are diagnostic, not a gate: nothing here ever contributes
+    to ``report["ok"]`` — latency regressions are the bench suites'
+    territory; this section says *where* the tail went when they fire."""
+    envelopes = store.load_recent(1, kind="trace")
+    if not envelopes:
+        return None
+    envelope = envelopes[0]
+    summary = envelope.get("summary") or {}
+    percentiles = summary.get("percentiles") or {}
+    tail = summary.get("tail") or {}
+    section: Dict[str, Any] = {
+        "label": envelope.get("label", "trace"),
+        "created_at": envelope.get("created_at"),
+        "traces": summary.get("traces", 0),
+        "problems": len(summary.get("problems") or []),
+        "percentiles": percentiles,
+        "tail_rows": (tail.get("rows") or [])[:5],
+        "tail_queue_ms": tail.get("queue_ms"),
+        "tail_compute_ms": tail.get("compute_ms"),
+        "exemplars": (summary.get("exemplars") or [])[:3],
+    }
+    return section
+
+
 # ---------------------------------------------------------------------------
 # report construction
 # ---------------------------------------------------------------------------
@@ -320,7 +347,7 @@ def build_report(store: Optional[TelemetryStore] = None,
                                       history_payloads, threshold,
                                       strict_missing=strict_missing)
     regressions = sum(len(s["failures"]) for s in suites.values())
-    return {
+    report: Dict[str, Any] = {
         "schema": REPORT_SCHEMA,
         "store": store.root,
         "threshold": threshold,
@@ -328,6 +355,10 @@ def build_report(store: Optional[TelemetryStore] = None,
         "regressions": regressions,
         "ok": regressions == 0,
     }
+    traces = _trace_section(store)
+    if traces is not None:
+        report["traces"] = traces
+    return report
 
 
 # ---------------------------------------------------------------------------
@@ -358,6 +389,23 @@ def render_text(report: Dict[str, Any]) -> str:
                 + f" {row['verdict']}")
         for failure in data["failures"]:
             lines.append(f"  FAIL {failure}")
+        lines.append("")
+    traces = report.get("traces")
+    if traces:
+        pct = traces.get("percentiles") or {}
+        lines.append(f"== request traces ({traces['label']}: "
+                     f"{traces['traces']} retained) ==")
+        lines.append(
+            "p50/p95/p99: "
+            + "/".join(f"{pct.get(k, 0.0) * 1000:.1f}ms"
+                       for k in ("p50", "p95", "p99")))
+        for row in traces.get("tail_rows") or []:
+            lines.append(f"  tail {row['span']:<14} "
+                         f"{row['mean_ms']:>8.2f}ms "
+                         f"{row['share'] * 100:>5.1f}%")
+        if traces.get("problems"):
+            lines.append(f"  WARN {traces['problems']} incomplete "
+                         f"trace(s) in last analysis")
         lines.append("")
     lines.append(f"regressions: {report['regressions']} "
                  f"({'ok' if report['ok'] else 'FAILING'})")
@@ -435,6 +483,29 @@ def render_html(report: Dict[str, Any]) -> str:
         parts.append("</table>")
         for failure in data["failures"]:
             parts.append(f"<p class='fail'>FAIL {failure}</p>")
+    traces = report.get("traces")
+    if traces:
+        pct = traces.get("percentiles") or {}
+        parts.append("<h2>request traces</h2>")
+        parts.append(
+            f"<p>{traces['label']}: {traces['traces']} retained — "
+            f"p50/p95/p99 "
+            + "/".join(f"{pct.get(k, 0.0) * 1000:.1f}ms"
+                       for k in ("p50", "p95", "p99"))
+            + "</p>")
+        rows = traces.get("tail_rows") or []
+        if rows:
+            parts.append("<table><tr><th class='label'>span</th>"
+                         "<th>tail mean</th><th>share</th></tr>")
+            for row in rows:
+                parts.append(
+                    f"<tr><td class='label'>{row['span']}</td>"
+                    f"<td>{row['mean_ms']:.2f}ms</td>"
+                    f"<td>{row['share'] * 100:.1f}%</td></tr>")
+            parts.append("</table>")
+        if traces.get("problems"):
+            parts.append(f"<p class='fail'>WARN {traces['problems']} "
+                         f"incomplete trace(s)</p>")
     parts.append("</body></html>")
     return "\n".join(parts) + "\n"
 

@@ -43,7 +43,7 @@ DEFAULT_STORE = os.path.join(".repro", "telemetry")
 
 #: envelope kinds the CLI emits; the validator warns on unknown kinds
 #: (forward compatibility) rather than rejecting them
-KNOWN_KINDS = ("run", "profile", "bench", "chaos")
+KNOWN_KINDS = ("run", "profile", "bench", "chaos", "trace")
 
 #: index entries kept when trimming (the objects stay; only the
 #: fast-path index is bounded)

@@ -13,6 +13,13 @@ degradation ladder (:mod:`~repro.serve.degrade`), a self-healing
 retrying client (:mod:`~repro.serve.client`), and seeded chaos
 campaigns against a live service (:mod:`~repro.serve.chaos`).  See
 ``docs/ROBUSTNESS.md``.
+
+Every request carries a wire-propagated trace context
+(``X-Repro-Trace``, schema ``repro-trace/1``): the client, frontend,
+pool dispatcher and warm workers each contribute spans to one tree,
+tail-sampled into the service's trace buffer and analysed by ``repro
+trace``.  See the "Request tracing" section of
+``docs/OBSERVABILITY.md``.
 """
 
 from .client import ClientPolicy, ResilientClient, ServeClientError
@@ -21,8 +28,9 @@ from .degrade import (RUNG_BROWNOUT, RUNG_HEALTHY, RUNG_NAMES,
 from .faults import (SERVICE_FAULT_SITES, ReplayServiceInjector,
                      ServiceFaultInjector, ServiceFaultPlan)
 from .pool import PendingJob, WorkerPool
-from .protocol import (ENDPOINTS, Job, JobOutcome, job_fingerprint,
-                       program_sha)
+from .protocol import (ENDPOINTS, TRACE_HEADER, TRACE_ID_HEADER, Job,
+                       JobOutcome, admit_trace, format_traceparent,
+                       job_fingerprint, parse_traceparent, program_sha)
 from .quota import QuotaTable, TokenBucket
 from .server import ServeConfig, ServeService
 from .worker import WarmWorker
@@ -34,5 +42,7 @@ __all__ = [
     "SERVICE_FAULT_SITES", "ServiceFaultPlan", "ServiceFaultInjector",
     "ReplayServiceInjector", "DegradationLadder", "RUNG_HEALTHY",
     "RUNG_BROWNOUT", "RUNG_SHED", "RUNG_NAMES", "ClientPolicy",
-    "ResilientClient", "ServeClientError",
+    "ResilientClient", "ServeClientError", "TRACE_HEADER",
+    "TRACE_ID_HEADER", "admit_trace", "format_traceparent",
+    "parse_traceparent",
 ]

@@ -227,6 +227,11 @@ def run_campaign(plan: Optional[ServiceFaultPlan] = None,
                     "attempts": outcome.attempts,
                     "body_sha256": (_body_digest(outcome.body)
                                     if outcome.ok else None),
+                    # the join key into the service's retained traces;
+                    # diagnostics only — replay identity stays
+                    # fault_key/statuses/digests
+                    "trace": outcome.headers.get(
+                        "X-Repro-Trace-Id", ""),
                 }
                 if outcome.ok:
                     body = outcome.body

@@ -40,8 +40,13 @@ import json
 import random
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..obs.trace import (TRACE_SCHEMA, end_span, new_trace_id,
+                         span_duration_s, start_span)
+from .protocol import TRACE_HEADER, format_traceparent
 
 __all__ = ["ClientPolicy", "ClientResult", "ResilientClient",
            "ServeClientError"]
@@ -80,6 +85,11 @@ class ClientPolicy:
     hedge: bool = False
     #: successful-latency samples required before hedging arms
     hedge_min_samples: int = 20
+    #: stamp one trace context per attempt (``X-Repro-Trace``) and
+    #: keep a client-side span record per logical request — each
+    #: retry/hedge parents a distinct attempt span, so the server
+    #: trees it joins stay distinguishable
+    trace: bool = True
 
 
 @dataclass
@@ -93,6 +103,8 @@ class ClientResult:
     hedged: bool = False
     breaker_open: bool = False
     headers: Dict[str, str] = field(default_factory=dict)
+    #: the logical request's trace id ("" when tracing is off)
+    trace_id: str = ""
 
     @property
     def ok(self) -> bool:
@@ -171,6 +183,9 @@ class ResilientClient:
             "requests": 0, "attempts": 0, "retries": 0,
             "breaker_fastfail": 0, "hedges": 0,
             "transport_errors": 0}
+        #: finished client-side trace records, newest last (same
+        #: record shape as the server's — render_trace_text works)
+        self.traces: "deque[Dict[str, Any]]" = deque(maxlen=256)
 
     # -- breaker --------------------------------------------------------
 
@@ -229,11 +244,14 @@ class ResilientClient:
 
     # -- one attempt ----------------------------------------------------
 
-    def _attempt(self, method: str, path: str, body: Optional[bytes]
+    def _attempt(self, method: str, path: str, body: Optional[bytes],
+                 trace_hdr: Optional[str] = None
                  ) -> Tuple[int, Dict[str, str], Dict[str, Any]]:
         headers = {"Content-Type": "application/json"}
         if body is not None:
             headers["Content-Length"] = str(len(body))
+        if trace_hdr:
+            headers[TRACE_HEADER] = trace_hdr
         started = self._clock()
         try:
             status, reply_headers, raw = self._transport(
@@ -251,19 +269,28 @@ class ResilientClient:
         return status, reply_headers, reply
 
     def _hedged_attempt(self, method: str, path: str,
-                        body: Optional[bytes], delay: float
+                        body: Optional[bytes], delay: float,
+                        trace: Optional[Tuple[str, str,
+                                              List[Dict[str, Any]],
+                                              Optional[str]]] = None
                         ) -> Tuple[Tuple[int, Dict[str, str],
                                          Dict[str, Any]], bool]:
         """Primary attempt with a delayed duplicate; first reply wins.
         The hedge runs on its own one-shot connection so the two
-        in-flight requests never share a socket."""
+        in-flight requests never share a socket.  ``trace`` is
+        ``(trace_id, root_span_id, spans, primary_header)`` — the
+        hedge gets its own span and header, so the two server trees
+        stay distinguishable."""
         slot: Dict[str, Any] = {}
         done = threading.Event()
 
-        def run(label: str, transport) -> None:
+        def run(label: str, transport,
+                trace_hdr: Optional[str] = None) -> None:
             headers = {"Content-Type": "application/json"}
             if body is not None:
                 headers["Content-Length"] = str(len(body))
+            if trace_hdr:
+                headers[TRACE_HEADER] = trace_hdr
             try:
                 status, hdrs, raw = transport(method, path, body,
                                               headers)
@@ -280,21 +307,35 @@ class ResilientClient:
                     slot["winner"] = label
             done.set()
 
+        primary_hdr = trace[3] if trace is not None else None
         primary = threading.Thread(
-            target=run, args=("primary", self._transport), daemon=True)
+            target=run, args=("primary", self._transport, primary_hdr),
+            daemon=True)
         primary.start()
         hedged = False
+        hspan: Optional[Dict[str, Any]] = None
         if not done.wait(timeout=delay):
             hedge_transport = _default_transport(
                 self._host, self._port, self._timeout)
             hedged = True
             self.stats["hedges"] += 1
+            hedge_hdr: Optional[str] = None
+            if trace is not None:
+                trace_id, root_id, spans, _ = trace
+                hspan = start_span("hedge", "client", parent=root_id)
+                spans.append(hspan)
+                hedge_hdr = format_traceparent(trace_id,
+                                               hspan["span"])
             threading.Thread(target=run,
-                             args=("hedge", hedge_transport),
+                             args=("hedge", hedge_transport,
+                                   hedge_hdr),
                              daemon=True).start()
             done.wait()
         with self._lock:
             result = slot["result"]
+            winner = slot.get("winner", "primary")
+        if hspan is not None:
+            end_span(hspan, winner=winner)
         return result, hedged
 
     # -- public API -----------------------------------------------------
@@ -310,27 +351,41 @@ class ResilientClient:
         self.stats["requests"] += 1
         attempts = 0
         hedged_any = False
+        tracing = policy.trace
+        trace_id = new_trace_id() if tracing else ""
+        root = (start_span("client-request", "client",
+                           attrs={"endpoint": endpoint})
+                if tracing else None)
+        spans: List[Dict[str, Any]] = [root] if tracing else []
+
+        def _done(cr: ClientResult) -> ClientResult:
+            if tracing:
+                cr.trace_id = trace_id
+                self._finish_trace(trace_id, root, spans,
+                                   cr.status, endpoint)
+            return cr
+
         result: Tuple[int, Dict[str, str], Dict[str, Any]] = (
             STATUS_TRANSPORT_ERROR, {}, {"ok": False,
                                          "error": "no attempt made"})
         while True:
             if not self._breaker_allows():
                 self.stats["breaker_fastfail"] += 1
-                return ClientResult(
+                return _done(ClientResult(
                     503, {"ok": False,
                           "error": "circuit breaker open"},
                     attempts=attempts, retried=attempts > 1,
-                    hedged=hedged_any, breaker_open=True)
+                    hedged=hedged_any, breaker_open=True))
             remaining_ms: Optional[float] = None
             if budget_ms is not None:
                 remaining_ms = budget_ms - (self._clock()
                                             - start) * 1000.0
                 if remaining_ms <= 0:
-                    return ClientResult(
+                    return _done(ClientResult(
                         504, {"ok": False,
                               "error": "client deadline exhausted"},
                         attempts=attempts, retried=attempts > 1,
-                        hedged=hedged_any)
+                        hedged=hedged_any))
             wire = dict(payload)
             if remaining_ms is not None:
                 # the server sees what's actually left, so it can
@@ -339,26 +394,42 @@ class ResilientClient:
             body = json.dumps(wire, sort_keys=True).encode("utf-8")
             attempts += 1
             self.stats["attempts"] += 1
+            aspan: Optional[Dict[str, Any]] = None
+            trace_hdr: Optional[str] = None
+            if tracing:
+                # one attempt span per wire request: the server's
+                # `request` root parents *this* span, so retries show
+                # as sibling server trees under one logical request
+                aspan = start_span("attempt", "client",
+                                   parent=root["span"],
+                                   attrs={"n": attempts})
+                spans.append(aspan)
+                trace_hdr = format_traceparent(trace_id,
+                                               aspan["span"])
             delay = self._hedge_delay()
             if delay is not None:
                 result, was_hedged = self._hedged_attempt(
-                    "POST", path, body, delay)
+                    "POST", path, body, delay,
+                    trace=((trace_id, root["span"], spans, trace_hdr)
+                           if tracing else None))
                 hedged_any = hedged_any or was_hedged
             else:
-                result = self._attempt("POST", path, body)
+                result = self._attempt("POST", path, body, trace_hdr)
             status, headers, reply = result
+            if aspan is not None:
+                end_span(aspan, status=status)
             self._record_status(status)
             if (status not in RETRY_STATUSES
                     and status != STATUS_TRANSPORT_ERROR):
-                return ClientResult(status, reply, attempts=attempts,
-                                    retried=attempts > 1,
-                                    hedged=hedged_any,
-                                    headers=headers)
+                return _done(ClientResult(
+                    status, reply, attempts=attempts,
+                    retried=attempts > 1, hedged=hedged_any,
+                    headers=headers))
             if attempts > policy.max_retries:
-                return ClientResult(status, reply, attempts=attempts,
-                                    retried=attempts > 1,
-                                    hedged=hedged_any,
-                                    headers=headers)
+                return _done(ClientResult(
+                    status, reply, attempts=attempts,
+                    retried=attempts > 1, hedged=hedged_any,
+                    headers=headers))
             # exponential backoff with deterministic jitter, never
             # earlier than the server's Retry-After
             wait = min(policy.backoff_cap_s,
@@ -374,12 +445,36 @@ class ResilientClient:
                 leftover = (budget_ms
                             - (self._clock() - start) * 1000.0) / 1000.0
                 if wait >= leftover:
-                    return ClientResult(
+                    return _done(ClientResult(
                         status, reply, attempts=attempts,
                         retried=attempts > 1, hedged=hedged_any,
-                        headers=headers)
+                        headers=headers))
             self.stats["retries"] += 1
-            self._sleep(wait)
+            if tracing:
+                bspan = start_span("backoff", "client",
+                                   parent=root["span"],
+                                   attrs={"wait_s": round(wait, 4)})
+                spans.append(bspan)
+                self._sleep(wait)
+                end_span(bspan)
+            else:
+                self._sleep(wait)
+
+    def _finish_trace(self, trace_id: str, root: Dict[str, Any],
+                      spans: List[Dict[str, Any]], status: int,
+                      endpoint: str) -> Dict[str, Any]:
+        end_span(root, status=status)
+        for span in spans:
+            if span.get("end") is None:
+                end_span(span, truncated=True)
+        record = {"schema": TRACE_SCHEMA, "trace": trace_id,
+                  "root": root["span"], "status": status,
+                  "endpoint": endpoint, "tenant": "",
+                  "duration_s": round(span_duration_s(root), 9),
+                  "flags": [], "attrs": {"process": "client"},
+                  "time": round(time.time(), 3), "spans": spans}
+        self.traces.append(record)
+        return record
 
     def get(self, path: str) -> Tuple[int, bytes]:
         """Raw GET for ``/metrics`` / ``/healthz`` — no retries; the

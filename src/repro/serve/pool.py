@@ -43,6 +43,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
+from ..obs.trace import end_span, start_span
 from .protocol import Job, JobOutcome, error_body
 
 _SHUTDOWN = object()
@@ -64,6 +65,18 @@ class PendingJob:
     #: True once the job has been transparently resubmitted after a
     #: worker failure — a second failure is answered 500, not retried
     requeued: bool = False
+    #: True when a service fault touched this job's dispatch (injected
+    #: crash/stall/spike/pipe/corruption, or a real worker death) —
+    #: the tail sampler always retains fault-affected traces
+    faulted: bool = False
+    #: pool/worker spans accumulated for this job (traced jobs only);
+    #: written by the dispatcher strictly before ``done`` is set, read
+    #: by the coalescing leader strictly after — no lock needed
+    spans: List[Dict[str, Any]] = field(default_factory=list)
+    #: the open queue-wait span (one per submit/requeue)
+    qspan: Optional[Dict[str, Any]] = None
+    #: the open dispatch span for the in-flight attempt
+    dspan: Optional[Dict[str, Any]] = None
     done: threading.Event = field(default_factory=threading.Event)
 
     def resolve(self, outcome: JobOutcome, *, cancelled: bool = False,
@@ -90,12 +103,16 @@ class WorkerPool:
                  stall_timeout_s: Optional[float] = None,
                  requeue_on_crash: bool = True,
                  on_worker_event: Optional[Callable[[str], None]]
-                 = None) -> None:
+                 = None,
+                 flight_dir: Optional[str] = None) -> None:
         import multiprocessing as mp
         if workers < 1:
             raise ValueError("need at least one worker")
         self.workers = workers
         self.cache_root = cache_root
+        #: handed to each worker: traced inspect jobs dump their flight
+        #: record here, keyed by trace id (see WarmWorker._dump_flight)
+        self.flight_dir = flight_dir
         self.batch_max = max(1, batch_max)
         #: anything with fire(site, detail) / stall_ms / spike_ms —
         #: a ServiceFaultInjector or its replay twin (None in prod)
@@ -153,7 +170,8 @@ class WorkerPool:
                     + [c for c in self._conns if c is not None])
         proc = self._ctx.Process(
             target=worker_main,
-            args=(child_conn, self.cache_root, unwanted),
+            args=(child_conn, self.cache_root, unwanted,
+                  self.flight_dir),
             name=f"repro-serve-worker-{index}", daemon=True)
         proc.start()
         child_conn.close()
@@ -182,6 +200,9 @@ class WorkerPool:
             pending.resolve(JobOutcome(
                 503, error_body("service shutting down")))
             return pending
+        if pending.job.trace_id:
+            pending.qspan = start_span("queue-wait", "pool",
+                                       parent=pending.job.root_span)
         with self._lock:
             self._outstanding += 1
         self._queue.put(pending)
@@ -213,19 +234,31 @@ class WorkerPool:
         injector = self.faults
         if injector is None:
             return False, None, False
+        # the trace id rides in the fault *detail* — diagnostics, not
+        # identity (replay compares fault_key/statuses/digests only),
+        # so stamping it keeps chaos schedules replayable while giving
+        # `repro chaos` a join key into retained traces
         detail = (f"worker={index} "
                   f"job={live[0].job.fingerprint[:12]}")
+        if live[0].job.trace_id:
+            detail += f" trace={live[0].job.trace_id[:16]}"
         kill = injector.fire("worker_crash", detail)
         stall = injector.fire("worker_stall", detail)
         spike = injector.fire("latency_spike", detail)
         pipe_fail = injector.fire("pipe_write", detail)
-        if injector.fire("cache_corrupt", detail):
+        corrupt = injector.fire("cache_corrupt", detail)
+        if corrupt:
             self._corrupt_shard(live[0].job.source_sha)
         delay_ms: Optional[float] = None
         if stall:
             delay_ms = float(injector.stall_ms)
         elif spike:
             delay_ms = float(injector.spike_ms)
+        if kill or stall or spike or pipe_fail or corrupt:
+            # any fired fault taints every job riding this dispatch —
+            # the tail sampler retains their traces unconditionally
+            for p in live:
+                p.faulted = True
         return kill, delay_ms, pipe_fail
 
     def _corrupt_shard(self, sha: str) -> None:
@@ -273,6 +306,10 @@ class WorkerPool:
             for p in batch:
                 if (p.job.deadline is not None
                         and now >= p.job.deadline):
+                    if p.qspan is not None:
+                        p.spans.append(end_span(p.qspan,
+                                                outcome="deadline"))
+                        p.qspan = None
                     self._finish(p, JobOutcome(
                         504, error_body("deadline exceeded")),
                         cancelled=True)
@@ -289,7 +326,21 @@ class WorkerPool:
                 if proc is not None:
                     proc.kill()
                     proc.join(timeout=2.0)
+            for p in live:
+                if p.qspan is not None:
+                    p.spans.append(end_span(p.qspan))
+                    p.qspan = None
+                if p.job.trace_id:
+                    p.dspan = start_span(
+                        "dispatch", "pool", parent=p.job.root_span,
+                        attrs={"worker": index, "batch": len(live),
+                               "attempt": 2 if p.requeued else 1})
             wire = [p.job.to_wire() for p in live]
+            for w, p in zip(wire, live):
+                if p.dspan is not None:
+                    # worker spans parent under this dispatch attempt,
+                    # so a requeued job shows two distinct subtrees
+                    w["parent_span"] = p.dspan["span"]
             if delay_ms is not None:
                 # ride the delay on the wire: the worker sleeps before
                 # handling, which is what a slow or stuck analysis
@@ -312,6 +363,11 @@ class WorkerPool:
                            "pipe_write" if pipe_fail else "crash")
                 continue
             for p, reply in zip(live, replies):
+                if p.dspan is not None:
+                    p.spans.append(end_span(p.dspan))
+                    p.dspan = None
+                if isinstance(reply, dict):
+                    p.spans.extend(reply.pop("spans", None) or [])
                 self._finish(
                     p,
                     JobOutcome(reply["status"], reply["body"],
@@ -335,11 +391,22 @@ class WorkerPool:
             pass
         self._event(reason)
         for p in live:
+            p.faulted = True
+            if p.dspan is not None:
+                p.spans.append(end_span(p.dspan, outcome=reason))
+                p.dspan = None
             if (self.requeue_on_crash and not self._closed
                     and not p.requeued):
                 p.requeued = True
                 if self._requeue_ctr is not None:
                     self._requeue_ctr.inc()
+                if p.job.trace_id:
+                    # the retry waits in queue again: a fresh
+                    # queue-wait span keeps the tree honest about
+                    # where the second attempt's time went
+                    p.qspan = start_span("queue-wait", "pool",
+                                         parent=p.job.root_span,
+                                         attrs={"requeued": True})
                 self._queue.put(p)  # outstanding stays counted
             else:
                 self._finish(p, JobOutcome(

@@ -17,15 +17,38 @@ Jobs travel to the worker pool as plain dicts (they cross a ``Pipe``),
 with deadlines as absolute ``time.monotonic()`` instants — on Linux
 the monotonic clock is system-wide, so a deadline stamped in the HTTP
 thread means the same thing inside a forked worker.
+
+**Trace context** (``repro-trace/1``): every request carries a 128-bit
+trace id, a 64-bit span id, and a sampling bit in the
+``X-Repro-Trace`` header, formatted
+``repro-trace/1;trace=<32 hex>;span=<16 hex>;sampled=<0|1>``.  The
+resilient client stamps one per attempt; the server generates a fresh
+context at admission when the header is absent or malformed (a bad
+header must never shed a request), and always answers with the
+resolved id in ``X-Repro-Trace-Id``.  The trace id rides the job dict
+across the pool pipe so worker spans join the same tree — and it is
+deliberately **not** part of :func:`job_fingerprint`: two jobs from
+different traces still have byte-identical results, which is what
+keeps coalescing, memoization, and chaos replay identity honest under
+tracing.
 """
 
 from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Tuple
+
+from ..obs.trace import TRACE_SCHEMA, new_trace_id
 
 SCHEMA = "repro-serve/1"
+
+#: request header carrying the propagated trace context
+TRACE_HEADER = "X-Repro-Trace"
+
+#: response header naming the resolved trace id (on *every* response,
+#: including shed/rejected ones — errors are the traces worth keeping)
+TRACE_ID_HEADER = "X-Repro-Trace-Id"
 
 #: the three job endpoints (``/healthz`` and ``/metrics`` are served
 #: in the frontend and never reach the pool)
@@ -52,6 +75,59 @@ def job_fingerprint(endpoint: str, source_sha: str, mode: str,
         .encode("ascii")).hexdigest()
 
 
+def format_traceparent(trace_id: str, span_id: str,
+                       sampled: bool = True) -> str:
+    """Render one trace context for the ``X-Repro-Trace`` header."""
+    return (f"{TRACE_SCHEMA};trace={trace_id};span={span_id};"
+            f"sampled={1 if sampled else 0}")
+
+
+def parse_traceparent(value: Optional[str]
+                      ) -> Optional[Tuple[str, Optional[str], bool]]:
+    """Parse an ``X-Repro-Trace`` header into
+    ``(trace_id, parent_span_id, sampled)``.
+
+    Strict on shape, forgiving in consequence: anything malformed —
+    wrong schema, short ids, non-hex — returns ``None`` and the server
+    starts a fresh trace instead of rejecting the request.
+    """
+    if not value:
+        return None
+    parts = value.strip().split(";")
+    if not parts or parts[0] != TRACE_SCHEMA:
+        return None
+    fields: Dict[str, str] = {}
+    for part in parts[1:]:
+        key, sep, val = part.partition("=")
+        if sep:
+            fields[key.strip()] = val.strip()
+    trace_id = fields.get("trace", "")
+    span_id = fields.get("span", "")
+    if len(trace_id) != 32 or not _is_hex(trace_id):
+        return None
+    parent = span_id if (len(span_id) == 16
+                         and _is_hex(span_id)) else None
+    return trace_id, parent, fields.get("sampled", "1") != "0"
+
+
+def admit_trace(header_value: Optional[str]
+                ) -> Tuple[str, Optional[str], bool]:
+    """The admission-side context: the parsed header when sound, a
+    freshly generated trace otherwise."""
+    parsed = parse_traceparent(header_value)
+    if parsed is not None:
+        return parsed
+    return new_trace_id(), None, True
+
+
+def _is_hex(value: str) -> bool:
+    try:
+        int(value, 16)
+    except ValueError:
+        return False
+    return True
+
+
 @dataclass
 class Job:
     """One unit of work bound for a warm worker."""
@@ -65,13 +141,20 @@ class Job:
     tenant: str = "default"
     #: absolute time.monotonic() instant, or None for no deadline
     deadline: Optional[float] = None
+    #: propagated trace context: the request's trace id and the root
+    #: ``request`` span id worker/pool spans hang from.  Transport
+    #: only — never part of the fingerprint, never part of the body
+    #: (equal fingerprints must stay byte-identical across traces)
+    trace_id: str = ""
+    root_span: str = ""
 
     def to_wire(self) -> Dict[str, Any]:
         return {"endpoint": self.endpoint, "source": self.source,
                 "source_sha": self.source_sha,
                 "fingerprint": self.fingerprint, "mode": self.mode,
                 "backend": self.backend, "tenant": self.tenant,
-                "deadline": self.deadline}
+                "deadline": self.deadline, "trace_id": self.trace_id,
+                "root_span": self.root_span}
 
 
 @dataclass

@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import json
 import math
+import queue
 import socket
 import threading
 import time
@@ -47,11 +48,13 @@ from typing import Any, Dict, Optional, Tuple
 from ..obs.exporters import to_prometheus
 from ..obs.live import PROMETHEUS_CONTENT_TYPE
 from ..obs.metrics import MetricsRegistry
+from ..obs.trace import RequestTrace, TraceBuffer, queue_compute_ms
 from .degrade import (BACKEND_BROWNOUT_FALLBACK, RUNG_BROWNOUT,
                       RUNG_HEALTHY, RUNG_NAMES, RUNG_SHED,
                       DegradationLadder)
 from .pool import PendingJob, WorkerPool
-from .protocol import (ENDPOINTS, MAX_PROGRAM_BYTES, Job, error_body,
+from .protocol import (ENDPOINTS, MAX_PROGRAM_BYTES, TRACE_HEADER,
+                       TRACE_ID_HEADER, Job, admit_trace, error_body,
                        job_fingerprint, program_sha, validate_request)
 from .quota import QuotaTable
 
@@ -99,6 +102,72 @@ class ServeConfig:
     heal_after_s: float = 0.5
     #: troubles while already browned out that escalate to shed
     shed_after_troubles: int = 5
+    #: request tracing (span trees + tail-based sampling); per-request
+    #: cost is a handful of dict allocations — see obs/trace.py
+    tracing: bool = True
+    #: retained-trace ring capacity (completed traces kept in memory)
+    trace_capacity: int = 512
+    #: 1-in-N retention for healthy fast traces (the tail — errors,
+    #: faults, degradation, slower-than-p99 — is always kept)
+    trace_sample: int = 16
+    #: structured JSONL access-log path (None disables); writes happen
+    #: on a dedicated thread, never on the response path
+    access_log: Optional[str] = None
+    #: directory where traced /v1/inspect jobs dump their flight
+    #: records, keyed by trace id (None disables)
+    flight_dir: Optional[str] = None
+
+
+class _AccessLog:
+    """Structured JSONL access log on a dedicated writer thread.
+
+    Handler threads enqueue a dict and return immediately — disk
+    latency (or a full disk) never blocks the response path.  One
+    line per request: timestamp, trace id, tenant, endpoint, status,
+    degradation rung, queue/compute decomposition, duration, flags.
+    """
+
+    _CLOSE = object()
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._queue: "queue.SimpleQueue[Any]" = queue.SimpleQueue()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve-accesslog",
+            daemon=True)
+        self._thread.start()
+
+    def write(self, entry: Dict[str, Any]) -> None:
+        self._queue.put(entry)
+
+    def _run(self) -> None:
+        try:
+            handle = open(self.path, "a", encoding="utf-8")
+        except OSError:
+            handle = None  # an unwritable path disables, not crashes
+        try:
+            while True:
+                entry = self._queue.get()
+                if entry is self._CLOSE:
+                    break
+                if handle is None:
+                    continue
+                try:
+                    handle.write(json.dumps(entry, sort_keys=True)
+                                 + "\n")
+                    handle.flush()  # each line lands whole, promptly
+                except (OSError, ValueError):
+                    pass
+        finally:
+            if handle is not None:
+                try:
+                    handle.close()
+                except OSError:
+                    pass
+
+    def close(self, timeout: float = 2.0) -> None:
+        self._queue.put(self._CLOSE)
+        self._thread.join(timeout=timeout)
 
 
 class ServeService:
@@ -139,6 +208,15 @@ class ServeService:
         self._analyses = m.counter(
             "repro_serve_analyses_total",
             "frontend analyses actually performed by workers")
+        #: completed request traces with tail-based retention (None
+        #: when tracing is off — e.g. for overhead A/B benches)
+        self.traces: Optional[TraceBuffer] = (
+            TraceBuffer(capacity=self.config.trace_capacity,
+                        sample=self.config.trace_sample, metrics=m)
+            if self.config.tracing else None)
+        self._access_log: Optional[_AccessLog] = (
+            _AccessLog(self.config.access_log)
+            if self.config.access_log else None)
         # the ladder exists before the pool so worker-lifecycle
         # events have somewhere to land from the first fork on
         self.ladder = DegradationLadder(
@@ -153,7 +231,8 @@ class ServeService:
             fault_injector=fault_injector,
             stall_timeout_s=self.config.stall_timeout_s,
             requeue_on_crash=self.config.requeue_on_crash,
-            on_worker_event=self.ladder.worker_event)
+            on_worker_event=self.ladder.worker_event,
+            flight_dir=self.config.flight_dir)
         self.quotas = QuotaTable(self.config.quota_rate,
                                  self.config.quota_burst)
         self._lock = threading.Lock()
@@ -188,10 +267,70 @@ class ServeService:
 
     # -- request handling ----------------------------------------------
 
-    def handle_job(self, endpoint: str, payload: Any
+    def handle_job(self, endpoint: str, payload: Any,
+                   trace: Optional[Tuple[str, Optional[str], bool]]
+                   = None
                    ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
         """The full admission + execution path for one POST body.
-        Returns ``(status, body, extra_headers)``."""
+        Returns ``(status, body, extra_headers)``.
+
+        ``trace`` is the admitted ``(trace_id, parent_span, sampled)``
+        context from :func:`admit_trace`; when tracing is on, the
+        request's span tree is assembled here, offered to the tail
+        sampler on completion, and the resolved trace id is added to
+        the response headers.
+        """
+        if self.traces is None:
+            started = time.perf_counter()
+            status, body, extra = self._admit(endpoint, payload, None)
+            if self._access_log is not None:
+                tenant = (payload.get("tenant", "default")
+                          if isinstance(payload, dict) else "")
+                self._access_log.write({
+                    "ts": round(time.time(), 6), "trace": "",
+                    "tenant": tenant, "endpoint": endpoint,
+                    "status": status, "rung": None,
+                    "queue_ms": 0.0, "compute_ms": 0.0,
+                    "duration_ms": round(
+                        (time.perf_counter() - started) * 1e3, 3),
+                    "flags": []})
+            return status, body, extra
+        trace_id, parent, _sampled = trace or admit_trace(None)
+        rt = RequestTrace(trace_id, endpoint, parent=parent)
+        try:
+            status, body, extra = self._admit(endpoint, payload, rt)
+        except Exception:
+            record = rt.finish(500)
+            self.traces.offer(record)  # crashes are tail, kept
+            self._log_access(record)
+            raise
+        record = rt.finish(status)
+        self.traces.offer(record)
+        self._log_access(record)
+        extra = dict(extra)
+        extra[TRACE_ID_HEADER] = trace_id
+        return status, body, extra
+
+    def _log_access(self, record: Dict[str, Any]) -> None:
+        if self._access_log is None:
+            return
+        queue_ms, compute_ms = queue_compute_ms(record)
+        self._access_log.write({
+            "ts": round(time.time(), 6),
+            "trace": record["trace"],
+            "tenant": record.get("tenant", ""),
+            "endpoint": record.get("endpoint", ""),
+            "status": record.get("status"),
+            "rung": (record.get("attrs") or {}).get("rung"),
+            "queue_ms": round(queue_ms, 3),
+            "compute_ms": round(compute_ms, 3),
+            "duration_ms": round(
+                record.get("duration_s", 0.0) * 1e3, 3),
+            "flags": record.get("flags") or []})
+
+    def _admit(self, endpoint: str, payload: Any,
+               rt: Optional[RequestTrace]
+               ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
         complaint = validate_request(payload)
         if complaint is not None:
             return 400, error_body(complaint), {}
@@ -200,9 +339,15 @@ class ServeService:
             return 413, error_body(
                 f"program exceeds {MAX_PROGRAM_BYTES} bytes"), {}
         tenant = payload.get("tenant", "default")
+        adm = rt.begin("admission") if rt is not None else None
+        if rt is not None:
+            rt.note(tenant=tenant)
         admitted, wait = self.quotas.allow(tenant)
         if not admitted:
             self._shed.labels(reason="quota").inc()
+            if rt is not None:
+                rt.end(adm, outcome="quota")
+                rt.flag("shed")
             return (429, error_body("tenant quota exhausted",
                                     retry_after_s=round(wait, 3)),
                     {"Retry-After": _retry_after(wait)})
@@ -217,6 +362,10 @@ class ServeService:
         line = self._pressure_line()
         if line > 0 and self.pool.outstanding >= line:
             rung = self.ladder.trouble("queue_pressure")
+        if rt is not None:
+            rt.note(rung=RUNG_NAMES[rung])
+            if rung > RUNG_HEALTHY:
+                rt.flag("degraded")
         if rung >= RUNG_BROWNOUT:
             backend = BACKEND_BROWNOUT_FALLBACK.get(backend, backend)
         sha = program_sha(source)
@@ -227,6 +376,8 @@ class ServeService:
                     if deadline_ms else None)
         retry_degraded = {"Retry-After":
                           _retry_after(self.config.heal_after_s)}
+        wait_span = None  # the coalesce-wait span, followers only
+        leader = False
         with self._lock:
             hot = self._hot.get(fingerprint)
             if hot is not None:
@@ -234,31 +385,57 @@ class ServeService:
                 # lookup — it stays on at every rung
                 self._hot.move_to_end(fingerprint)
                 self._hits.labels(tier="frontend").inc()
+                if rt is not None:
+                    rt.end(adm, outcome="hot")
+                    rt.instant("cache-hot", tier="frontend")
                 return hot[0], hot[1], {}
             if rung >= RUNG_SHED:
                 self._shed.labels(reason="degraded").inc()
+                if rt is not None:
+                    rt.end(adm, outcome="shed")
+                    rt.flag("shed")
                 return (503, error_body(
                     "service shedding load (degraded)",
                     rung=RUNG_NAMES[rung]), retry_degraded)
             if rung >= RUNG_BROWNOUT and endpoint != "analyze":
                 self._shed.labels(reason="degraded").inc()
+                if rt is not None:
+                    rt.end(adm, outcome="shed")
+                    rt.flag("shed")
                 return (503, error_body(
                     "service degraded: analyze-only (brownout)",
                     rung=RUNG_NAMES[rung]), retry_degraded)
             pending = self._inflight.get(fingerprint)
             if pending is not None:
                 self._coalesced.inc()
+                if rt is not None:
+                    # a follower: its trace shows one coalesce-wait
+                    # span naming the leader's trace, where the full
+                    # pool/worker subtree lives
+                    rt.end(adm, outcome="coalesced")
+                    rt.flag("coalesced")
+                    wait_span = rt.begin(
+                        "coalesce-wait",
+                        leader_trace=pending.job.trace_id)
             else:
                 if self.pool.outstanding >= self.config.queue_depth:
                     self._shed.labels(reason="queue_full").inc()
+                    if rt is not None:
+                        rt.end(adm, outcome="queue_full")
+                        rt.flag("shed")
                     return (429, error_body("service overloaded"),
                             {"Retry-After": _retry_after(1.0)})
                 job = Job(endpoint=endpoint, source=source,
                           source_sha=sha, fingerprint=fingerprint,
                           mode=mode, backend=backend, tenant=tenant,
-                          deadline=deadline)
+                          deadline=deadline,
+                          trace_id=rt.trace_id if rt else "",
+                          root_span=rt.root["span"] if rt else "")
                 pending = PendingJob(job, on_resolve=self._complete)
                 self._inflight[fingerprint] = pending
+                leader = True
+                if rt is not None:
+                    rt.end(adm, outcome="admitted")
                 self.pool.submit(pending)
                 self._queue_gauge.set(self.pool.outstanding)
         budget = (max(0.0, deadline - time.monotonic()) + 5.0
@@ -266,9 +443,25 @@ class ServeService:
                   else self.config.request_timeout_s)
         if not pending.done.wait(timeout=budget):
             # the job is still running; it will land in the hot tier
-            # for whoever retries
+            # for whoever retries.  Don't adopt spans here — the
+            # dispatcher still owns them
+            if rt is not None:
+                if wait_span is not None:
+                    rt.end(wait_span, outcome="timeout")
+                rt.flag("timeout")
             return 504, error_body("request timed out"), {}
         outcome = pending.outcome
+        if rt is not None:
+            if wait_span is not None:
+                rt.end(wait_span, status=outcome.status)
+            elif leader:
+                # the dispatcher finished writing before done was
+                # set, so this read is safe without the pool lock
+                rt.adopt(pending.spans)
+                if pending.faulted:
+                    rt.flag("faulted")
+                if pending.requeued:
+                    rt.flag("requeued")
         if outcome.memo:
             self._hits.labels(tier="worker").inc()
         return outcome.status, outcome.body, {}
@@ -331,6 +524,8 @@ class ServeService:
             self._thread.join(timeout=5)
             self._thread = None
         self.pool.close()
+        if self._access_log is not None:
+            self._access_log.close()
 
     def __enter__(self) -> "ServeService":
         return self
@@ -408,6 +603,20 @@ def _make_handler(service: ServeService):
                         {"status": ("ready" if rung == RUNG_HEALTHY
                                     else "degraded"),
                          "rung": RUNG_NAMES[rung]})
+                elif path == "/traces" \
+                        and service.traces is not None:
+                    self._send_json(200, {
+                        "stats": service.traces.stats(),
+                        "traces": service.traces.snapshot()})
+                elif path.startswith("/traces/") \
+                        and service.traces is not None:
+                    trace_id = path[len("/traces/"):]
+                    record = service.traces.get(trace_id)
+                    if record is None:
+                        self._send_json(404, error_body(
+                            f"no retained trace {trace_id!r}"))
+                    else:
+                        self._send_json(200, record)
                 else:
                     self._send_json(
                         404, error_body(f"no route {path!r}"))
@@ -418,11 +627,19 @@ def _make_handler(service: ServeService):
 
         def do_POST(self) -> None:  # noqa: N802 (stdlib naming)
             started = time.perf_counter()
+            # admit the trace context first: every response — shed,
+            # rejected, crashed — names its trace id, because the
+            # rejects are exactly the traces worth pulling up
+            trace_ctx = (admit_trace(self.headers.get(TRACE_HEADER))
+                         if service.traces is not None else None)
+            trace_hdr = ({TRACE_ID_HEADER: trace_ctx[0]}
+                         if trace_ctx is not None else {})
             path = self.path.split("?", 1)[0].rstrip("/")
             endpoint = path[len("/v1/"):] if path.startswith("/v1/") \
                 else None
             if endpoint not in ENDPOINTS:
-                self._send_json(404, error_body(f"no route {path!r}"))
+                self._send_json(404, error_body(f"no route {path!r}"),
+                                trace_hdr)
                 return
             # body hygiene: a declared, bounded length is the price of
             # admission — chunked or lengthless bodies are 411 (we
@@ -432,13 +649,13 @@ def _make_handler(service: ServeService):
                 self.close_connection = True
                 self._send_json(411, error_body(
                     "chunked bodies not accepted; "
-                    "send Content-Length"))
+                    "send Content-Length"), trace_hdr)
                 return
             declared = self.headers.get("Content-Length")
             if declared is None:
                 self.close_connection = True
                 self._send_json(411, error_body(
-                    "Content-Length required"))
+                    "Content-Length required"), trace_hdr)
                 return
             try:
                 length = int(declared)
@@ -446,7 +663,8 @@ def _make_handler(service: ServeService):
                 length = -1
             if length < 0 or length > MAX_PROGRAM_BYTES * 2:
                 self.close_connection = True
-                self._send_json(413, error_body("bad request length"))
+                self._send_json(413, error_body("bad request length"),
+                                trace_hdr)
                 return
             try:
                 raw = self.rfile.read(length)
@@ -454,29 +672,40 @@ def _make_handler(service: ServeService):
                 # slow-loris body: drop the connection rather than
                 # wait out a client that trickles bytes forever
                 self.close_connection = True
-                self._send_json(408, error_body("body read timed out"))
+                self._send_json(408,
+                                error_body("body read timed out"),
+                                trace_hdr)
                 return
             if len(raw) < length:
                 self.close_connection = True
-                self._send_json(400, error_body("truncated body"))
+                self._send_json(400, error_body("truncated body"),
+                                trace_hdr)
                 return
             try:
                 payload = json.loads(raw.decode("utf-8"))
             except (ValueError, UnicodeDecodeError):
                 service._requests.labels(endpoint=endpoint,
                                          status="400").inc()
-                self._send_json(400, error_body("invalid JSON body"))
+                self._send_json(400, error_body("invalid JSON body"),
+                                trace_hdr)
                 return
             try:
-                status, body, extra = service.handle_job(endpoint,
-                                                         payload)
+                status, body, extra = service.handle_job(
+                    endpoint, payload, trace=trace_ctx)
             except Exception as err:  # the service must stay up
                 status, body, extra = 500, error_body(
-                    f"{type(err).__name__}: {err}"), {}
+                    f"{type(err).__name__}: {err}"), dict(trace_hdr)
             service._requests.labels(endpoint=endpoint,
                                      status=str(status)).inc()
+            # a latency observation carries its trace id as an
+            # exemplar only when the tail sampler retained the trace
+            # — a scraped tail bucket then names a pullable trace
+            exemplar = None
+            if (trace_ctx is not None
+                    and service.traces.get(trace_ctx[0]) is not None):
+                exemplar = trace_ctx[0]
             service._latency.labels(endpoint=endpoint).observe(
-                time.perf_counter() - started)
+                time.perf_counter() - started, exemplar=exemplar)
             try:
                 self._send_json(status, body, extra)
             except BrokenPipeError:

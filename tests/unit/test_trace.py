@@ -1,0 +1,424 @@
+"""Unit coverage for the request-tracing plane (``repro-trace/1``).
+
+Four contracts pinned here:
+
+* the **wire context** round-trips and malformed headers degrade to a
+  fresh context, never a rejection;
+* **self-time accounting** — per-trace self-times sum to the root
+  span's duration by construction, so the critical-path table always
+  accounts for 100% of measured latency;
+* **tail-based sampling** is deterministic (counter-based, no RNG) and
+  never drops an error/faulted/degraded trace;
+* **exemplars** survive the Prometheus text round-trip: the exporter
+  renders OpenMetrics-style ``# {trace_id=...}`` suffixes and the
+  parser tolerates them.
+
+The concurrent scrape-under-load test at the bottom pins the metrics
+satellite: a histogram snapshot taken mid-burst must be internally
+consistent (buckets, sum, and count from one instant), which is
+exactly the race ``_HistogramChild.snapshot()`` exists to close.
+"""
+
+from __future__ import annotations
+
+import io
+import threading
+import time
+
+import pytest
+
+from repro.obs.exporters import parse_prometheus, to_prometheus
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import (RequestTrace, TraceBuffer, analyze_traces,
+                             dump_traces, end_span, instant_span,
+                             load_traces, new_span_id, new_trace_id,
+                             queue_compute_ms, render_report_html,
+                             render_report_text, render_trace_text,
+                             self_times, span_tree, start_span,
+                             validate_trace)
+from repro.serve.protocol import (TRACE_HEADER, admit_trace,
+                                  format_traceparent, parse_traceparent)
+
+
+class TestWireContext:
+
+    def test_format_parse_round_trip(self):
+        trace_id, span_id = new_trace_id(), new_span_id()
+        header = format_traceparent(trace_id, span_id)
+        parsed = parse_traceparent(header)
+        assert parsed == (trace_id, span_id, True)
+
+    def test_sampled_bit_round_trips(self):
+        trace_id, span_id = new_trace_id(), new_span_id()
+        header = format_traceparent(trace_id, span_id, sampled=False)
+        assert parse_traceparent(header)[2] is False
+
+    @pytest.mark.parametrize("bad", [
+        "", "garbage", "repro-trace/2;trace=00;span=00;sampled=1",
+        "repro-trace/1;trace=xyz;span=00;sampled=1",
+        "repro-trace/1;span=" + "0" * 16 + ";sampled=1",
+        "repro-trace/1;trace=" + "0" * 31 + ";span="
+        + "0" * 16 + ";sampled=1",                  # short trace id
+    ])
+    def test_malformed_headers_parse_to_none(self, bad):
+        assert parse_traceparent(bad) is None
+
+    def test_missing_or_bad_span_keeps_the_trace_id(self):
+        # a sound trace id with a missing/short span still correlates
+        # the request; only the parent link is dropped
+        tid = new_trace_id()
+        assert parse_traceparent(
+            f"repro-trace/1;trace={tid}") == (tid, None, True)
+        assert parse_traceparent(
+            f"repro-trace/1;trace={tid};span=short") == (tid, None,
+                                                         True)
+
+    def test_admit_trace_mints_on_absent_or_malformed(self):
+        trace_id, parent, sampled = admit_trace(None)
+        assert len(trace_id) == 32 and parent is None and sampled
+        trace_id2, parent2, _ = admit_trace("not-a-header")
+        assert len(trace_id2) == 32 and parent2 is None
+        assert trace_id != trace_id2
+
+    def test_admit_trace_adopts_a_valid_context(self):
+        tid, sid = new_trace_id(), new_span_id()
+        assert admit_trace(format_traceparent(tid, sid)) == (tid, sid,
+                                                             True)
+
+    def test_trace_ids_are_unique(self):
+        assert len({new_trace_id() for _ in range(64)}) == 64
+        assert len({new_span_id() for _ in range(64)}) == 64
+
+    def test_header_name_is_stable(self):
+        # the wire contract the client and CI smoke both rely on
+        assert TRACE_HEADER == "X-Repro-Trace"
+
+
+class TestSpans:
+
+    def test_end_span_is_idempotent(self):
+        span = start_span("x", "test")
+        end_span(span, first=True)
+        first_end = span["end"]
+        time.sleep(0.001)
+        end_span(span, second=True)
+        assert span["end"] == first_end
+        assert span["attrs"] == {"first": True, "second": True}
+
+    def test_instant_span_has_zero_duration(self):
+        span = instant_span("cache-hot", "frontend", tier="frontend")
+        assert span["end"] == span["start"]
+        assert span["attrs"] == {"tier": "frontend"}
+
+
+def _finished_trace(status=200, flags=(), children_ms=(1.0, 2.0)):
+    """A small, sound trace record with known span structure."""
+    rt = RequestTrace(new_trace_id(), "run")
+    for i, _ms in enumerate(children_ms):
+        span = rt.begin("admission" if i == 0 else "analyze")
+        rt.end(span)
+    for flag in flags:
+        rt.flag(flag)
+    return rt.finish(status)
+
+
+class TestRequestTrace:
+
+    def test_finish_produces_a_sound_record(self):
+        record = _finished_trace()
+        assert record["schema"] == "repro-trace/1"
+        assert record["status"] == 200
+        assert record["endpoint"] == "run"
+        assert validate_trace(record) == []
+
+    def test_unclosed_spans_are_truncated_at_finish(self):
+        rt = RequestTrace(new_trace_id(), "run")
+        rt.begin("admission")  # never ended
+        record = rt.finish(500)
+        assert validate_trace(record) == []
+        (leaked,) = [s for s in record["spans"]
+                     if s["name"] == "admission"]
+        assert leaked["attrs"].get("truncated") is True
+
+    def test_adopted_spans_join_the_tree(self):
+        rt = RequestTrace(new_trace_id(), "run")
+        pool = start_span("queue-wait", "pool",
+                          parent=rt.root["span"])
+        worker = start_span("analyze", "worker", parent=pool["span"])
+        end_span(worker)
+        end_span(pool)
+        rt.adopt([pool, worker])
+        record = rt.finish(200)
+        assert validate_trace(record) == []
+        tree = span_tree(record)
+        assert [s["name"] for s in tree[pool["span"]]] == ["analyze"]
+
+    def test_flags_deduplicate(self):
+        rt = RequestTrace(new_trace_id(), "run")
+        rt.flag("degraded")
+        rt.flag("degraded")
+        assert rt.finish(200)["flags"] == ["degraded"]
+
+
+class TestValidation:
+
+    def test_orphan_span_is_a_problem(self):
+        record = _finished_trace()
+        record["spans"].append(
+            {"name": "lost", "span": new_span_id(),
+             "parent": "feedfeedfeedfeed", "process": "pool",
+             "start": 0.0, "end": 1.0, "attrs": {}})
+        problems = validate_trace(record)
+        assert any("orphan" in p for p in problems)
+
+    def test_unended_span_is_a_problem(self):
+        record = _finished_trace()
+        record["spans"][1] = dict(record["spans"][1], end=None)
+        assert any("never ended" in p
+                   for p in validate_trace(record))
+
+    def test_external_root_parent_is_allowed(self):
+        # the root's parent is the client's attempt span — external by
+        # design, never an orphan
+        rt = RequestTrace(new_trace_id(), "run", parent=new_span_id())
+        assert validate_trace(rt.finish(200)) == []
+
+
+class TestSelfTime:
+
+    def test_self_times_sum_to_root_duration(self):
+        record = _finished_trace(children_ms=(1.0, 2.0, 3.0))
+        total = sum(self_times(record).values())
+        assert total == pytest.approx(record["duration_s"], abs=1e-9)
+
+    def test_child_time_is_subtracted_from_parent(self):
+        rt = RequestTrace(new_trace_id(), "run")
+        child = rt.begin("analyze")
+        time.sleep(0.005)
+        rt.end(child)
+        record = rt.finish(200)
+        selfs = self_times(record)
+        root_self = selfs[record["root"]]
+        child_self = selfs[child["span"]]
+        assert child_self >= 0.004
+        assert root_self == pytest.approx(
+            record["duration_s"] - child_self, abs=1e-9)
+
+    def test_queue_compute_decomposition(self):
+        rt = RequestTrace(new_trace_id(), "run")
+        q = rt.begin("queue-wait")
+        time.sleep(0.004)
+        rt.end(q)
+        c = rt.begin("execute")
+        time.sleep(0.004)
+        rt.end(c)
+        record = rt.finish(200)
+        queue_ms, compute_ms = queue_compute_ms(record)
+        assert queue_ms >= 3.0 and compute_ms >= 3.0
+        assert queue_ms + compute_ms <= record["duration_s"] * 1e3 + 1e-6
+
+
+class TestTailSampling:
+
+    def test_counter_sampling_is_deterministic(self):
+        buf = TraceBuffer(sample=4)
+        decisions = [buf.offer(_finished_trace())[0]
+                     for _ in range(12)]
+        # retained when seen % 4 == 1: arrivals 1, 5, 9
+        assert decisions == [True, False, False, False] * 3
+
+    def test_sample_one_retains_everything(self):
+        buf = TraceBuffer(sample=1)
+        assert all(buf.offer(_finished_trace())[0]
+                   for _ in range(8))
+
+    @pytest.mark.parametrize("record,reason", [
+        (lambda: _finished_trace(status=429), "error"),
+        (lambda: _finished_trace(status=500), "error"),
+        (lambda: _finished_trace(flags=("requeued",)), "faulted"),
+        (lambda: _finished_trace(flags=("faulted",)), "faulted"),
+        (lambda: _finished_trace(flags=("degraded",)), "degraded"),
+        (lambda: _finished_trace(flags=("shed",)), "degraded"),
+    ])
+    def test_interesting_traces_always_survive(self, record, reason):
+        buf = TraceBuffer(sample=1000)
+        buf.offer(_finished_trace())  # burn the counter's first slot
+        for _ in range(5):
+            retained, why = buf.offer(record())
+            assert retained and why == reason
+
+    def test_slow_tail_retained_after_warmup(self):
+        buf = TraceBuffer(sample=1000)
+        fast = _finished_trace()
+        fast["duration_s"] = 0.001
+        for _ in range(128):  # past _SLOW_MIN_SAMPLES and a refresh
+            buf.offer(dict(fast))
+        slow = _finished_trace()
+        slow["duration_s"] = 10.0
+        retained, reason = buf.offer(slow)
+        assert retained and reason == "slow"
+
+    def test_capacity_evicts_oldest_first(self):
+        buf = TraceBuffer(capacity=3, sample=1)
+        records = [_finished_trace() for _ in range(5)]
+        for record in records:
+            buf.offer(record)
+        kept = [r["trace"] for r in buf.snapshot()]
+        assert kept == [r["trace"] for r in records[2:]]
+        assert buf.get(records[0]["trace"]) is None
+        assert buf.get(records[4]["trace"]) is not None
+
+    def test_stats_shape(self):
+        buf = TraceBuffer(sample=2)
+        buf.offer(_finished_trace())
+        buf.offer(_finished_trace(status=500))
+        stats = buf.stats()
+        assert stats["seen"] == 2
+        assert stats["retained"] == 2
+        assert stats["by_reason"] == {"sampled": 1, "error": 1}
+
+
+class TestAnalysis:
+
+    def test_analyze_covers_percentiles_and_breakdown(self):
+        records = [_finished_trace() for _ in range(10)]
+        report = analyze_traces(records)
+        assert report["traces"] == 10
+        assert report["problems"] == []
+        assert set(report["percentiles"]) == {"p50", "p95", "p99"}
+        names = {row["span"] for row in report["overall"]["rows"]}
+        assert {"request", "admission", "analyze"} <= names
+        assert report["exemplars"]
+        # renderers accept the report without raising
+        assert "request traces" in render_report_text(report)
+        html = render_report_html(report, records)
+        assert html.startswith("<!doctype html>")
+
+    def test_empty_input_is_a_clean_empty_report(self):
+        report = analyze_traces([])
+        assert report["traces"] == 0
+        assert "no traces" in render_report_text(report)
+
+    def test_structural_problems_are_reported(self):
+        record = _finished_trace()
+        record["spans"][1] = dict(record["spans"][1],
+                                  parent="feedfeedfeedfeed")
+        report = analyze_traces([record])
+        assert report["problems"]
+
+    def test_render_trace_text_walks_the_tree(self):
+        record = _finished_trace()
+        text = render_trace_text(record)
+        assert record["trace"] in text
+        assert "admission" in text and "self=" in text
+
+
+class TestPersistence:
+
+    def test_jsonl_round_trip(self, tmp_path):
+        records = [_finished_trace() for _ in range(3)]
+        path = str(tmp_path / "traces.jsonl")
+        lines = dump_traces(records, path, meta={"seen": 3})
+        assert lines == 4  # header + 3 records
+        header, loaded = load_traces(path)
+        assert header["count"] == 3
+        assert header["meta"] == {"seen": 3}
+        assert [r["trace"] for r in loaded] == [r["trace"]
+                                                for r in records]
+
+    def test_loads_a_saved_traces_response(self):
+        records = [_finished_trace()]
+        import json
+        payload = json.dumps({"stats": {"seen": 1},
+                              "traces": records})
+        header, loaded = load_traces(io.StringIO(payload))
+        assert header["count"] == 1
+        assert loaded[0]["trace"] == records[0]["trace"]
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            load_traces(io.StringIO(""))
+        with pytest.raises(ValueError):
+            load_traces(io.StringIO('{"not": "a dump"}'))
+
+
+class TestExemplars:
+
+    def test_exemplars_render_and_parse(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("req_seconds", "request latency",
+                                  buckets=(0.01, 0.1, 1.0))
+        trace_id = new_trace_id()
+        hist.observe(0.05, exemplar=trace_id)
+        hist.observe(0.5)
+        text = to_prometheus(registry)
+        assert f'# {{trace_id="{trace_id}"}}' in text
+        _help, _types, samples = parse_prometheus(text)
+        # the exemplar suffix must not confuse the parser: bucket
+        # counts still parse as plain numbers
+        bucket = [v for (name, labels), v in samples.items()
+                  if name == "req_seconds_bucket"
+                  and ("le", "0.1") in labels]
+        assert bucket == [1.0]
+        assert samples[("req_seconds_count", ())] == 2.0
+
+
+class TestConsistentScrape:
+
+    def test_snapshot_is_internally_consistent_under_load(self):
+        """Histogram bucket counts, sum, and count must come from one
+        instant: with every observation == 1.0, any snapshot where
+        ``sum != count`` or ``count != sum(bucket deltas)`` is torn."""
+        registry = MetricsRegistry()
+        hist = registry.histogram("load_seconds", "scrape race probe",
+                                  buckets=(0.5, 2.0))
+        stop = threading.Event()
+        torn = []
+
+        def hammer():
+            while not stop.is_set():
+                hist.observe(1.0)
+
+        def scrape():
+            child = next(iter(hist.children()))[1]
+            while not stop.is_set():
+                counts, total_sum, count, _ex = child.snapshot()
+                if total_sum != count or sum(counts) != count:
+                    torn.append((counts, total_sum, count))
+
+        writers = [threading.Thread(target=hammer) for _ in range(4)]
+        reader = threading.Thread(target=scrape)
+        for t in writers:
+            t.start()
+        reader.start()
+        time.sleep(0.3)
+        stop.set()
+        for t in writers + [reader]:
+            t.join(timeout=10)
+        assert torn == [], f"torn snapshots observed: {torn[:3]}"
+
+    def test_full_exposition_under_load_parses_clean(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("busy_seconds", "exposition probe")
+        counter = registry.counter("busy_total", "exposition probe")
+        stop = threading.Event()
+
+        def hammer():
+            while not stop.is_set():
+                hist.observe(1.0, exemplar=new_trace_id())
+                counter.inc()
+
+        writers = [threading.Thread(target=hammer) for _ in range(2)]
+        for t in writers:
+            t.start()
+        try:
+            for _ in range(20):
+                _help, _types, samples = parse_prometheus(
+                    to_prometheus(registry))
+                count = samples.get(("busy_seconds_count", ()), 0.0)
+                total = samples.get(("busy_seconds_sum", ()), 0.0)
+                assert total == count, (total, count)
+        finally:
+            stop.set()
+            for t in writers:
+                t.join(timeout=10)
